@@ -1,0 +1,152 @@
+// Ablation: interval width ("vagueness") vs merge-join efficiency.
+//
+// Section 3 of the paper warns that Rng(r) may contain *dangling* tuples
+// -- inner tuples whose supports overlap the window but do not join r --
+// and that "in many applications data values may be fuzzy but not
+// excessively so... In this case the number of dangling tuples will be
+// very small", while temporal-style wide intervals "could have an adverse
+// effect on the merge-join". This bench quantifies that: join values are
+// spread uniformly over a fixed domain and the support width is swept, so
+// wider values mean larger windows and more examined-but-not-joining
+// pairs per produced pair.
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fuzzy/interval_order.h"
+
+namespace {
+
+using namespace fuzzydb;
+using namespace fuzzydb::bench;
+
+/// Uniform (non-grouped) relation over [0, domain]. Support widths vary
+/// per value, uniform in [width/50, width]: mixing narrow and wide values
+/// is what produces dangling tuples -- a wide inner value forces the
+/// window open across many narrow ones that do not join (the paper's
+/// example: r.X = [30,40], s.X = [10,35] traps every value in [10,30]).
+Relation MakeUniform(uint64_t seed, const std::string& name, size_t tuples,
+                     double domain, double width, bool outer) {
+  Rng rng(seed);
+  std::vector<Column> cols;
+  if (outer) {
+    cols = {Column{"X", ValueType::kFuzzy}, Column{"Y", ValueType::kFuzzy},
+            Column{"U", ValueType::kFuzzy}};
+  } else {
+    cols = {Column{"Z", ValueType::kFuzzy}, Column{"V", ValueType::kFuzzy}};
+  }
+  Relation rel(name, Schema(cols));
+  for (size_t i = 0; i < tuples; ++i) {
+    const double center = rng.UniformDouble(0, domain);
+    const double w = rng.UniformDouble(width / 50, width);
+    const double lo = center - w / 2, hi = center + w / 2;
+    double b = rng.UniformDouble(lo, hi), c = rng.UniformDouble(lo, hi);
+    if (b > c) std::swap(b, c);
+    const Value join_value = Value::Fuzzy(Trapezoid(lo, b, c, hi));
+    if (outer) {
+      (void)rel.Append(Tuple({Value::Number(static_cast<double>(i)),
+                              join_value, Value::Number(0)},
+                             1.0));
+    } else {
+      (void)rel.Append(Tuple({join_value, Value::Number(0)}, 1.0));
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  BufferPool::SetDefaultSimulatedLatencyUs(SimulatedLatencyUs());
+  PrintHeader("Ablation -- interval width vs merge-join window efficiency",
+              "Yang et al., Section 3 (dangling tuples) and Section 9 "
+              "closing remark");
+
+  const size_t tuples = 4000;
+  const double domain = 100000.0;
+  const double widths[] = {1, 10, 100, 1000, 5000};
+
+  std::printf("\n%9s | %12s %14s %12s | %12s %10s\n", "width", "pairs",
+              "joined-pairs", "dangling(%)", "resp(s)", "IOs");
+  for (double width : widths) {
+    Relation r = MakeUniform(61, "R", tuples, domain, width, true);
+    Relation s = MakeUniform(62, "S", tuples, domain, width, false);
+
+    BufferPool setup(kBufferPages);
+    setup.set_simulated_latency_us(0);
+    const std::string r_path = BenchDir() + "/fuzzydb_abl_w.R";
+    const std::string s_path = BenchDir() + "/fuzzydb_abl_w.S";
+    auto r_file = WriteRelationToFile(r, r_path, &setup, 128);
+    auto s_file = WriteRelationToFile(s, s_path, &setup, 128);
+    if (!r_file.ok() || !s_file.ok()) return 1;
+
+    DatasetFiles files;
+    files.r = std::move(*r_file);
+    files.s = std::move(*s_file);
+    files.r_path = r_path;
+    files.s_path = s_path;
+    files.tuple_bytes = 128;
+
+    auto merged = RunMerge(&files, "abl_w");
+    if (!merged.ok()) return 1;
+    const ExecStats& stats = merged->stats;
+
+    // Count the truly joining pairs with an (untimed) in-memory window
+    // sweep, to contrast with the pairs the merge-join had to examine.
+    uint64_t joined = 0;
+    {
+      std::vector<const Tuple*> rs, ss;
+      for (const Tuple& t : r.tuples()) rs.push_back(&t);
+      for (const Tuple& t : s.tuples()) ss.push_back(&t);
+      auto begin_of = [](const Tuple* t, size_t col) {
+        return t->ValueAt(col).AsFuzzy().SupportBegin();
+      };
+      auto end_of = [](const Tuple* t, size_t col) {
+        return t->ValueAt(col).AsFuzzy().SupportEnd();
+      };
+      std::sort(rs.begin(), rs.end(), [&](const Tuple* a, const Tuple* b) {
+        return IntervalOrderLess(a->ValueAt(1).AsFuzzy(),
+                                 b->ValueAt(1).AsFuzzy());
+      });
+      std::sort(ss.begin(), ss.end(), [&](const Tuple* a, const Tuple* b) {
+        return IntervalOrderLess(a->ValueAt(0).AsFuzzy(),
+                                 b->ValueAt(0).AsFuzzy());
+      });
+      size_t start = 0;
+      for (const Tuple* rt : rs) {
+        while (start < ss.size() &&
+               end_of(ss[start], 0) < begin_of(rt, 1)) {
+          ++start;
+        }
+        for (size_t i = start; i < ss.size(); ++i) {
+          if (begin_of(ss[i], 0) > end_of(rt, 1)) break;
+          if (rt->ValueAt(1).Compare(CompareOp::kEq,
+                                     ss[i]->ValueAt(0)) > 0.0) {
+            ++joined;
+          }
+        }
+      }
+    }
+
+    const double dangling =
+        stats.cpu.tuple_pairs == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(joined) /
+                                 static_cast<double>(stats.cpu.tuple_pairs));
+    std::printf("%9.0f | %12llu %14llu %12.1f | %12s %10llu\n", width,
+                static_cast<unsigned long long>(stats.cpu.tuple_pairs),
+                static_cast<unsigned long long>(joined), dangling,
+                Seconds(stats.total_seconds).c_str(),
+                static_cast<unsigned long long>(stats.io.TotalIos()));
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape: with narrow supports nearly every windowed pair\n"
+      "joins (dangling%% ~ 0) and CPU work stays near-linear; as supports\n"
+      "widen the windows balloon, the examined-pair count grows toward\n"
+      "quadratic and the dangling share rises -- the adverse regime the\n"
+      "paper attributes to temporal-style wide intervals.\n");
+  return 0;
+}

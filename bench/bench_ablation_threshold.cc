@@ -1,0 +1,57 @@
+// Ablation: WITH-threshold pushdown into the merge-join ([42]).
+//
+// The paper points to Zhang & Wang's follow-up ("A further optimization
+// of the merge-join is presented in [42]", using fuzzy equality
+// indicators). This bench quantifies our implementation of that idea:
+// with WITH D >= z, the merge window runs on the z-cuts of the join
+// values instead of their supports, so higher thresholds examine fewer
+// pairs and evaluate fewer fuzzy predicates.
+#include "bench_common.h"
+
+int main() {
+  using namespace fuzzydb;
+  using namespace fuzzydb::bench;
+
+  BufferPool::SetDefaultSimulatedLatencyUs(SimulatedLatencyUs());
+  PrintHeader("Ablation -- WITH-threshold pushdown via alpha-cut windows",
+              "Zhang & Wang [42] (cited in Section 1 of the paper)");
+
+  const size_t tuples = 16384;
+  WorkloadConfig config;
+  config.seed = 9100;
+  config.num_r = tuples;
+  config.num_s = tuples;
+  config.join_fanout = 16;
+  config.fuzzy_fraction = 1.0;
+  config.partial_membership_fraction = 0.5;
+  auto files = MakeDatasetFiles(config, 128, "th");
+  if (!files.ok()) return 1;
+
+  std::printf("\n%10s | %12s %14s %14s | %10s\n", "threshold", "resp(s)",
+              "pairs", "degree-evals", "answers");
+  for (double threshold : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    TypeJQuerySpec spec;
+    spec.threshold = threshold;
+    auto merged = RunTypeJMergeJoin(files->r.get(), files->s.get(), spec,
+                                    kBufferPages,
+                                    BenchDir() + "/fuzzydb_bench_th", 128);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%10.2f | %12s %14llu %14llu | %10zu\n", threshold,
+                Seconds(merged->stats.total_seconds).c_str(),
+                static_cast<unsigned long long>(merged->stats.cpu.tuple_pairs),
+                static_cast<unsigned long long>(
+                    merged->stats.cpu.degree_evaluations),
+                merged->answer.NumTuples());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape: the examined-pair and degree-evaluation counts\n"
+      "shrink monotonically as the threshold rises (the z-cut windows\n"
+      "tighten), while the I/O-dominated response time moves little --\n"
+      "the CPU-side saving [42] reports.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace fuzzydb {
+namespace bench {
+
+uint64_t SimulatedLatencyUs() {
+  if (const char* env = std::getenv("FUZZYDB_BENCH_LATENCY_US")) {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 50;
+}
+
+std::string BenchDir() {
+  if (const char* env = std::getenv("TMPDIR")) return env;
+  return "/tmp";
+}
+
+DatasetFiles::~DatasetFiles() {
+  r.reset();
+  s.reset();
+  if (!r_path.empty()) RemoveFileIfExists(r_path);
+  if (!s_path.empty()) RemoveFileIfExists(s_path);
+}
+
+Result<DatasetFiles> MakeDatasetFiles(const WorkloadConfig& config,
+                                      size_t tuple_bytes,
+                                      const std::string& tag) {
+  TypeJDataset dataset = GenerateTypeJDataset(config);
+  DatasetFiles files;
+  files.tuple_bytes = tuple_bytes;
+  files.r_path = BenchDir() + "/fuzzydb_bench_" + tag + ".R";
+  files.s_path = BenchDir() + "/fuzzydb_bench_" + tag + ".S";
+  // Setup I/O is not part of the measured run: no simulated latency.
+  BufferPool setup_pool(kBufferPages);
+  setup_pool.set_simulated_latency_us(0);
+  FUZZYDB_ASSIGN_OR_RETURN(
+      files.r,
+      WriteRelationToFile(dataset.r, files.r_path, &setup_pool, tuple_bytes));
+  FUZZYDB_ASSIGN_OR_RETURN(
+      files.s,
+      WriteRelationToFile(dataset.s, files.s_path, &setup_pool, tuple_bytes));
+  return files;
+}
+
+Result<RunResult> RunNested(DatasetFiles* files) {
+  TypeJQuerySpec spec;
+  return RunTypeJNestedLoop(files->r.get(), files->s.get(), spec,
+                            kBufferPages);
+}
+
+Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag) {
+  TypeJQuerySpec spec;
+  return RunTypeJMergeJoin(files->r.get(), files->s.get(), spec, kBufferPages,
+                           BenchDir() + "/fuzzydb_bench_" + tag + ".tmp",
+                           files->tuple_bytes);
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Scaling: data scaled down from the paper, buffer scaled "
+              "identically (%zu pages);\n", kBufferPages);
+  std::printf("simulated device latency %llu us/page "
+              "(FUZZYDB_BENCH_LATENCY_US overrides).\n",
+              static_cast<unsigned long long>(SimulatedLatencyUs()));
+  std::printf("================================================================\n");
+}
+
+std::string Seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string Ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", r);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace fuzzydb

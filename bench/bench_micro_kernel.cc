@@ -1,0 +1,104 @@
+// Microbenchmarks of the fuzzy kernel (google-benchmark): the satisfaction
+// degrees and the interval-order comparisons are the inner loop of every
+// query, so their cost dominates the CPU side of the paper's experiments.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fuzzy/arithmetic.h"
+#include "fuzzy/degree.h"
+#include "fuzzy/interval_order.h"
+
+namespace fuzzydb {
+namespace {
+
+std::vector<Trapezoid> RandomValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Trapezoid> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double c[4];
+    for (double& v : c) v = rng.UniformDouble(0, 1000);
+    std::sort(c, c + 4);
+    values.emplace_back(c[0], c[1], c[2], c[3]);
+  }
+  return values;
+}
+
+void BM_EqualityDegree(benchmark::State& state) {
+  const auto values = RandomValues(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = values[i % values.size()];
+    const auto& y = values[(i * 7 + 3) % values.size()];
+    benchmark::DoNotOptimize(EqualityDegree(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_EqualityDegree);
+
+void BM_LessEqualDegree(benchmark::State& state) {
+  const auto values = RandomValues(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = values[i % values.size()];
+    const auto& y = values[(i * 5 + 1) % values.size()];
+    benchmark::DoNotOptimize(LessEqualDegree(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_LessEqualDegree);
+
+void BM_ApproxEqualDegree(benchmark::State& state) {
+  const auto values = RandomValues(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = values[i % values.size()];
+    const auto& y = values[(i * 11 + 5) % values.size()];
+    benchmark::DoNotOptimize(ApproxEqualDegree(x, y, 10.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_ApproxEqualDegree);
+
+void BM_IntervalOrderCompare(benchmark::State& state) {
+  const auto values = RandomValues(1024, 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareIntervalOrder(
+        values[i % values.size()], values[(i + 1) % values.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalOrderCompare);
+
+void BM_FuzzyAdd(benchmark::State& state) {
+  const auto values = RandomValues(1024, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FuzzyAdd(values[i % values.size()],
+                                      values[(i + 13) % values.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FuzzyAdd);
+
+void BM_CrispVsFuzzyEquality(benchmark::State& state) {
+  // The CPU-cost asymmetry the paper cites: fuzzy predicates cost more
+  // than crisp ones.
+  const Trapezoid crisp_a = Trapezoid::Crisp(10), crisp_b = Trapezoid::Crisp(11);
+  const Trapezoid fuzzy_a(8, 9, 11, 12), fuzzy_b(10, 11, 13, 14);
+  const bool fuzzy = state.range(0) != 0;
+  for (auto _ : state) {
+    if (fuzzy) {
+      benchmark::DoNotOptimize(EqualityDegree(fuzzy_a, fuzzy_b));
+    } else {
+      benchmark::DoNotOptimize(EqualityDegree(crisp_a, crisp_b));
+    }
+  }
+}
+BENCHMARK(BM_CrispVsFuzzyEquality)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fuzzydb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Table 1: response time of nested loop vs extended merge-join as both
+// relations grow. Paper: 1..32 MB relations of 128-byte tuples, C = 7;
+// nested loop skipped beyond 8 MB ("takes too long to terminate");
+// speedups 12.5 -> 36.2 and growing.
+#include "bench_common.h"
+
+int main() {
+  using namespace fuzzydb;
+  using namespace fuzzydb::bench;
+
+  BufferPool::SetDefaultSimulatedLatencyUs(SimulatedLatencyUs());
+  PrintHeader("Table 1 -- response time, equal-size relations, C = 7",
+              "Yang et al., TKDE 13(6) 2001 (ICDE'95), Section 9 Table 1");
+
+  // Paper sizes 1..32 MB, scaled 16x: 64 KB .. 2 MB.
+  const size_t paper_mb[] = {1, 2, 4, 8, 16, 32};
+  // The paper aborted nested loop beyond 8 MB.
+  const size_t last_nested_mb = 8;
+
+  std::printf("\n%10s %8s %6s | %12s %12s %8s | %10s %10s\n", "paper-size",
+              "scaled", "tuples", "nested(s)", "merge(s)", "speedup",
+              "NL-IOs", "MJ-IOs");
+  for (size_t mb : paper_mb) {
+    const size_t bytes = mb * 1024 * 1024 / kScaleDown;
+    const size_t tuples = bytes / 128;
+
+    WorkloadConfig config;
+    config.seed = 1000 + mb;
+    config.num_r = tuples;
+    config.num_s = tuples;
+    config.join_fanout = 7;
+    auto files = MakeDatasetFiles(config, 128, "t1_" + std::to_string(mb));
+    if (!files.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   files.status().ToString().c_str());
+      return 1;
+    }
+
+    double nested_s = -1;
+    uint64_t nested_io = 0;
+    if (mb <= last_nested_mb) {
+      auto nested = RunNested(&*files);
+      if (!nested.ok()) {
+        std::fprintf(stderr, "nested run failed: %s\n",
+                     nested.status().ToString().c_str());
+        return 1;
+      }
+      nested_s = nested->stats.total_seconds;
+      nested_io = nested->stats.io.TotalIos();
+    }
+
+    auto merged = RunMerge(&*files, "t1_" + std::to_string(mb));
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge run failed: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+
+    char size_label[32], scaled_label[32];
+    std::snprintf(size_label, sizeof(size_label), "%zuMB", mb);
+    std::snprintf(scaled_label, sizeof(scaled_label), "%zuKB",
+                  bytes / 1024);
+    if (nested_s >= 0) {
+      std::printf("%10s %8s %6zu | %12s %12s %8s | %10llu %10llu\n",
+                  size_label, scaled_label, tuples, Seconds(nested_s).c_str(),
+                  Seconds(merged->stats.total_seconds).c_str(),
+                  Ratio(nested_s / merged->stats.total_seconds).c_str(),
+                  static_cast<unsigned long long>(nested_io),
+                  static_cast<unsigned long long>(
+                      merged->stats.io.TotalIos()));
+    } else {
+      std::printf("%10s %8s %6zu | %12s %12s %8s | %10s %10llu\n", size_label,
+                  scaled_label, tuples, "--",
+                  Seconds(merged->stats.total_seconds).c_str(), "--", "--",
+                  static_cast<unsigned long long>(
+                      merged->stats.io.TotalIos()));
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nPaper reference (SPARC/IPC seconds): NL 501/1965/7754/30879/--/--;\n"
+      "MJ 40/84/223/852/1897/3733; speedups 12.5/23.4/34.8/36.2.\n"
+      "Expected shape: merge-join wins by an order of magnitude and the\n"
+      "speedup grows with relation size until the NL runs become\n"
+      "impractical, exactly as above.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Query 6 of the paper (Section 8): a K-level chain query, unnested to a
+// flat K-way join (Theorem 8.1). A small supply-chain scenario:
+//
+//   suppliers ship PARTS whose measured WEIGHT is imprecise; parts go
+//   into ASSEMBLIES; assemblies into PRODUCTS. Find products whose
+//   target weight matches an assembly that uses a part compatible with
+//   a given supplier batch.
+//
+// Every linking predicate is a fuzzy IN; the correlation predicates
+// reference enclosing blocks, including one that skips a level
+// (p_{3,1} in the paper's notation).
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/classifier.h"
+#include "engine/naive_evaluator.h"
+#include "engine/unnested_evaluator.h"
+#include "relational/catalog.h"
+#include "sql/binder.h"
+
+using namespace fuzzydb;
+
+namespace {
+
+/// grade in 1..5, weight imprecise around a grade-correlated center.
+Relation MakeTable(const std::string& name, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  Relation rel(name, Schema{Column{"ID", ValueType::kFuzzy},
+                            Column{"WEIGHT", ValueType::kFuzzy},
+                            Column{"GRADE", ValueType::kFuzzy}});
+  for (size_t i = 0; i < count; ++i) {
+    const double grade = static_cast<double>(rng.UniformInt(1, 5));
+    const double weight = grade * 100 + rng.UniformDouble(-30, 30);
+    (void)rel.Append(
+        Tuple({Value::Number(static_cast<double>(i)),
+               Value::Fuzzy(Trapezoid::About(weight, 8)),
+               Value::Number(grade)},
+              1.0));
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  Catalog db;
+  (void)db.AddRelation(MakeTable("PRODUCTS", 150, 1));
+  (void)db.AddRelation(MakeTable("ASSEMBLIES", 150, 2));
+  (void)db.AddRelation(MakeTable("PARTS", 150, 3));
+
+  // A 3-level chain: products -> assemblies -> parts, with correlation
+  // predicates on GRADE, one of them skipping back to the outermost
+  // block (PARTS.GRADE >= PRODUCTS.GRADE).
+  const char* sql =
+      "SELECT P.ID FROM PRODUCTS P "
+      "WHERE P.WEIGHT IN "
+      "  (SELECT A.WEIGHT FROM ASSEMBLIES A "
+      "   WHERE A.GRADE = P.GRADE AND A.WEIGHT IN "
+      "     (SELECT T.WEIGHT FROM PARTS T "
+      "      WHERE T.GRADE = A.GRADE AND T.GRADE >= P.GRADE))";
+  std::printf("%s\n\n", sql);
+
+  auto bound = sql::ParseAndBind(sql, db);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("nesting depth: %d, classified as: %s\n\n",
+              (*bound)->NestingDepth(), QueryTypeName(Classify(**bound)));
+
+  Stopwatch naive_watch;
+  NaiveEvaluator naive;
+  auto nested_answer = naive.Evaluate(**bound);
+  const double naive_seconds = naive_watch.ElapsedSeconds();
+
+  Stopwatch flat_watch;
+  UnnestingEvaluator engine;
+  auto answer = engine.Evaluate(**bound);
+  const double flat_seconds = flat_watch.ElapsedSeconds();
+  if (!nested_answer.ok() || !answer.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+
+  std::printf("answer: %zu products (showing 6)\n%s\n",
+              answer->NumTuples(), answer->ToString(6).c_str());
+  std::printf(
+      "naive (nested loops over 3 levels): %.3fs\n"
+      "unnested flat 3-way merge-join:     %.3fs  (%.0fx)\n"
+      "answers identical: %s\n",
+      naive_seconds, flat_seconds, naive_seconds / flat_seconds,
+      nested_answer->EquivalentTo(*answer) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,54 @@
+-- The paper's dating-service database, as a fuzzydb_shell script:
+--
+--   build/tools/fuzzydb_shell < examples/dating_service.sql
+--
+-- Rebuilds Example 4.1 from scratch with DDL/DML, then runs Query 2 and
+-- friends. The terms are already built in; shown here with DEFINE TERM
+-- anyway so the script is self-contained documentation of their shapes.
+
+DEFINE TERM "medium young" AS TRAP(20, 25, 30, 35);
+DEFINE TERM "middle age"   AS TRAP(31.5, 31.5, 44, 49);
+DEFINE TERM "about 35"     AS TRAP(30, 35, 35, 40);
+DEFINE TERM "about 50"     AS TRAP(45, 50, 50, 55);
+DEFINE TERM "about 29"     AS TRAP(27, 29, 29, 31);
+DEFINE TERM "low"          AS TRAP(0, 0, 15, 30);
+DEFINE TERM "medium low"   AS TRAP(15, 25, 35, 45);
+DEFINE TERM "medium high"  AS TRAP(55, 60, 64, 69);
+DEFINE TERM "high"         AS TRAP(62, 67, 150, 150);
+DEFINE TERM "about 25k"    AS TRAP(20, 25, 25, 30);
+DEFINE TERM "about 40k"    AS TRAP(35, 40, 40, 45);
+DEFINE TERM "about 60k"    AS TRAP(55, 60, 60, 65);
+
+CREATE TABLE F (ID FUZZY, NAME STRING, AGE FUZZY, INCOME FUZZY);
+INSERT INTO F VALUES (101, 'Ann',   "about 35",     "about 60k");
+INSERT INTO F VALUES (102, 'Ann',   "medium young", "medium high");
+INSERT INTO F VALUES (103, 'Betty', "middle age",   "high");
+INSERT INTO F VALUES (104, 'Cathy', "about 50",     "low");
+
+CREATE TABLE M (ID FUZZY, NAME STRING, AGE FUZZY, INCOME FUZZY);
+INSERT INTO M VALUES (201, 'Allen', 24,           "about 25k");
+INSERT INTO M VALUES (202, 'Allen', "about 50",   "about 40k");
+INSERT INTO M VALUES (203, 'Bill',  "middle age", "high");
+INSERT INTO M VALUES (204, 'Carl',  "about 29",   "medium low");
+
+.tables
+.explain on
+
+-- The temporary relation T of Example 4.1: { about 40K: 0.4, high: 1 }.
+SELECT M.INCOME FROM M WHERE M.AGE = "middle age";
+
+-- Query 2: expected { Ann: 0.7, Betty: 0.7 }.
+SELECT F.NAME FROM F
+WHERE F.AGE = "medium young" AND
+      F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = "middle age")
+ORDER BY D DESC;
+
+-- The correlated variant (type J).
+SELECT F.NAME FROM F
+WHERE F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE);
+
+-- Query 5's shape (type JA).
+SELECT F.NAME FROM F
+WHERE F.INCOME > (SELECT MAX(M.INCOME) FROM M WHERE M.AGE = F.AGE);
+
+.quit

@@ -1,0 +1,94 @@
+// Query 4 of the paper (Section 5, type JX): set-exclusion with a
+// correlated subquery --
+//
+//   SELECT R.NAME FROM EMP_SALES R
+//   WHERE R.INCOME IS NOT IN
+//     (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)
+//
+// "employees of the Sales department who do not have an income of any
+// employee of the Research department with his/her age". Generated
+// employee data; the unnested plan is the group-by-minimum antijoin of
+// Theorem 5.1.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/naive_evaluator.h"
+#include "engine/unnested_evaluator.h"
+#include "relational/catalog.h"
+#include "sql/binder.h"
+
+using namespace fuzzydb;
+
+namespace {
+
+/// Employees with imprecise ages ("about X") and salary bands.
+Relation MakeDepartment(const std::string& name, size_t count,
+                        uint64_t seed) {
+  Rng rng(seed);
+  Relation dept(name, Schema{Column{"NAME", ValueType::kString},
+                             Column{"AGE", ValueType::kFuzzy},
+                             Column{"INCOME", ValueType::kFuzzy}});
+  for (size_t i = 0; i < count; ++i) {
+    const double age = static_cast<double>(rng.UniformInt(22, 64));
+    const double income =
+        static_cast<double>(rng.UniformInt(8, 30)) * 5.0;  // 40k..150k
+    // Half the ages are known only approximately; incomes are bands.
+    const Value age_value =
+        rng.Bernoulli(0.5) ? Value::Fuzzy(Trapezoid::About(age, 3))
+                           : Value::Number(age);
+    const Value income_value =
+        Value::Fuzzy(Trapezoid(income - 5, income - 2, income + 2, income + 5));
+    (void)dept.Append(Tuple({Value::String(name.substr(4, 1) + "emp" +
+                                           std::to_string(i)),
+                             age_value, income_value},
+                            1.0));
+  }
+  return dept;
+}
+
+}  // namespace
+
+int main() {
+  Catalog db;
+  (void)db.AddRelation(MakeDepartment("EMP_SALES", 400, 101));
+  (void)db.AddRelation(MakeDepartment("EMP_RESEARCH", 400, 202));
+
+  const char* sql =
+      "SELECT R.NAME FROM EMP_SALES R "
+      "WHERE R.INCOME IS NOT IN "
+      "(SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE) "
+      "WITH D >= 0.5";
+  std::printf("%s\n\n", sql);
+
+  auto bound = sql::ParseAndBind(sql, db);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+
+  Stopwatch naive_watch;
+  NaiveEvaluator naive;
+  auto nested_answer = naive.Evaluate(**bound);
+  const double naive_seconds = naive_watch.ElapsedSeconds();
+
+  Stopwatch unnested_watch;
+  UnnestingEvaluator engine;
+  auto answer = engine.Evaluate(**bound);
+  const double unnested_seconds = unnested_watch.ElapsedSeconds();
+  if (!nested_answer.ok() || !answer.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+
+  std::printf("%zu sales employees have, with possibility >= 0.5, no\n"
+              "research-department income at their age. First few:\n",
+              answer->NumTuples());
+  std::printf("%s\n", answer->ToString(8).c_str());
+  std::printf("naive nested loop: %.3fs; unnested antijoin: %.3fs "
+              "(%.1fx); answers identical: %s\n",
+              naive_seconds, unnested_seconds,
+              naive_seconds / unnested_seconds,
+              nested_answer->EquivalentTo(*answer) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+#ifndef FUZZYDB_COMMON_RNG_H_
+#define FUZZYDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace fuzzydb {
+
+/// A small, fast, deterministic RNG (xoshiro256**). Identical sequences on
+/// every platform, which keeps workload generation and property tests
+/// reproducible independent of the standard library implementation.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same sequence.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_RNG_H_

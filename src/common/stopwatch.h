@@ -1,0 +1,48 @@
+// Wall-clock and CPU-time stopwatches used by the benchmark harness.
+#ifndef FUZZYDB_COMMON_STOPWATCH_H_
+#define FUZZYDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace fuzzydb {
+
+/// Measures elapsed wall-clock time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Measures CPU time consumed by this process in seconds.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_STOPWATCH_H_

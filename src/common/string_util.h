@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#ifndef FUZZYDB_COMMON_STRING_UTIL_H_
+#define FUZZYDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace fuzzydb {
+
+/// Lower-cases ASCII characters; other bytes pass through unchanged.
+std::string ToLower(const std::string& s);
+
+/// Upper-cases ASCII characters; other bytes pass through unchanged.
+std::string ToUpper(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Formats a double compactly: integers without trailing ".0", otherwise up
+/// to `precision` significant digits.
+std::string FormatDouble(double v, int precision = 6);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_STRING_UTIL_H_

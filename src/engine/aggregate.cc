@@ -1,0 +1,62 @@
+#include "engine/aggregate.h"
+
+#include "fuzzy/arithmetic.h"
+
+namespace fuzzydb {
+
+Result<AggregateResult> ApplyAggregate(sql::AggFunc func,
+                                       const Relation& set) {
+  if (func == sql::AggFunc::kCount) {
+    return AggregateResult{Value::Number(static_cast<double>(set.NumTuples())),
+                           1.0};
+  }
+  if (set.Empty()) {
+    return AggregateResult{Value::Null(), 1.0};
+  }
+  for (const Tuple& t : set.tuples()) {
+    if (!t.ValueAt(0).is_fuzzy()) {
+      return Status::InvalidArgument(
+          "aggregate applied to non-numeric value " +
+          t.ValueAt(0).ToString());
+    }
+  }
+
+  switch (func) {
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kAvg: {
+      Trapezoid sum = set.TupleAt(0).ValueAt(0).AsFuzzy();
+      for (size_t i = 1; i < set.NumTuples(); ++i) {
+        sum = FuzzyAdd(sum, set.TupleAt(i).ValueAt(0).AsFuzzy());
+      }
+      if (func == sql::AggFunc::kAvg) {
+        sum = FuzzyScale(sum, static_cast<double>(set.NumTuples()));
+      }
+      return AggregateResult{Value::Fuzzy(sum), 1.0};
+    }
+    case sql::AggFunc::kMin:
+    case sql::AggFunc::kMax: {
+      const bool want_min = func == sql::AggFunc::kMin;
+      size_t best = 0;
+      for (size_t i = 1; i < set.NumTuples(); ++i) {
+        const Trapezoid& candidate = set.TupleAt(i).ValueAt(0).AsFuzzy();
+        const Trapezoid& current = set.TupleAt(best).ValueAt(0).AsFuzzy();
+        double diff = candidate.CoreCenter() - current.CoreCenter();
+        if (diff == 0.0) {
+          // Deterministic tie-break on the representation.
+          diff = set.TupleAt(i).ValueAt(0).TotalOrderCompare(
+              set.TupleAt(best).ValueAt(0));
+        }
+        if ((want_min && diff < 0.0) || (!want_min && diff > 0.0)) {
+          best = i;
+        }
+      }
+      return AggregateResult{set.TupleAt(best).ValueAt(0), 1.0};
+    }
+    case sql::AggFunc::kCount:
+    case sql::AggFunc::kNone:
+      break;
+  }
+  return Status::InvalidArgument("not an aggregate function");
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,34 @@
+// Fuzzy SQL aggregate functions (Section 6 of the paper).
+//
+// Aggregates apply to a *fuzzy set* of values (a single-column relation
+// with membership degrees):
+//  - COUNT returns the number of (distinct) values in the fuzzy set;
+//  - SUM / AVG use fuzzy interval arithmetic on the 0-cuts and 1-cuts;
+//  - MIN / MAX rank fuzzy values by the defuzzified center of their 1-cut
+//    and return the extremal fuzzy value itself;
+//  - over an empty set, COUNT yields 0 and the others yield NULL.
+// The result's membership degree D(A) is 1, as in Fuzzy SQL [23].
+#ifndef FUZZYDB_ENGINE_AGGREGATE_H_
+#define FUZZYDB_ENGINE_AGGREGATE_H_
+
+#include "common/status.h"
+#include "relational/relation.h"
+#include "sql/ast.h"
+
+namespace fuzzydb {
+
+/// The result of applying an aggregate: a value plus its degree D(A).
+struct AggregateResult {
+  Value value;         // NULL for non-COUNT aggregates over empty sets
+  double degree = 1.0; // D(A(r)); 1.0 in Fuzzy SQL
+};
+
+/// Applies `func` to the fuzzy set held in the single-column relation
+/// `set` (degrees are the set memberships; duplicates should have been
+/// eliminated by the caller). Fails on non-numeric values.
+Result<AggregateResult> ApplyAggregate(sql::AggFunc func,
+                                       const Relation& set);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_AGGREGATE_H_

@@ -1,0 +1,172 @@
+#include "engine/classifier.h"
+
+namespace fuzzydb {
+
+namespace {
+
+using sql::BoundPredicate;
+using sql::BoundQuery;
+using sql::Predicate;
+
+/// A comparison predicate with exactly one side referencing an enclosing
+/// block (up > 0) and the other side local or constant.
+bool IsCorrelationPredicate(const BoundPredicate& pred) {
+  if (pred.kind != Predicate::Kind::kCompare) return false;
+  const bool lhs_outer = pred.lhs.is_column && pred.lhs.column.up > 0;
+  const bool rhs_outer = pred.rhs.is_column && pred.rhs.column.up > 0;
+  return lhs_outer != rhs_outer;
+}
+
+/// A predicate that references only the current block (and constants).
+bool IsLocalPredicate(const BoundPredicate& pred) {
+  return pred.kind == Predicate::Kind::kCompare && pred.IsLocal();
+}
+
+/// Examines an inner block: true when it consists of local predicates
+/// plus correlation predicates only (no further subqueries), with all
+/// correlated references pointing exactly `max_up` levels at most.
+bool InnerBlockIsSimple(const BoundQuery& block, bool* correlated,
+                        int max_up = 1) {
+  *correlated = false;
+  for (const BoundPredicate& pred : block.predicates) {
+    if (pred.subquery != nullptr) return false;
+    if (IsLocalPredicate(pred)) continue;
+    if (!IsCorrelationPredicate(pred)) return false;
+    const auto& outer_col =
+        (pred.lhs.is_column && pred.lhs.column.up > 0) ? pred.lhs.column
+                                                       : pred.rhs.column;
+    if (outer_col.up > max_up) return false;
+    *correlated = true;
+  }
+  return true;
+}
+
+/// Chain query check (Section 8): every block has exactly one table, at
+/// most one subquery predicate which is a non-negated IN whose subquery
+/// recursively satisfies the same shape; other predicates are local
+/// comparisons or correlation comparisons referencing enclosing blocks.
+bool IsChainBlock(const BoundQuery& block) {
+  int subqueries = 0;
+  for (const BoundPredicate& pred : block.predicates) {
+    if (pred.subquery != nullptr) {
+      if (pred.kind != Predicate::Kind::kIn || pred.negated) return false;
+      // The linking operand must be local to this block.
+      if (!pred.lhs.is_column || pred.lhs.column.up != 0) return false;
+      if (!IsChainBlock(*pred.subquery)) return false;
+      ++subqueries;
+      continue;
+    }
+    if (!IsLocalPredicate(pred) && !IsCorrelationPredicate(pred)) {
+      return false;
+    }
+  }
+  if (subqueries > 1) return false;
+  for (const auto& item : block.select) {
+    if (item.agg != sql::AggFunc::kNone) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kFlat:
+      return "FLAT";
+    case QueryType::kTypeN:
+      return "N";
+    case QueryType::kTypeJ:
+      return "J";
+    case QueryType::kTypeNX:
+      return "NX";
+    case QueryType::kTypeJX:
+      return "JX";
+    case QueryType::kTypeA:
+      return "A";
+    case QueryType::kTypeJA:
+      return "JA";
+    case QueryType::kTypeALL:
+      return "ALL";
+    case QueryType::kTypeJALL:
+      return "JALL";
+    case QueryType::kTypeSOME:
+      return "SOME";
+    case QueryType::kTypeJSOME:
+      return "JSOME";
+    case QueryType::kTypeEXISTS:
+      return "EXISTS";
+    case QueryType::kTypeJEXISTS:
+      return "JEXISTS";
+    case QueryType::kTypeMulti:
+      return "MULTI";
+    case QueryType::kChain:
+      return "CHAIN";
+    case QueryType::kGeneral:
+      return "GENERAL";
+  }
+  return "?";
+}
+
+QueryType Classify(const sql::BoundQuery& query) {
+  // Collect the outer block's subquery predicates.
+  const BoundPredicate* sub_pred = nullptr;
+  int num_subqueries = 0;
+  bool outer_simple = true;
+  for (const BoundPredicate& pred : query.predicates) {
+    if (pred.subquery != nullptr) {
+      sub_pred = &pred;
+      ++num_subqueries;
+    } else if (!IsLocalPredicate(pred)) {
+      outer_simple = false;
+    }
+  }
+  if (num_subqueries == 0) return QueryType::kFlat;
+  if (!outer_simple) return QueryType::kGeneral;
+
+  if (num_subqueries == 1 && sub_pred->subquery->NestingDepth() == 1) {
+    bool correlated = false;
+    if (InnerBlockIsSimple(*sub_pred->subquery, &correlated)) {
+      switch (sub_pred->kind) {
+        case Predicate::Kind::kIn:
+          if (sub_pred->negated) {
+            return correlated ? QueryType::kTypeJX : QueryType::kTypeNX;
+          }
+          return correlated ? QueryType::kTypeJ : QueryType::kTypeN;
+        case Predicate::Kind::kAggCompare:
+          return correlated ? QueryType::kTypeJA : QueryType::kTypeA;
+        case Predicate::Kind::kQuantified:
+          if (sub_pred->quantifier == Predicate::Quantifier::kAll) {
+            return correlated ? QueryType::kTypeJALL : QueryType::kTypeALL;
+          }
+          return correlated ? QueryType::kTypeJSOME : QueryType::kTypeSOME;
+        case Predicate::Kind::kExists:
+          return correlated ? QueryType::kTypeJEXISTS : QueryType::kTypeEXISTS;
+        case Predicate::Kind::kCompare:
+          break;
+      }
+      return QueryType::kGeneral;
+    }
+  }
+
+  // Several independent subquery predicates, each 2-level and simple:
+  // evaluated by combining the per-predicate unnested plans (min).
+  if (num_subqueries >= 2 && query.tables.size() == 1) {
+    bool all_simple = true;
+    for (const BoundPredicate& pred : query.predicates) {
+      if (pred.subquery == nullptr) continue;
+      bool correlated = false;
+      if (pred.subquery->NestingDepth() != 1 ||
+          !InnerBlockIsSimple(*pred.subquery, &correlated)) {
+        all_simple = false;
+        break;
+      }
+    }
+    if (all_simple) return QueryType::kTypeMulti;
+  }
+
+  // Deeper nesting: chain queries.
+  if (IsChainBlock(query)) return QueryType::kChain;
+  return QueryType::kGeneral;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,52 @@
+// Classification of nested Fuzzy SQL queries into the paper's types.
+//
+// Section 4: type N (uncorrelated IN) and type J (correlated IN);
+// Section 5: type JX (correlated NOT IN; NX is its uncorrelated version);
+// Section 6: type JA (correlated aggregate subquery; type A uncorrelated);
+// Section 7: type JALL (correlated op ALL; JSOME for op SOME);
+// Section 8: K-level chain queries (nested INs with correlation
+// predicates referencing enclosing blocks).
+#ifndef FUZZYDB_ENGINE_CLASSIFIER_H_
+#define FUZZYDB_ENGINE_CLASSIFIER_H_
+
+#include <string>
+
+#include "sql/binder.h"
+
+namespace fuzzydb {
+
+enum class QueryType {
+  kFlat,     // no subquery
+  kTypeN,    // IN, inner block uncorrelated
+  kTypeJ,    // IN, inner block correlated
+  kTypeNX,   // NOT IN, uncorrelated
+  kTypeJX,   // NOT IN, correlated
+  kTypeA,    // aggregate subquery, uncorrelated
+  kTypeJA,   // aggregate subquery, correlated
+  kTypeALL,  // op ALL, uncorrelated
+  kTypeJALL, // op ALL, correlated
+  kTypeSOME, // op SOME, uncorrelated
+  kTypeJSOME,// op SOME, correlated
+  kTypeEXISTS,  // [NOT] EXISTS, uncorrelated
+  kTypeJEXISTS, // [NOT] EXISTS, correlated
+  kTypeMulti,   // several independent subquery predicates, each of a
+                // 2-level type (an extension beyond the paper's catalog)
+  kChain,    // K-level chain query (Section 8)
+  kGeneral,  // anything else (evaluated naively)
+};
+
+const char* QueryTypeName(QueryType type);
+
+/// Classifies a bound query.
+///
+/// The specific 2-level types require: exactly one subquery predicate in
+/// the outer block, a subquery with no further nesting, and correlation
+/// predicates (if any) that are simple comparisons referencing the
+/// immediately enclosing block. kChain covers nesting depth >= 2 composed
+/// purely of IN subqueries whose correlation predicates may reference any
+/// enclosing block. Everything else classifies as kGeneral.
+QueryType Classify(const sql::BoundQuery& query);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_CLASSIFIER_H_

@@ -1,0 +1,25 @@
+#include "engine/exec_stats.h"
+
+#include <cstdio>
+
+namespace fuzzydb {
+
+std::string ExecStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "time=%.3fs (sort=%.3fs join=%.3fs cpu=%.3fs) io={reads=%llu "
+      "writes=%llu hits=%llu} cpu={pairs=%llu degrees=%llu cmp=%llu "
+      "subq=%llu}",
+      total_seconds, sort_seconds, join_seconds, cpu_seconds,
+      static_cast<unsigned long long>(io.page_reads),
+      static_cast<unsigned long long>(io.page_writes),
+      static_cast<unsigned long long>(io.buffer_hits),
+      static_cast<unsigned long long>(cpu.tuple_pairs),
+      static_cast<unsigned long long>(cpu.degree_evaluations),
+      static_cast<unsigned long long>(cpu.comparisons),
+      static_cast<unsigned long long>(cpu.subquery_evaluations));
+  return buf;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,49 @@
+// Execution statistics: the units in which the paper reports costs.
+#ifndef FUZZYDB_ENGINE_EXEC_STATS_H_
+#define FUZZYDB_ENGINE_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/io_stats.h"
+
+namespace fuzzydb {
+
+/// CPU-side work counters. The paper's CPU cost is dominated by "calls to
+/// the fuzzy library functions and the number of comparisons for merge and
+/// join" (Section 9); we count both.
+struct CpuStats {
+  uint64_t tuple_pairs = 0;        // pairs examined by a join
+  uint64_t degree_evaluations = 0; // fuzzy predicate evaluations
+  uint64_t comparisons = 0;        // order comparisons (sort + merge)
+  uint64_t subquery_evaluations = 0;  // inner-block evaluations (naive)
+
+  void Reset() { *this = CpuStats{}; }
+
+  CpuStats operator-(const CpuStats& other) const {
+    CpuStats d;
+    d.tuple_pairs = tuple_pairs - other.tuple_pairs;
+    d.degree_evaluations = degree_evaluations - other.degree_evaluations;
+    d.comparisons = comparisons - other.comparisons;
+    d.subquery_evaluations = subquery_evaluations - other.subquery_evaluations;
+    return d;
+  }
+};
+
+/// Everything a measured query run reports.
+struct ExecStats {
+  CpuStats cpu;
+  IoStats io;
+  double sort_seconds = 0.0;   // time spent sorting (Table 3)
+  double join_seconds = 0.0;   // time spent merging/joining
+  double total_seconds = 0.0;  // response time
+  double cpu_seconds = 0.0;    // process CPU time
+
+  void Reset() { *this = ExecStats{}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_EXEC_STATS_H_

@@ -1,0 +1,153 @@
+#include "engine/executor.h"
+
+#include <map>
+
+#include "common/stopwatch.h"
+#include "engine/merge_join.h"
+#include "engine/nested_loop_join.h"
+#include "fuzzy/interval_order.h"
+#include "sort/external_sort.h"
+
+namespace fuzzydb {
+
+namespace {
+
+/// Accumulates answer degrees per distinct projected value (fuzzy OR:
+/// duplicates keep the maximum degree).
+class AnswerAccumulator {
+ public:
+  void Add(const Value& x, double degree) {
+    auto [it, inserted] = degrees_.emplace(x, degree);
+    if (!inserted && degree > it->second) it->second = degree;
+  }
+
+  Relation Finish(double threshold) const {
+    Relation answer("answer", Schema{Column{"X", ValueType::kFuzzy}});
+    for (const auto& [x, d] : degrees_) {
+      if (d >= threshold && d > 0.0) {
+        (void)answer.Append(Tuple({x}, d));
+      }
+    }
+    return answer;
+  }
+
+ private:
+  std::map<Value, double, ValueLess> degrees_;
+};
+
+/// Interval-order comparator on tuple column `col` that counts
+/// comparisons into `cpu`. With a WITH-threshold pushdown (`alpha` > 0)
+/// the order is taken over the alpha-cuts instead of the supports, so
+/// the thresholded merge window stays sound.
+TupleLess IntervalLessOnColumn(size_t col, CpuStats* cpu, double alpha = 0) {
+  return [col, cpu, alpha](const Tuple& a, const Tuple& b) {
+    if (cpu != nullptr) ++cpu->comparisons;
+    const Trapezoid& x = a.ValueAt(col).AsFuzzy();
+    const Trapezoid& y = b.ValueAt(col).AsFuzzy();
+    if (x.AlphaCutBegin(alpha) != y.AlphaCutBegin(alpha)) {
+      return x.AlphaCutBegin(alpha) < y.AlphaCutBegin(alpha);
+    }
+    return x.AlphaCutEnd(alpha) < y.AlphaCutEnd(alpha);
+  };
+}
+
+}  // namespace
+
+Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
+                                     const TypeJQuerySpec& spec,
+                                     size_t buffer_pages) {
+  RunResult result;
+  Stopwatch wall;
+  CpuStopwatch cpu_clock;
+
+  FuzzyJoinSpec join;
+  join.outer_key = spec.r_y;
+  join.inner_key = spec.s_z;
+  join.key_op = CompareOp::kEq;
+  join.residuals.push_back({spec.r_u, spec.s_v, CompareOp::kEq});
+
+  AnswerAccumulator acc;
+  FUZZYDB_RETURN_IF_ERROR(FileNestedLoopJoin(
+      r_file, s_file, &result.stats.io, buffer_pages, join,
+      &result.stats.cpu, [&](const Tuple& r, const Tuple& s, double d) {
+        (void)s;
+        acc.Add(r.ValueAt(spec.r_x), d);
+        return Status::OK();
+      }));
+
+  result.answer = acc.Finish(spec.threshold);
+  result.stats.join_seconds = wall.ElapsedSeconds();
+  result.stats.total_seconds = wall.ElapsedSeconds();
+  result.stats.cpu_seconds = cpu_clock.ElapsedSeconds();
+  return result;
+}
+
+Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
+                                    const TypeJQuerySpec& spec,
+                                    size_t buffer_pages,
+                                    const std::string& temp_prefix,
+                                    size_t min_record_size) {
+  RunResult result;
+  Stopwatch wall;
+  CpuStopwatch cpu_clock;
+  BufferPool pool(buffer_pages, &result.stats.io);
+
+  // ---- Sort phase (charged to sort_seconds; Table 3) ----------------
+  // With a WITH threshold the sort key is the threshold-cut interval
+  // (the [42] indicator optimization); the join window then prunes on
+  // the same cuts.
+  Stopwatch sort_watch;
+  SortStats sort_stats;
+  FUZZYDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<PageFile> r_sorted,
+      ExternalSort(r_file, &pool,
+                   IntervalLessOnColumn(spec.r_y, nullptr, spec.threshold),
+                   temp_prefix + ".R", temp_prefix + ".R.sorted",
+                   buffer_pages, min_record_size, &sort_stats));
+  FUZZYDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<PageFile> s_sorted,
+      ExternalSort(s_file, &pool,
+                   IntervalLessOnColumn(spec.s_z, nullptr, spec.threshold),
+                   temp_prefix + ".S", temp_prefix + ".S.sorted",
+                   buffer_pages, min_record_size, &sort_stats));
+  result.stats.cpu.comparisons += sort_stats.comparisons;
+  result.stats.sort_seconds = sort_watch.ElapsedSeconds();
+
+  // ---- Join phase ----------------------------------------------------
+  Stopwatch join_watch;
+  pool.Clear();  // the paper's join phase starts with a cold buffer
+
+  FuzzyJoinSpec join;
+  join.outer_key = spec.r_y;
+  join.inner_key = spec.s_z;
+  join.key_op = CompareOp::kEq;
+  join.residuals.push_back({spec.r_u, spec.s_v, CompareOp::kEq});
+  join.threshold = spec.threshold;
+
+  AnswerAccumulator acc;
+  FUZZYDB_RETURN_IF_ERROR(FileMergeJoin(
+      r_sorted.get(), s_sorted.get(), &pool, join, &result.stats.cpu,
+      [&](const Tuple& r, const Tuple& s, double d) {
+        (void)s;
+        acc.Add(r.ValueAt(spec.r_x), d);
+        return Status::OK();
+      }));
+
+  result.answer = acc.Finish(spec.threshold);
+  result.stats.join_seconds = join_watch.ElapsedSeconds();
+  result.stats.total_seconds = wall.ElapsedSeconds();
+  result.stats.cpu_seconds = cpu_clock.ElapsedSeconds();
+
+  // Clean up the sorted temporaries.
+  pool.Invalidate(r_sorted.get());
+  pool.Invalidate(s_sorted.get());
+  const std::string r_path = r_sorted->path();
+  const std::string s_path = s_sorted->path();
+  r_sorted.reset();
+  s_sorted.reset();
+  RemoveFileIfExists(r_path);
+  RemoveFileIfExists(s_path);
+  return result;
+}
+
+}  // namespace fuzzydb

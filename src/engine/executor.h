@@ -1,0 +1,60 @@
+// File-based execution of the paper's experimental query.
+//
+// Section 9 runs type J queries
+//
+//   SELECT R.X FROM R
+//   WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)
+//
+// over synthetic relations, comparing the naive nested-loop execution
+// with the unnested extended merge-join execution. These runners evaluate
+// that query directly against heap files, measuring response time, CPU
+// time, the sort/join phase split (Table 3) and page I/O counts (Fig. 3).
+#ifndef FUZZYDB_ENGINE_EXECUTOR_H_
+#define FUZZYDB_ENGINE_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/exec_stats.h"
+#include "relational/relation.h"
+#include "storage/heap_file.h"
+
+namespace fuzzydb {
+
+/// Column bindings of the experimental type J query.
+struct TypeJQuerySpec {
+  size_t r_x = 0;  // projected outer column
+  size_t r_y = 1;  // linking column (IN)
+  size_t r_u = 2;  // correlation column (outer side)
+  size_t s_z = 0;  // inner projected column
+  size_t s_v = 1;  // correlation column (inner side)
+  double threshold = 0.0;  // WITH D >= threshold on the answer
+};
+
+/// Answer relation plus measurements of the run.
+struct RunResult {
+  Relation answer;
+  ExecStats stats;
+};
+
+/// Naive evaluation: block nested loop (1 buffer page for S, the rest for
+/// R), computing each answer degree by the nested semantics of Section 4.
+Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
+                                     const TypeJQuerySpec& spec,
+                                     size_t buffer_pages);
+
+/// Unnested evaluation: external sort of R on Y and S on Z by the
+/// interval order, then the extended merge-join with the correlation
+/// predicate U = V as a residual. Temporary sorted files are created
+/// under `temp_prefix` and removed afterwards. `min_record_size` must
+/// match the padding used when the input files were written so that
+/// sorted files keep the same page counts.
+Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
+                                    const TypeJQuerySpec& spec,
+                                    size_t buffer_pages,
+                                    const std::string& temp_prefix,
+                                    size_t min_record_size = 0);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,22 @@
+// Textual plan descriptions (EXPLAIN).
+//
+// Describes how the unnesting evaluator would execute a bound query:
+// its classified type, the transformation applied (which theorem of the
+// paper it instantiates), the merge keys, and the residual predicates.
+// Purely informational; the description never influences execution.
+#ifndef FUZZYDB_ENGINE_EXPLAIN_H_
+#define FUZZYDB_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/classifier.h"
+#include "sql/binder.h"
+
+namespace fuzzydb {
+
+/// A multi-line, indented description of the chosen strategy.
+std::string DescribePlan(const sql::BoundQuery& query);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_EXPLAIN_H_

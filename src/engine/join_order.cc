@@ -1,0 +1,77 @@
+#include "engine/join_order.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace fuzzydb {
+
+double EstimateIntervalSize(const ChainStats& stats, size_t lo, size_t hi) {
+  double size = 1.0;
+  for (size_t k = lo; k <= hi; ++k) size *= stats.cardinality[k];
+  for (size_t k = lo; k < hi; ++k) size *= stats.selectivity[k];
+  return size;
+}
+
+ChainJoinOrder PlanChainJoinOrder(const ChainStats& stats) {
+  const size_t k_levels = stats.cardinality.size();
+  assert(k_levels >= 1);
+  assert(stats.selectivity.size() + 1 == k_levels);
+
+  ChainJoinOrder order;
+  if (k_levels == 1) {
+    order.levels = {0};
+    return order;
+  }
+
+  // dp[lo][hi]: minimum summed intermediate size to have joined exactly
+  // levels [lo, hi]; the interval is built by its last extension, from
+  // [lo+1, hi] (new level lo) or [lo, hi-1] (new level hi). Producing an
+  // interval costs its own estimated size (it is materialized as the
+  // next step's build side) except for the final full interval, whose
+  // size is the answer and is paid regardless -- including it uniformly
+  // does not change the argmin.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(k_levels,
+                                      std::vector<double>(k_levels, inf));
+  // extended_from[lo][hi]: 0 = came from [lo+1, hi], 1 = from [lo, hi-1].
+  std::vector<std::vector<int>> extended_from(
+      k_levels, std::vector<int>(k_levels, -1));
+
+  for (size_t i = 0; i < k_levels; ++i) dp[i][i] = 0.0;
+  for (size_t span = 2; span <= k_levels; ++span) {
+    for (size_t lo = 0; lo + span <= k_levels; ++lo) {
+      const size_t hi = lo + span - 1;
+      const double interval_size = EstimateIntervalSize(stats, lo, hi);
+      const double from_left = dp[lo + 1][hi] + interval_size;
+      const double from_right = dp[lo][hi - 1] + interval_size;
+      if (from_left <= from_right) {
+        dp[lo][hi] = from_left;
+        extended_from[lo][hi] = 0;
+      } else {
+        dp[lo][hi] = from_right;
+        extended_from[lo][hi] = 1;
+      }
+    }
+  }
+
+  // Reconstruct: walk back from the full interval, recording which level
+  // was added last, then reverse.
+  std::vector<size_t> reversed;
+  size_t lo = 0, hi = k_levels - 1;
+  while (lo < hi) {
+    if (extended_from[lo][hi] == 0) {
+      reversed.push_back(lo);
+      ++lo;
+    } else {
+      reversed.push_back(hi);
+      --hi;
+    }
+  }
+  reversed.push_back(lo);  // the starting level
+  order.levels.assign(reversed.rbegin(), reversed.rend());
+  order.estimated_cost = dp[0][k_levels - 1];
+  return order;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,116 @@
+#include "engine/merge_join.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fuzzydb {
+
+namespace {
+
+/// Combined degree of one (r, s) pair under `spec`.
+double PairDegree(const Tuple& r, const Tuple& s, const FuzzyJoinSpec& spec,
+                  CpuStats* cpu) {
+  double d = std::min(r.degree(), s.degree());
+  if (d <= 0.0) return 0.0;
+  if (cpu != nullptr) ++cpu->degree_evaluations;
+  d = std::min(d, r.ValueAt(spec.outer_key)
+                      .Compare(spec.key_op, s.ValueAt(spec.inner_key)));
+  for (const auto& residual : spec.residuals) {
+    if (d <= 0.0) break;
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    d = std::min(d, r.ValueAt(residual.outer_col)
+                        .Compare(residual.op, s.ValueAt(residual.inner_col)));
+  }
+  return d;
+}
+
+}  // namespace
+
+Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
+                     BufferPool* pool, const FuzzyJoinSpec& spec,
+                     CpuStats* cpu, const JoinEmit& emit) {
+  HeapFileScanner outer_scan(sorted_outer, pool);
+  HeapFileScanner inner_scan(sorted_inner, pool);
+
+  // The in-memory window of inner tuples: tuples retired from the front
+  // as the outer key advances, extended at the back on demand.
+  std::deque<Tuple> window;
+  bool inner_exhausted = false;
+  Tuple pending_inner;   // read past the window end, not yet needed
+  bool has_pending = false;
+
+  Tuple r;
+  bool has_r = false;
+  while (true) {
+    FUZZYDB_RETURN_IF_ERROR(outer_scan.Next(&r, &has_r));
+    if (!has_r) break;
+    const Value& rv = r.ValueAt(spec.outer_key);
+    if (!rv.is_fuzzy()) {
+      return Status::InvalidArgument("merge-join key must be fuzzy");
+    }
+    // With a WITH-threshold pushdown the window works on alpha-cuts
+    // (threshold 0 degenerates to the support interval).
+    const double alpha = spec.threshold;
+    const double r_begin = rv.AsFuzzy().AlphaCutBegin(alpha);
+    const double r_end = rv.AsFuzzy().AlphaCutEnd(alpha);
+
+    // Retire window tuples wholly before r (e(s.X) < b(r.X)); later outer
+    // tuples have keys no smaller, so retirement is permanent.
+    while (!window.empty()) {
+      if (cpu != nullptr) ++cpu->comparisons;
+      if (window.front().ValueAt(spec.inner_key).AsFuzzy().AlphaCutEnd(
+              alpha) < r_begin) {
+        window.pop_front();
+      } else {
+        break;
+      }
+    }
+
+    // Extend the window until the first inner tuple wholly after r
+    // (b(s.X) > e(r.X)); that tuple is kept pending for the next r.
+    if (has_pending) {
+      if (cpu != nullptr) ++cpu->comparisons;
+      const Trapezoid& pk = pending_inner.ValueAt(spec.inner_key).AsFuzzy();
+      if (pk.AlphaCutEnd(alpha) < r_begin) {
+        // The pending tuple fell wholly before this (and thus every
+        // later) outer tuple: drop it without ever entering the window.
+        has_pending = false;
+      } else if (pk.AlphaCutBegin(alpha) <= r_end) {
+        window.push_back(std::move(pending_inner));
+        has_pending = false;
+      }
+    }
+    while (!has_pending && !inner_exhausted) {
+      Tuple s;
+      bool has_s = false;
+      FUZZYDB_RETURN_IF_ERROR(inner_scan.Next(&s, &has_s));
+      if (!has_s) {
+        inner_exhausted = true;
+        break;
+      }
+      if (cpu != nullptr) ++cpu->comparisons;
+      const Trapezoid& sk = s.ValueAt(spec.inner_key).AsFuzzy();
+      if (sk.AlphaCutEnd(alpha) < r_begin) {
+        continue;  // wholly before r: skip (can never join later either)
+      }
+      if (sk.AlphaCutBegin(alpha) > r_end) {
+        pending_inner = std::move(s);
+        has_pending = true;
+        break;
+      }
+      window.push_back(std::move(s));
+    }
+
+    // Join r against its window Rng(r).
+    for (const Tuple& s : window) {
+      if (cpu != nullptr) ++cpu->tuple_pairs;
+      const double d = PairDegree(r, s, spec, cpu);
+      if (d > 0.0 && d >= spec.threshold) {
+        FUZZYDB_RETURN_IF_ERROR(emit(r, s, d));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,72 @@
+#include "engine/nested_loop_join.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
+                          size_t buffer_pages, const FuzzyJoinSpec& spec,
+                          CpuStats* cpu, const JoinEmit& emit) {
+  if (buffer_pages < 2) {
+    return Status::InvalidArgument("nested-loop join needs >= 2 buffer pages");
+  }
+  // Dedicated pools so the inner relation really only gets one page of
+  // buffer, as in the paper's setup.
+  BufferPool outer_pool(buffer_pages - 1, io);
+  BufferPool inner_pool(1, io);
+
+  const PageId outer_pages = outer->NumPages();
+  const PageId block_size = static_cast<PageId>(buffer_pages - 1);
+
+  for (PageId block_start = 0; block_start < outer_pages;
+       block_start += block_size) {
+    const PageId block_end =
+        std::min<PageId>(block_start + block_size, outer_pages);
+
+    // Load the outer block into memory. current_page() names the page of
+    // the next unread tuple, so this consumes exactly the block's pages.
+    std::vector<Tuple> block;
+    {
+      HeapFileScanner scan(outer, &outer_pool);
+      scan.SeekToPage(block_start);
+      Tuple t;
+      bool has = false;
+      while (scan.current_page() < block_end) {
+        FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
+        if (!has) break;
+        block.push_back(std::move(t));
+        t = Tuple();
+      }
+    }
+
+    // One full scan of the inner relation for this block.
+    HeapFileScanner inner_scan(inner, &inner_pool);
+    Tuple s;
+    bool has_s = false;
+    while (true) {
+      FUZZYDB_RETURN_IF_ERROR(inner_scan.Next(&s, &has_s));
+      if (!has_s) break;
+      for (const Tuple& r : block) {
+        if (cpu != nullptr) ++cpu->tuple_pairs;
+        double d = std::min(r.degree(), s.degree());
+        if (d <= 0.0) continue;
+        if (cpu != nullptr) ++cpu->degree_evaluations;
+        d = std::min(d, r.ValueAt(spec.outer_key)
+                            .Compare(spec.key_op, s.ValueAt(spec.inner_key)));
+        for (const auto& residual : spec.residuals) {
+          if (d <= 0.0) break;
+          if (cpu != nullptr) ++cpu->degree_evaluations;
+          d = std::min(d,
+                       r.ValueAt(residual.outer_col)
+                           .Compare(residual.op, s.ValueAt(residual.inner_col)));
+        }
+        if (d > 0.0) {
+          FUZZYDB_RETURN_IF_ERROR(emit(r, s, d));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzzydb

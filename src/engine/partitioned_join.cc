@@ -1,0 +1,225 @@
+#include "engine/partitioned_join.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fuzzy/interval_order.h"
+#include "storage/heap_file.h"
+
+namespace fuzzydb {
+
+namespace {
+
+/// Combined degree of one (r, s) pair under `spec` (same folding as the
+/// merge-join's).
+double PairDegree(const Tuple& r, const Tuple& s, const FuzzyJoinSpec& spec,
+                  CpuStats* cpu) {
+  double d = std::min(r.degree(), s.degree());
+  if (d <= 0.0) return 0.0;
+  if (cpu != nullptr) ++cpu->degree_evaluations;
+  d = std::min(d, r.ValueAt(spec.outer_key)
+                      .Compare(spec.key_op, s.ValueAt(spec.inner_key)));
+  for (const auto& residual : spec.residuals) {
+    if (d <= 0.0) break;
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    d = std::min(d, r.ValueAt(residual.outer_col)
+                        .Compare(residual.op, s.ValueAt(residual.inner_col)));
+  }
+  return d;
+}
+
+/// Index of the partition whose half-open range [bound[i-1], bound[i])
+/// contains x; boundaries are sorted, partition count = bounds.size()+1.
+size_t PartitionOf(const std::vector<double>& bounds, double x) {
+  return static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), x) - bounds.begin());
+}
+
+}  // namespace
+
+Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
+                           const FuzzyJoinSpec& spec, size_t num_partitions,
+                           const std::string& temp_prefix, CpuStats* cpu,
+                           const JoinEmit& emit,
+                           PartitionedJoinStats* stats) {
+  if (spec.key_op != CompareOp::kEq) {
+    return Status::InvalidArgument("partitioned join requires an equijoin");
+  }
+  if (num_partitions == 0) num_partitions = 1;
+  PartitionedJoinStats local;
+  if (stats == nullptr) stats = &local;
+
+  // ---- Pass 0: sample inner key supports ----------------------------
+  std::vector<double> begins;
+  double max_width = 0.0;
+  {
+    HeapFileScanner scan(inner, pool);
+    Tuple t;
+    bool has = false;
+    uint64_t index = 0;
+    while (true) {
+      FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
+      if (!has) break;
+      const Value& key = t.ValueAt(spec.inner_key);
+      if (!key.is_fuzzy()) {
+        return Status::InvalidArgument("partitioned join key must be fuzzy");
+      }
+      max_width = std::max(max_width, key.AsFuzzy().SupportWidth());
+      if (index++ % 7 == 0) {  // deterministic ~1/7 sample
+        begins.push_back(key.AsFuzzy().SupportBegin());
+      }
+    }
+  }
+  stats->max_inner_width = max_width;
+
+  // Quantile boundaries from the sample.
+  std::sort(begins.begin(), begins.end());
+  std::vector<double> bounds;
+  if (!begins.empty()) {
+    for (size_t p = 1; p < num_partitions; ++p) {
+      const size_t idx = p * begins.size() / num_partitions;
+      const double b = begins[std::min(idx, begins.size() - 1)];
+      if (bounds.empty() || b > bounds.back()) bounds.push_back(b);
+    }
+  }
+  const size_t partitions = bounds.size() + 1;
+  stats->partitions = partitions;
+
+  // ---- Pass 1 & 2: partition both relations --------------------------
+  struct Partition {
+    std::string inner_path, outer_path;
+    std::unique_ptr<PageFile> inner_file, outer_file;
+    std::unique_ptr<HeapFileWriter> inner_writer, outer_writer;
+  };
+  std::vector<Partition> parts(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    parts[p].inner_path =
+        temp_prefix + ".p" + std::to_string(p) + ".inner";
+    parts[p].outer_path =
+        temp_prefix + ".p" + std::to_string(p) + ".outer";
+    FUZZYDB_ASSIGN_OR_RETURN(parts[p].inner_file,
+                             PageFile::Create(parts[p].inner_path));
+    FUZZYDB_ASSIGN_OR_RETURN(parts[p].outer_file,
+                             PageFile::Create(parts[p].outer_path));
+    parts[p].inner_writer =
+        std::make_unique<HeapFileWriter>(parts[p].inner_file.get(), pool);
+    parts[p].outer_writer =
+        std::make_unique<HeapFileWriter>(parts[p].outer_file.get(), pool);
+  }
+
+  {
+    HeapFileScanner scan(inner, pool);
+    Tuple t;
+    bool has = false;
+    while (true) {
+      FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
+      if (!has) break;
+      const size_t p = PartitionOf(
+          bounds, t.ValueAt(spec.inner_key).AsFuzzy().SupportBegin());
+      FUZZYDB_RETURN_IF_ERROR(parts[p].inner_writer->Append(t));
+    }
+  }
+  {
+    HeapFileScanner scan(outer, pool);
+    Tuple t;
+    bool has = false;
+    while (true) {
+      FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
+      if (!has) break;
+      const Value& key = t.ValueAt(spec.outer_key);
+      if (!key.is_fuzzy()) {
+        return Status::InvalidArgument("partitioned join key must be fuzzy");
+      }
+      // An intersecting inner support begins in [b(r) - W, e(r)].
+      const size_t p_lo =
+          PartitionOf(bounds, key.AsFuzzy().SupportBegin() - max_width);
+      const size_t p_hi = PartitionOf(bounds, key.AsFuzzy().SupportEnd());
+      for (size_t p = p_lo; p <= p_hi; ++p) {
+        FUZZYDB_RETURN_IF_ERROR(parts[p].outer_writer->Append(t));
+        ++stats->outer_replicas;
+      }
+    }
+  }
+  for (Partition& part : parts) {
+    FUZZYDB_RETURN_IF_ERROR(part.inner_writer->Finish());
+    FUZZYDB_RETURN_IF_ERROR(part.outer_writer->Finish());
+  }
+
+  // ---- Pass 3: join partition pairs in memory ------------------------
+  Status status = Status::OK();
+  for (Partition& part : parts) {
+    if (!status.ok()) break;
+    // Load and sort both sides of the partition by the interval order.
+    auto load = [&](PageFile* file, size_t key_col) -> Result<std::vector<Tuple>> {
+      std::vector<Tuple> tuples;
+      HeapFileScanner scan(file, pool);
+      Tuple t;
+      bool has = false;
+      while (true) {
+        FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
+        if (!has) break;
+        tuples.push_back(std::move(t));
+        t = Tuple();
+      }
+      std::sort(tuples.begin(), tuples.end(),
+                [key_col, this_cpu = cpu](const Tuple& a, const Tuple& b) {
+                  if (this_cpu != nullptr) ++this_cpu->comparisons;
+                  return IntervalOrderLess(a.ValueAt(key_col).AsFuzzy(),
+                                           b.ValueAt(key_col).AsFuzzy());
+                });
+      return tuples;
+    };
+    auto outer_tuples = load(part.outer_file.get(), spec.outer_key);
+    auto inner_tuples = load(part.inner_file.get(), spec.inner_key);
+    if (!outer_tuples.ok() || !inner_tuples.ok()) {
+      status = outer_tuples.ok() ? inner_tuples.status()
+                                 : outer_tuples.status();
+      break;
+    }
+
+    // Window scan within the partition.
+    size_t window_start = 0;
+    for (const Tuple& r : *outer_tuples) {
+      const Trapezoid& rk = r.ValueAt(spec.outer_key).AsFuzzy();
+      while (window_start < inner_tuples->size()) {
+        const Trapezoid& sk = (*inner_tuples)[window_start]
+                                  .ValueAt(spec.inner_key)
+                                  .AsFuzzy();
+        if (cpu != nullptr) ++cpu->comparisons;
+        if (sk.SupportEnd() < rk.SupportBegin()) {
+          ++window_start;
+        } else {
+          break;
+        }
+      }
+      for (size_t i = window_start; i < inner_tuples->size(); ++i) {
+        const Trapezoid& sk =
+            (*inner_tuples)[i].ValueAt(spec.inner_key).AsFuzzy();
+        if (cpu != nullptr) ++cpu->comparisons;
+        if (sk.SupportBegin() > rk.SupportEnd()) break;
+        if (cpu != nullptr) ++cpu->tuple_pairs;
+        const double d = PairDegree(r, (*inner_tuples)[i], spec, cpu);
+        if (d > 0.0) {
+          status = emit(r, (*inner_tuples)[i], d);
+          if (!status.ok()) break;
+        }
+      }
+      if (!status.ok()) break;
+    }
+  }
+
+  // Cleanup.
+  for (Partition& part : parts) {
+    pool->Invalidate(part.inner_file.get());
+    pool->Invalidate(part.outer_file.get());
+    part.inner_writer.reset();
+    part.outer_writer.reset();
+    part.inner_file.reset();
+    part.outer_file.reset();
+    RemoveFileIfExists(part.inner_path);
+    RemoveFileIfExists(part.outer_path);
+  }
+  return status;
+}
+
+}  // namespace fuzzydb

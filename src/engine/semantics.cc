@@ -1,0 +1,93 @@
+#include "engine/semantics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fuzzydb {
+
+const Value& OperandValue(const sql::BoundOperand& operand,
+                          const Frames& frames) {
+  if (!operand.is_column) return operand.constant;
+  const auto& ref = operand.column;
+  assert(static_cast<size_t>(ref.up) < frames.size());
+  const auto& frame = frames[frames.size() - 1 - ref.up];
+  assert(ref.table < frame.size() && frame[ref.table] != nullptr);
+  return frame[ref.table]->ValueAt(ref.column);
+}
+
+double ComparisonDegree(const sql::BoundPredicate& pred, const Frames& frames,
+                        CpuStats* cpu) {
+  const Value& lhs = OperandValue(pred.lhs, frames);
+  const Value& rhs = OperandValue(pred.rhs, frames);
+  if (cpu != nullptr) ++cpu->degree_evaluations;
+  return lhs.Compare(pred.op, rhs, pred.approx_tolerance);
+}
+
+double InDegree(const Value& v, const Relation& t, CpuStats* cpu) {
+  double best = 0.0;
+  for (const Tuple& z : t.tuples()) {
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    const double d =
+        std::min(z.degree(), v.Compare(CompareOp::kEq, z.ValueAt(0)));
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+double AllDegree(const Value& v, CompareOp op, const Relation& t,
+                 CpuStats* cpu) {
+  if (t.Empty()) return 1.0;
+  double worst_violation = 0.0;
+  for (const Tuple& z : t.tuples()) {
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    const double violation =
+        std::min(z.degree(), 1.0 - v.Compare(op, z.ValueAt(0)));
+    worst_violation = std::max(worst_violation, violation);
+  }
+  return 1.0 - worst_violation;
+}
+
+double SomeDegree(const Value& v, CompareOp op, const Relation& t,
+                  CpuStats* cpu) {
+  double best = 0.0;
+  for (const Tuple& z : t.tuples()) {
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    best = std::max(best, std::min(z.degree(), v.Compare(op, z.ValueAt(0))));
+  }
+  return best;
+}
+
+double FrameMembership(const Frames& frames) {
+  double degree = 1.0;
+  for (const Tuple* tuple : frames.back()) {
+    if (tuple != nullptr) degree = std::min(degree, tuple->degree());
+  }
+  return degree;
+}
+
+void ApplyOrderBy(const std::vector<sql::BoundOrderItem>& order_by,
+                  Relation* relation) {
+  if (order_by.empty()) return;
+  relation->Sort([&order_by](const Tuple& a, const Tuple& b) {
+    for (const sql::BoundOrderItem& item : order_by) {
+      int cmp = 0;
+      if (item.by_degree) {
+        cmp = a.degree() < b.degree() ? -1 : (a.degree() > b.degree() ? 1 : 0);
+      } else {
+        const Value& va = a.ValueAt(item.output_column);
+        const Value& vb = b.ValueAt(item.output_column);
+        if (va.is_fuzzy() && vb.is_fuzzy()) {
+          const double ca = va.AsFuzzy().CoreCenter();
+          const double cb = vb.AsFuzzy().CoreCenter();
+          cmp = ca < cb ? -1 : (ca > cb ? 1 : 0);
+        } else {
+          cmp = va.TotalOrderCompare(vb);
+        }
+      }
+      if (cmp != 0) return item.descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+}
+
+}  // namespace fuzzydb

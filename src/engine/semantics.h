@@ -1,0 +1,61 @@
+// Shared pieces of the Fuzzy SQL execution semantics (Sections 4-8).
+//
+// Both evaluators (naive and unnesting) are built on the same degree
+// algebra implemented here, so their results can only differ if a
+// transformation is wrong -- which is exactly what the equivalence tests
+// check.
+#ifndef FUZZYDB_ENGINE_SEMANTICS_H_
+#define FUZZYDB_ENGINE_SEMANTICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exec_stats.h"
+#include "relational/relation.h"
+#include "sql/binder.h"
+
+namespace fuzzydb {
+
+/// The evaluation context: one frame per enclosing query block, outermost
+/// first. frames[k][t] is the current tuple of table t in block k;
+/// a BoundColumnRef with `up = u` resolves against
+/// frames[frames.size() - 1 - u].
+using Frames = std::vector<std::vector<const Tuple*>>;
+
+/// Resolves a bound operand to a value. Column operands must resolve to a
+/// non-null frame entry.
+const Value& OperandValue(const sql::BoundOperand& operand,
+                          const Frames& frames);
+
+/// Degree of a simple comparison predicate lhs op rhs in `frames`.
+/// Counts one degree evaluation in `cpu` when provided.
+double ComparisonDegree(const sql::BoundPredicate& pred, const Frames& frames,
+                        CpuStats* cpu);
+
+/// d(v IN T): max over tuples z of T of min(mu_T(z), d(v = z)).
+/// T must be a single-column relation. (Section 4.)
+double InDegree(const Value& v, const Relation& t, CpuStats* cpu);
+
+/// d(v op ALL T): 1 when T is empty, else
+/// 1 - max_z min(mu_T(z), 1 - d(v op z)). (Section 7.)
+double AllDegree(const Value& v, CompareOp op, const Relation& t,
+                 CpuStats* cpu);
+
+/// d(v op SOME T): 0 when T is empty, else max_z min(mu_T(z), d(v op z)).
+double SomeDegree(const Value& v, CompareOp op, const Relation& t,
+                  CpuStats* cpu);
+
+/// min(tuple degrees of the current block's frame) -- the fuzzy AND of
+/// "r_i is in R_i" memberships.
+double FrameMembership(const Frames& frames);
+
+/// Applies a query's ORDER BY to the final answer relation: fuzzy values
+/// order by the defuzzified center of their 1-cut, strings
+/// lexicographically, NULLs first; "ORDER BY D" sorts by membership
+/// degree. The sort is stable, so ties preserve the dedup order.
+void ApplyOrderBy(const std::vector<sql::BoundOrderItem>& order_by,
+                  Relation* relation);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_SEMANTICS_H_

@@ -1,0 +1,798 @@
+#include "engine/unnested_evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <optional>
+
+#include "engine/aggregate.h"
+#include "engine/join_order.h"
+#include "engine/naive_evaluator.h"
+#include "engine/semantics.h"
+#include "fuzzy/interval_order.h"
+
+namespace fuzzydb {
+
+namespace {
+
+using sql::BoundOperand;
+using sql::BoundPredicate;
+using sql::BoundQuery;
+using sql::Predicate;
+
+/// A tuple surviving the local-predicate filter, with its adjusted degree
+/// min(mu_R(r), d(p_local(r))).
+struct FT {
+  const Tuple* tuple = nullptr;
+  double degree = 0.0;
+};
+
+/// Degree of tuple `t` against the local predicates of a single-table
+/// block (subquery and correlation predicates are skipped).
+double LocalDegree(const BoundQuery& block, const Tuple& t, CpuStats* cpu) {
+  Frames frames;
+  frames.push_back({&t});
+  double d = t.degree();
+  for (const auto& pred : block.predicates) {
+    if (d <= 0.0) break;
+    if (pred.subquery != nullptr || !pred.IsLocal()) continue;
+    d = std::min(d, ComparisonDegree(pred, frames, cpu));
+  }
+  return d;
+}
+
+/// Filters a single-table block by its local predicates; this is the
+/// paper's "only those tuples that satisfy p positively should be sorted".
+std::vector<FT> FilterBlock(const BoundQuery& block, CpuStats* cpu) {
+  std::vector<FT> out;
+  for (const Tuple& t : block.tables[0].relation->tuples()) {
+    const double d = LocalDegree(block, t, cpu);
+    if (d > 0.0) out.push_back(FT{&t, d});
+  }
+  return out;
+}
+
+/// True when every tuple carries a fuzzy (numeric) value in column `col`.
+bool ColumnIsFuzzy(const std::vector<FT>& tuples, size_t col) {
+  for (const FT& ft : tuples) {
+    if (!ft.tuple->ValueAt(col).is_fuzzy()) return false;
+  }
+  return true;
+}
+
+/// Sorts by the interval order (Definition 3.1) of fuzzy column `col`.
+void SortByIntervalOrder(std::vector<FT>* tuples, size_t col, CpuStats* cpu) {
+  std::sort(tuples->begin(), tuples->end(),
+            [col, cpu](const FT& x, const FT& y) {
+              if (cpu != nullptr) ++cpu->comparisons;
+              return IntervalOrderLess(x.tuple->ValueAt(col).AsFuzzy(),
+                                       y.tuple->ValueAt(col).AsFuzzy());
+            });
+}
+
+/// The extended merge-join enumeration (Section 3): both inputs sorted on
+/// their key columns; for each outer tuple, emits exactly the inner tuples
+/// of Rng(r) (Definition 3.2).
+void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
+                 const std::vector<FT>& inner, size_t inner_col,
+                 CpuStats* cpu,
+                 const std::function<void(const FT&, const FT&)>& emit) {
+  size_t window_start = 0;
+  for (const FT& r : outer) {
+    const Trapezoid& rk = r.tuple->ValueAt(outer_col).AsFuzzy();
+    while (window_start < inner.size()) {
+      const Trapezoid& sk =
+          inner[window_start].tuple->ValueAt(inner_col).AsFuzzy();
+      if (cpu != nullptr) ++cpu->comparisons;
+      if (sk.SupportEnd() < rk.SupportBegin()) {
+        ++window_start;
+      } else {
+        break;
+      }
+    }
+    for (size_t i = window_start; i < inner.size(); ++i) {
+      const Trapezoid& sk = inner[i].tuple->ValueAt(inner_col).AsFuzzy();
+      if (cpu != nullptr) ++cpu->comparisons;
+      if (sk.SupportBegin() > rk.SupportEnd()) break;
+      if (cpu != nullptr) ++cpu->tuple_pairs;
+      emit(r, inner[i]);
+    }
+  }
+}
+
+/// The decomposed shape of one subquery predicate and its inner block.
+struct LinkShape {
+  const BoundPredicate* pred = nullptr;
+  const BoundQuery* inner = nullptr;
+  bool has_link_columns = true;  // false for EXISTS (no linking operand)
+  size_t outer_link_col = 0;   // column of R referenced by the lhs
+  size_t inner_link_col = 0;   // column of S projected by the inner block
+  CompareOp link_op = CompareOp::kEq;
+  std::vector<const BoundPredicate*> correlations;
+
+  bool is_aggregate = false;   // kAggCompare
+  bool negate_link = false;    // quantifier ALL: f(x) = 1 - x
+  bool negate_result = false;  // NOT IN / NOT EXISTS / ALL: g(m) = 1 - m
+};
+
+/// Validates and decomposes one subquery predicate. Returns nullopt when
+/// the shape is outside what the unnested plans handle (the caller then
+/// falls back to the naive evaluator).
+std::optional<LinkShape> DecomposeLink(const BoundPredicate& pred) {
+  LinkShape shape;
+  shape.pred = &pred;
+  shape.inner = pred.subquery.get();
+  if (shape.inner == nullptr || shape.inner->tables.size() != 1 ||
+      !shape.inner->group_by.empty()) {
+    return std::nullopt;
+  }
+  if (shape.inner->has_with && shape.inner->with_threshold > 0.0) {
+    return std::nullopt;  // inner WITH: fall back to the naive semantics
+  }
+  if (pred.subquery->NestingDepth() != 1) return std::nullopt;
+
+  shape.is_aggregate = pred.kind == Predicate::Kind::kAggCompare;
+  shape.negate_link = pred.kind == Predicate::Kind::kQuantified &&
+                      pred.quantifier == Predicate::Quantifier::kAll;
+  shape.negate_result = shape.negate_link || pred.negated;
+
+  if (pred.kind == Predicate::Kind::kExists) {
+    shape.has_link_columns = false;
+  } else {
+    if (!pred.lhs.is_column || pred.lhs.column.up != 0) return std::nullopt;
+    shape.outer_link_col = pred.lhs.column.column;
+    shape.inner_link_col = shape.inner->select[0].column.column;
+    shape.link_op =
+        pred.kind == Predicate::Kind::kIn ? CompareOp::kEq : pred.op;
+  }
+
+  for (const BoundPredicate& inner_pred : shape.inner->predicates) {
+    if (inner_pred.subquery != nullptr) return std::nullopt;
+    if (inner_pred.IsLocal()) continue;
+    const bool lhs_outer =
+        inner_pred.lhs.is_column && inner_pred.lhs.column.up > 0;
+    const bool rhs_outer =
+        inner_pred.rhs.is_column && inner_pred.rhs.column.up > 0;
+    if (lhs_outer == rhs_outer) return std::nullopt;
+    const auto& outer_col =
+        lhs_outer ? inner_pred.lhs.column : inner_pred.rhs.column;
+    if (outer_col.up != 1) return std::nullopt;
+    shape.correlations.push_back(&inner_pred);
+  }
+  return shape;
+}
+
+/// Degree of the correlation predicates for the pair (r, s).
+double CorrelationDegree(const LinkShape& shape, const Tuple& r,
+                         const Tuple& s, CpuStats* cpu) {
+  if (shape.correlations.empty()) return 1.0;
+  Frames frames;
+  frames.push_back({&r});
+  frames.push_back({&s});
+  double d = 1.0;
+  for (const BoundPredicate* pred : shape.correlations) {
+    if (d <= 0.0) break;
+    d = std::min(d, ComparisonDegree(*pred, frames, cpu));
+  }
+  return d;
+}
+
+/// Picks an equality correlation predicate over fuzzy columns usable as
+/// the merge-join key. Returns {outer_col, inner_col} or nullopt.
+std::optional<std::pair<size_t, size_t>> FindEqualityCorrelationKey(
+    const LinkShape& shape, const std::vector<FT>& outer,
+    const std::vector<FT>& inner) {
+  for (const BoundPredicate* pred : shape.correlations) {
+    if (pred->op != CompareOp::kEq) continue;
+    const bool lhs_outer = pred->lhs.is_column && pred->lhs.column.up > 0;
+    const auto& outer_ref = lhs_outer ? pred->lhs.column : pred->rhs.column;
+    const auto& inner_ref = lhs_outer ? pred->rhs.column : pred->lhs.column;
+    if ((lhs_outer && (!pred->rhs.is_column || pred->rhs.column.up != 0)) ||
+        (!lhs_outer && (!pred->lhs.is_column || pred->lhs.column.up != 0))) {
+      continue;  // other side must be a local column
+    }
+    if (ColumnIsFuzzy(outer, outer_ref.column) &&
+        ColumnIsFuzzy(inner, inner_ref.column)) {
+      return std::make_pair(outer_ref.column, inner_ref.column);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Per-outer-tuple degrees of one subquery predicate.
+//
+// For the IN/quantifier family (Sections 4, 5, 7) the degree of the
+// predicate for outer tuple r is
+//     g( max_s min(d_S(s), d(corr(r, s)), f(d(r.Y op s.Z))) )
+// with f = identity or 1 - x (ALL) and g = identity or 1 - x (negations).
+// For the aggregate family (Section 6) it is the T1/T2 pipeline.
+// ---------------------------------------------------------------------
+
+/// IN / NOT IN / SOME / ALL / EXISTS / NOT EXISTS.
+Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
+                                            const LinkShape& shape,
+                                            CpuStats* cpu) {
+  std::vector<FT> inner = FilterBlock(*shape.inner, cpu);
+  std::vector<double> m(outer.size(), 0.0);
+
+  auto pair_term = [&](const FT& r, const FT& s) -> double {
+    double term =
+        std::min(s.degree, CorrelationDegree(shape, *r.tuple, *s.tuple, cpu));
+    if (term <= 0.0 || !shape.has_link_columns) return term;
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    const double link =
+        r.tuple->ValueAt(shape.outer_link_col)
+            .Compare(shape.link_op, s.tuple->ValueAt(shape.inner_link_col));
+    return std::min(term, shape.negate_link ? 1.0 - link : link);
+  };
+
+  const bool link_is_eq_fuzzy =
+      shape.has_link_columns && shape.link_op == CompareOp::kEq &&
+      ColumnIsFuzzy(outer, shape.outer_link_col) &&
+      ColumnIsFuzzy(inner, shape.inner_link_col);
+  // Windowing on the linking predicate is sound only when out-of-window
+  // pairs contribute nothing, i.e. f(0) = 0 -- not for ALL, whose f(0)=1.
+  const bool can_window_on_link = link_is_eq_fuzzy && !shape.negate_link;
+  const auto corr_key = FindEqualityCorrelationKey(shape, outer, inner);
+
+  if (can_window_on_link || corr_key.has_value()) {
+    const size_t outer_key =
+        can_window_on_link ? shape.outer_link_col : corr_key->first;
+    const size_t inner_key =
+        can_window_on_link ? shape.inner_link_col : corr_key->second;
+    // Sort an index view of the outer so the caller's ordering (and the
+    // degree vector's indexing) is untouched.
+    std::vector<size_t> order(outer.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (cpu != nullptr) ++cpu->comparisons;
+      return IntervalOrderLess(
+          outer[a].tuple->ValueAt(outer_key).AsFuzzy(),
+          outer[b].tuple->ValueAt(outer_key).AsFuzzy());
+    });
+    std::vector<FT> sorted_outer(outer.size());
+    for (size_t i = 0; i < order.size(); ++i) sorted_outer[i] = outer[order[i]];
+    SortByIntervalOrder(&inner, inner_key, cpu);
+
+    const FT* base = sorted_outer.data();
+    MergeWindow(sorted_outer, outer_key, inner, inner_key, cpu,
+                [&](const FT& r, const FT& s) {
+                  const size_t idx = order[static_cast<size_t>(&r - base)];
+                  const double term = pair_term(r, s);
+                  if (term > m[idx]) m[idx] = term;
+                });
+  } else if (shape.correlations.empty() && !shape.has_link_columns) {
+    // Uncorrelated EXISTS: a constant -- the possibility that the inner
+    // block is non-empty.
+    double m_const = 0.0;
+    for (const FT& s : inner) m_const = std::max(m_const, s.degree);
+    std::fill(m.begin(), m.end(), m_const);
+  } else if (shape.correlations.empty()) {
+    // Uncorrelated, non-mergeable link (e.g. op ALL without correlation):
+    // materialize the inner fuzzy set once -- the paper's intermediate
+    // relation optimization for type N -- and probe it per outer tuple.
+    Relation t("", shape.inner->output_schema);
+    for (const FT& s : inner) {
+      FUZZYDB_RETURN_IF_ERROR(t.AppendOrMax(
+          Tuple({s.tuple->ValueAt(shape.inner_link_col)}, s.degree)));
+    }
+    for (size_t i = 0; i < outer.size(); ++i) {
+      const Value& v = outer[i].tuple->ValueAt(shape.outer_link_col);
+      double m_r = 0.0;
+      for (const Tuple& z : t.tuples()) {
+        if (cpu != nullptr) {
+          ++cpu->tuple_pairs;
+          ++cpu->degree_evaluations;
+        }
+        const double link = v.Compare(shape.link_op, z.ValueAt(0));
+        m_r = std::max(m_r, std::min(z.degree(),
+                                     shape.negate_link ? 1.0 - link : link));
+      }
+      m[i] = m_r;
+    }
+  } else {
+    // Correlated but no usable merge key: unnested full pairing.
+    for (size_t i = 0; i < outer.size(); ++i) {
+      for (const FT& s : inner) {
+        if (cpu != nullptr) ++cpu->tuple_pairs;
+        const double term = pair_term(outer[i], s);
+        if (term > m[i]) m[i] = term;
+      }
+    }
+  }
+
+  std::vector<double> degrees(outer.size());
+  for (size_t i = 0; i < outer.size(); ++i) {
+    degrees[i] = shape.negate_result ? 1.0 - m[i] : m[i];
+  }
+  return degrees;
+}
+
+/// Aggregate subqueries (Section 6): types A and JA, COUNT included.
+Result<std::vector<double>> AggregateFamilyDegrees(
+    const std::vector<FT>& outer, const LinkShape& shape, CpuStats* cpu) {
+  const sql::AggFunc agg = shape.inner->select[0].agg;
+  std::vector<double> degrees(outer.size(), 0.0);
+
+  if (shape.correlations.empty()) {
+    // Type A: the inner block is a constant scalar; evaluate it once.
+    NaiveEvaluator naive(cpu);
+    FUZZYDB_ASSIGN_OR_RETURN(Relation t2, naive.Evaluate(*shape.inner));
+    for (size_t i = 0; i < outer.size(); ++i) {
+      if (t2.Empty()) continue;
+      if (cpu != nullptr) ++cpu->degree_evaluations;
+      degrees[i] =
+          std::min(t2.TupleAt(0).degree(),
+                   outer[i].tuple->ValueAt(shape.outer_link_col)
+                       .Compare(shape.link_op, t2.TupleAt(0).ValueAt(0)));
+    }
+    return degrees;
+  }
+
+  // Type JA: exactly one correlation predicate S.V op2 R.U.
+  if (shape.correlations.size() != 1) {
+    return Status::Unsupported("JA plan requires one correlation predicate");
+  }
+  const BoundPredicate& corr = *shape.correlations[0];
+  const bool lhs_outer = corr.lhs.is_column && corr.lhs.column.up > 0;
+  const size_t u_col = (lhs_outer ? corr.lhs.column : corr.rhs.column).column;
+  const size_t v_col = (lhs_outer ? corr.rhs.column : corr.lhs.column).column;
+
+  auto corr_degree = [&](const Value& u, const Value& v) {
+    if (cpu != nullptr) ++cpu->degree_evaluations;
+    return lhs_outer ? u.Compare(corr.op, v) : v.Compare(corr.op, u);
+  };
+
+  // T1: the distinct R.U values (binary value identity), degree 1.
+  std::map<Value, char, ValueLess> t1;
+  for (const FT& r : outer) t1.emplace(r.tuple->ValueAt(u_col), 0);
+
+  std::vector<FT> inner = FilterBlock(*shape.inner, cpu);
+
+  // T2: u -> A'(u) with degree D(A'(u)), built by grouping T1 |x| S on u
+  // and applying AGG per group (pipelined in the paper).
+  std::map<Value, AggregateResult, ValueLess> t2;
+  const bool mergeable = corr.op == CompareOp::kEq &&
+                         ColumnIsFuzzy(inner, v_col) && [&] {
+                           for (const auto& [u, unused] : t1) {
+                             if (!u.is_fuzzy()) return false;
+                           }
+                           return true;
+                         }();
+
+  auto aggregate_group = [&](const Value& u, const Relation& group) -> Status {
+    if (group.Empty()) return Status::OK();
+    FUZZYDB_ASSIGN_OR_RETURN(AggregateResult a, ApplyAggregate(agg, group));
+    if (!a.value.is_null()) t2.emplace(u, std::move(a));
+    return Status::OK();
+  };
+
+  if (mergeable) {
+    std::vector<Value> t1_sorted;
+    t1_sorted.reserve(t1.size());
+    for (const auto& [u, unused] : t1) t1_sorted.push_back(u);
+    std::sort(t1_sorted.begin(), t1_sorted.end(),
+              [cpu](const Value& x, const Value& y) {
+                if (cpu != nullptr) ++cpu->comparisons;
+                return IntervalOrderLess(x.AsFuzzy(), y.AsFuzzy());
+              });
+    SortByIntervalOrder(&inner, v_col, cpu);
+    size_t window_start = 0;
+    for (const Value& u : t1_sorted) {
+      const Trapezoid& uk = u.AsFuzzy();
+      while (window_start < inner.size()) {
+        const Trapezoid& vk =
+            inner[window_start].tuple->ValueAt(v_col).AsFuzzy();
+        if (cpu != nullptr) ++cpu->comparisons;
+        if (vk.SupportEnd() < uk.SupportBegin()) {
+          ++window_start;
+        } else {
+          break;
+        }
+      }
+      Relation group("", Schema{Column{"Z", ValueType::kFuzzy}});
+      for (size_t i = window_start; i < inner.size(); ++i) {
+        const Trapezoid& vk = inner[i].tuple->ValueAt(v_col).AsFuzzy();
+        if (cpu != nullptr) ++cpu->comparisons;
+        if (vk.SupportBegin() > uk.SupportEnd()) break;
+        if (cpu != nullptr) ++cpu->tuple_pairs;
+        const double d = std::min(
+            inner[i].degree, corr_degree(u, inner[i].tuple->ValueAt(v_col)));
+        if (d > 0.0) {
+          FUZZYDB_RETURN_IF_ERROR(group.AppendOrMax(
+              Tuple({inner[i].tuple->ValueAt(shape.inner_link_col)}, d)));
+        }
+      }
+      FUZZYDB_RETURN_IF_ERROR(aggregate_group(u, group));
+    }
+  } else {
+    for (const auto& [u, unused] : t1) {
+      Relation group("", Schema{Column{"Z", ValueType::kFuzzy}});
+      for (const FT& s : inner) {
+        if (cpu != nullptr) ++cpu->tuple_pairs;
+        const double d =
+            std::min(s.degree, corr_degree(u, s.tuple->ValueAt(v_col)));
+        if (d > 0.0) {
+          FUZZYDB_RETURN_IF_ERROR(group.AppendOrMax(
+              Tuple({s.tuple->ValueAt(shape.inner_link_col)}, d)));
+        }
+      }
+      FUZZYDB_RETURN_IF_ERROR(aggregate_group(u, group));
+    }
+  }
+
+  // Back-join R with T2 on binary value identity; for COUNT the left
+  // outer join's else-arm compares against 0 (Query COUNT').
+  const Value zero = Value::Number(0.0);
+  for (size_t i = 0; i < outer.size(); ++i) {
+    const Value& u = outer[i].tuple->ValueAt(u_col);
+    const Value& y = outer[i].tuple->ValueAt(shape.outer_link_col);
+    auto it = t2.find(u);
+    if (it != t2.end()) {
+      if (cpu != nullptr) ++cpu->degree_evaluations;
+      degrees[i] = std::min(it->second.degree,
+                            y.Compare(shape.link_op, it->second.value));
+    } else if (agg == sql::AggFunc::kCount) {
+      if (cpu != nullptr) ++cpu->degree_evaluations;
+      degrees[i] = y.Compare(shape.link_op, zero);
+    }
+  }
+  return degrees;
+}
+
+/// Degrees of one subquery predicate for every outer tuple.
+Result<std::vector<double>> SubqueryPredicateDegrees(
+    const std::vector<FT>& outer, const BoundPredicate& pred, CpuStats* cpu) {
+  auto shape = DecomposeLink(pred);
+  if (!shape.has_value()) {
+    return Status::Unsupported("subquery shape outside the unnested plans");
+  }
+  return shape->is_aggregate ? AggregateFamilyDegrees(outer, *shape, cpu)
+                             : InFamilyDegrees(outer, *shape, cpu);
+}
+
+/// Projects the outer block's SELECT columns of tuple r with degree d.
+Status EmitAnswer(const BoundQuery& query, const Tuple& r, double d,
+                  Relation* out) {
+  if (d <= 0.0) return Status::OK();
+  std::vector<Value> values;
+  values.reserve(query.select.size());
+  for (const auto& item : query.select) {
+    values.push_back(r.ValueAt(item.column.column));
+  }
+  return out->Append(Tuple(std::move(values), d));
+}
+
+/// All 2-level types plus queries with several independent subquery
+/// predicates: filter the outer block once, evaluate each subquery
+/// predicate to a per-tuple degree vector, fold by min.
+Result<Relation> RunTwoLevel(const BoundQuery& query, CpuStats* cpu) {
+  if (query.tables.size() != 1 || !query.group_by.empty()) {
+    return Status::Unsupported("outer block shape outside the unnested plan");
+  }
+  std::vector<FT> outer = FilterBlock(query, cpu);
+  std::vector<double> combined(outer.size(), 1.0);
+  for (const BoundPredicate& pred : query.predicates) {
+    if (pred.subquery == nullptr) {
+      if (!pred.IsLocal()) {
+        return Status::Unsupported("non-local outer predicate");
+      }
+      continue;  // already folded by FilterBlock
+    }
+    FUZZYDB_ASSIGN_OR_RETURN(std::vector<double> degrees,
+                             SubqueryPredicateDegrees(outer, pred, cpu));
+    for (size_t i = 0; i < outer.size(); ++i) {
+      combined[i] = std::min(combined[i], degrees[i]);
+    }
+  }
+
+  Relation answer("", query.output_schema);
+  for (size_t i = 0; i < outer.size(); ++i) {
+    FUZZYDB_RETURN_IF_ERROR(
+        EmitAnswer(query, *outer[i].tuple,
+                   std::min(outer[i].degree, combined[i]), &answer));
+  }
+  answer.EliminateDuplicates(query.with_threshold);
+  return answer;
+}
+
+/// Degree of `pred`, which lives in chain block `block_of_pred`, against
+/// the per-level tuple slots (single-table blocks, so the table index is
+/// always 0). Both endpoints must already be joined (non-null).
+double ChainPredicateDegree(const BoundPredicate& pred, size_t block_of_pred,
+                            const std::vector<const Tuple*>& tuples,
+                            CpuStats* cpu) {
+  auto value_of = [&](const BoundOperand& operand) -> const Value& {
+    if (!operand.is_column) return operand.constant;
+    return tuples[block_of_pred - static_cast<size_t>(operand.column.up)]
+        ->ValueAt(operand.column.column);
+  };
+  if (cpu != nullptr) ++cpu->degree_evaluations;
+  return value_of(pred.lhs).Compare(pred.op, value_of(pred.rhs),
+                                    pred.approx_tolerance);
+}
+
+/// K-level chain queries (Section 8): flat K-way join, with the join
+/// order chosen by the interval DP of join_order.h over sampled link
+/// selectivities (the paper's "optimal join order ... determined by a
+/// dynamic programming method").
+Result<Relation> RunChain(const BoundQuery& query, CpuStats* cpu,
+                          bool use_planner,
+                          std::vector<size_t>* chosen_order) {
+  std::vector<const BoundQuery*> blocks;
+  std::vector<const BoundPredicate*> links;  // links[k]: block k -> k+1
+  const BoundQuery* block = &query;
+  while (true) {
+    if (block->tables.size() != 1 || !block->group_by.empty()) {
+      return Status::Unsupported("chain block shape");
+    }
+    if (block->has_with && block != &query && block->with_threshold > 0.0) {
+      return Status::Unsupported("inner WITH threshold in chain");
+    }
+    blocks.push_back(block);
+    const BoundPredicate* link = nullptr;
+    for (const BoundPredicate& pred : block->predicates) {
+      if (pred.subquery != nullptr) {
+        if (link != nullptr) return Status::Unsupported("multiple subqueries");
+        link = &pred;
+      }
+    }
+    if (link == nullptr) break;
+    if (link->kind != Predicate::Kind::kIn || link->negated ||
+        !link->lhs.is_column || link->lhs.column.up != 0) {
+      return Status::Unsupported("chain link shape");
+    }
+    links.push_back(link);
+    block = link->subquery.get();
+  }
+  const size_t k_levels = blocks.size();
+
+  // Filtered inputs per level.
+  std::vector<std::vector<FT>> filtered(k_levels);
+  for (size_t k = 0; k < k_levels; ++k) {
+    filtered[k] = FilterBlock(*blocks[k], cpu);
+    if (filtered[k].empty()) {
+      // An empty level zeroes every chain of links below the outermost
+      // block; the answer is empty.
+      Relation answer("", query.output_schema);
+      return answer;
+    }
+  }
+
+  // Key columns of link edge e (between levels e and e+1).
+  auto edge_outer_col = [&](size_t e) { return links[e]->lhs.column.column; };
+  auto edge_inner_col = [&](size_t e) {
+    return blocks[e + 1]->select[0].column.column;
+  };
+
+  // Correlation predicates per block (non-local, non-subquery).
+  std::vector<std::vector<const BoundPredicate*>> correlations(k_levels);
+  for (size_t k = 0; k < k_levels; ++k) {
+    for (const BoundPredicate& pred : blocks[k]->predicates) {
+      if (pred.subquery == nullptr && !pred.IsLocal()) {
+        correlations[k].push_back(&pred);
+      }
+    }
+  }
+
+  // ---- Join-order planning (sampled selectivities + interval DP) ----
+  std::vector<size_t> order(k_levels);
+  std::iota(order.begin(), order.end(), 0);
+  if (use_planner && k_levels > 2) {
+    ChainStats stats;
+    for (size_t k = 0; k < k_levels; ++k) {
+      stats.cardinality.push_back(static_cast<double>(filtered[k].size()));
+    }
+    for (size_t e = 0; e + 1 < k_levels; ++e) {
+      // Deterministic stride sample of pairs; count positive link (and
+      // adjacent correlation) degrees.
+      const auto& left = filtered[e];
+      const auto& right = filtered[e + 1];
+      const size_t samples = 24;
+      const size_t lstep = std::max<size_t>(1, left.size() / samples);
+      const size_t rstep = std::max<size_t>(1, right.size() / samples);
+      size_t total = 0, positive = 0;
+      for (size_t i = 0; i < left.size(); i += lstep) {
+        for (size_t j = 0; j < right.size(); j += rstep) {
+          ++total;
+          double d = left[i].tuple->ValueAt(edge_outer_col(e))
+                         .Compare(CompareOp::kEq,
+                                  right[j].tuple->ValueAt(edge_inner_col(e)));
+          for (const BoundPredicate* pred : correlations[e + 1]) {
+            if (d <= 0.0) break;
+            if (pred->lhs.column.up > 1 ||
+                (pred->rhs.is_column && pred->rhs.column.up > 1)) {
+              continue;  // skip-level correlation: not estimable pairwise
+            }
+            std::vector<const Tuple*> slots(e + 2, nullptr);
+            slots[e] = left[i].tuple;
+            slots[e + 1] = right[j].tuple;
+            d = std::min(d, ChainPredicateDegree(*pred, e + 1, slots, nullptr));
+          }
+          positive += d > 0.0;
+        }
+      }
+      stats.selectivity.push_back(
+          std::max(1e-6, static_cast<double>(positive) /
+                             static_cast<double>(std::max<size_t>(1, total))));
+    }
+    order = PlanChainJoinOrder(stats).levels;
+  }
+  if (chosen_order != nullptr) *chosen_order = order;
+
+  // ---- Execution in the chosen contiguous order ----------------------
+  struct Row {
+    std::vector<const Tuple*> tuples;  // one slot per level; null = unjoined
+    double degree;
+  };
+
+  std::vector<Row> rows;
+  size_t joined_lo = order[0], joined_hi = order[0];
+  for (const FT& ft : filtered[order[0]]) {
+    Row row{std::vector<const Tuple*>(k_levels, nullptr), ft.degree};
+    row.tuples[order[0]] = ft.tuple;
+    rows.push_back(std::move(row));
+  }
+
+  for (size_t step = 1; step < k_levels; ++step) {
+    const size_t level = order[step];
+    const bool extend_left = level + 1 == joined_lo;
+    if (!extend_left && level != joined_hi + 1) {
+      return Status::Internal("non-contiguous chain join order");
+    }
+    const size_t edge = extend_left ? level : joined_hi;
+    // Row-side and new-side key columns for this edge.
+    const size_t row_level = extend_left ? edge + 1 : edge;
+    const size_t row_col =
+        extend_left ? edge_inner_col(edge) : edge_outer_col(edge);
+    const size_t new_col =
+        extend_left ? edge_outer_col(edge) : edge_inner_col(edge);
+
+    std::vector<FT> incoming = filtered[level];
+
+    // Predicates becoming evaluable with this level joined: those of
+    // block b referencing block b-up, where one endpoint is `level` and
+    // the other is already joined.
+    std::vector<std::pair<const BoundPredicate*, size_t>> newly_applicable;
+    for (size_t b = 0; b < k_levels; ++b) {
+      for (const BoundPredicate* pred : correlations[b]) {
+        const int up = pred->lhs.is_column && pred->lhs.column.up > 0
+                           ? pred->lhs.column.up
+                           : pred->rhs.column.up;
+        const size_t other = b - static_cast<size_t>(up);
+        const bool involves_level = b == level || other == level;
+        if (!involves_level) continue;
+        const size_t partner = b == level ? other : b;
+        if (partner >= joined_lo && partner <= joined_hi) {
+          newly_applicable.emplace_back(pred, b);
+        }
+      }
+    }
+
+    std::vector<Row> joined;
+    auto join_pair = [&](const Row& row, const FT& s) -> Status {
+      double d = std::min(row.degree, s.degree);
+      if (d <= 0.0) return Status::OK();
+      if (cpu != nullptr) ++cpu->degree_evaluations;
+      d = std::min(d, row.tuples[row_level]->ValueAt(row_col).Compare(
+                          CompareOp::kEq, s.tuple->ValueAt(new_col)));
+      if (d <= 0.0) return Status::OK();
+      Row next = row;
+      next.tuples[level] = s.tuple;
+      for (const auto& [pred, b] : newly_applicable) {
+        if (d <= 0.0) break;
+        d = std::min(d, ChainPredicateDegree(*pred, b, next.tuples, cpu));
+      }
+      if (d <= 0.0) return Status::OK();
+      next.degree = d;
+      joined.push_back(std::move(next));
+      return Status::OK();
+    };
+
+    auto rows_key_fuzzy = [&]() {
+      for (const Row& row : rows) {
+        if (!row.tuples[row_level]->ValueAt(row_col).is_fuzzy()) return false;
+      }
+      return true;
+    };
+
+    if (rows_key_fuzzy() && ColumnIsFuzzy(incoming, new_col)) {
+      std::sort(rows.begin(), rows.end(), [&](const Row& x, const Row& y) {
+        if (cpu != nullptr) ++cpu->comparisons;
+        return IntervalOrderLess(
+            x.tuples[row_level]->ValueAt(row_col).AsFuzzy(),
+            y.tuples[row_level]->ValueAt(row_col).AsFuzzy());
+      });
+      SortByIntervalOrder(&incoming, new_col, cpu);
+      size_t window_start = 0;
+      for (const Row& row : rows) {
+        const Trapezoid& rk =
+            row.tuples[row_level]->ValueAt(row_col).AsFuzzy();
+        while (window_start < incoming.size()) {
+          const Trapezoid& sk =
+              incoming[window_start].tuple->ValueAt(new_col).AsFuzzy();
+          if (cpu != nullptr) ++cpu->comparisons;
+          if (sk.SupportEnd() < rk.SupportBegin()) {
+            ++window_start;
+          } else {
+            break;
+          }
+        }
+        for (size_t i = window_start; i < incoming.size(); ++i) {
+          const Trapezoid& sk = incoming[i].tuple->ValueAt(new_col).AsFuzzy();
+          if (cpu != nullptr) ++cpu->comparisons;
+          if (sk.SupportBegin() > rk.SupportEnd()) break;
+          if (cpu != nullptr) ++cpu->tuple_pairs;
+          FUZZYDB_RETURN_IF_ERROR(join_pair(row, incoming[i]));
+        }
+      }
+    } else {
+      for (const Row& row : rows) {
+        for (const FT& s : incoming) {
+          if (cpu != nullptr) ++cpu->tuple_pairs;
+          FUZZYDB_RETURN_IF_ERROR(join_pair(row, s));
+        }
+      }
+    }
+    rows = std::move(joined);
+    joined_lo = std::min(joined_lo, level);
+    joined_hi = std::max(joined_hi, level);
+  }
+
+  Relation answer("", query.output_schema);
+  for (const Row& row : rows) {
+    FUZZYDB_RETURN_IF_ERROR(
+        EmitAnswer(query, *row.tuples[0], row.degree, &answer));
+  }
+  answer.EliminateDuplicates(query.with_threshold);
+  return answer;
+}
+
+}  // namespace
+
+Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
+  last_type_ = Classify(query);
+  last_was_unnested_ = true;
+  Result<Relation> result = EvaluateInType(query, last_type_);
+  if (!result.ok() && result.status().code() == StatusCode::kUnsupported) {
+    last_was_unnested_ = false;
+    NaiveEvaluator naive(cpu_);
+    return naive.Evaluate(query);  // applies ORDER BY itself
+  }
+  if (result.ok()) {
+    ApplyOrderBy(query.order_by, &result.value());
+  }
+  return result;
+}
+
+Result<Relation> UnnestingEvaluator::EvaluateInType(
+    const sql::BoundQuery& query, QueryType type) {
+  switch (type) {
+    case QueryType::kFlat:
+    case QueryType::kGeneral:
+      return Status::Unsupported("no unnested plan for this type");
+    case QueryType::kTypeN:
+    case QueryType::kTypeJ:
+    case QueryType::kTypeNX:
+    case QueryType::kTypeJX:
+    case QueryType::kTypeSOME:
+    case QueryType::kTypeJSOME:
+    case QueryType::kTypeALL:
+    case QueryType::kTypeJALL:
+    case QueryType::kTypeEXISTS:
+    case QueryType::kTypeJEXISTS:
+    case QueryType::kTypeA:
+    case QueryType::kTypeJA:
+    case QueryType::kTypeMulti:
+      return RunTwoLevel(query, cpu_);
+    case QueryType::kChain:
+      last_chain_order_.clear();
+      return RunChain(query, cpu_, use_join_order_planner_,
+                      &last_chain_order_);
+  }
+  return Status::Internal("unhandled query type");
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,59 @@
+#include "fuzzy/arithmetic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fuzzydb {
+
+namespace {
+
+/// Interval product [lo1, hi1] * [lo2, hi2].
+void IntervalMultiply(double lo1, double hi1, double lo2, double hi2,
+                      double* lo, double* hi) {
+  const double p1 = lo1 * lo2;
+  const double p2 = lo1 * hi2;
+  const double p3 = hi1 * lo2;
+  const double p4 = hi1 * hi2;
+  *lo = std::min(std::min(p1, p2), std::min(p3, p4));
+  *hi = std::max(std::max(p1, p2), std::max(p3, p4));
+}
+
+}  // namespace
+
+Trapezoid FuzzyAdd(const Trapezoid& x, const Trapezoid& y) {
+  return Trapezoid(x.a() + y.a(), x.b() + y.b(), x.c() + y.c(),
+                   x.d() + y.d());
+}
+
+Trapezoid FuzzySubtract(const Trapezoid& x, const Trapezoid& y) {
+  return Trapezoid(x.a() - y.d(), x.b() - y.c(), x.c() - y.b(),
+                   x.d() - y.a());
+}
+
+Trapezoid FuzzyMultiply(const Trapezoid& x, const Trapezoid& y) {
+  double lo0, hi0, lo1, hi1;
+  IntervalMultiply(x.a(), x.d(), y.a(), y.d(), &lo0, &hi0);
+  IntervalMultiply(x.b(), x.c(), y.b(), y.c(), &lo1, &hi1);
+  return Trapezoid(lo0, lo1, hi1, hi0);
+}
+
+Result<Trapezoid> FuzzyDivide(const Trapezoid& x, const Trapezoid& y) {
+  if (y.a() <= 0.0 && y.d() >= 0.0) {
+    return Status::InvalidArgument(
+        "fuzzy division by a distribution whose support contains zero");
+  }
+  double lo0, hi0, lo1, hi1;
+  IntervalMultiply(x.a(), x.d(), 1.0 / y.d(), 1.0 / y.a(), &lo0, &hi0);
+  IntervalMultiply(x.b(), x.c(), 1.0 / y.c(), 1.0 / y.b(), &lo1, &hi1);
+  return Trapezoid(lo0, lo1, hi1, hi0);
+}
+
+Trapezoid FuzzyScale(const Trapezoid& x, double k) {
+  assert(k != 0.0);
+  if (k > 0.0) {
+    return Trapezoid(x.a() / k, x.b() / k, x.c() / k, x.d() / k);
+  }
+  return Trapezoid(x.d() / k, x.c() / k, x.b() / k, x.a() / k);
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,34 @@
+// Fuzzy arithmetic on trapezoidal distributions (Section 6 of the paper).
+//
+// "With a trapezoidal membership function, a fuzzy value induces two
+// intervals (a-cuts): the 1-cut [b, c] and the 0-cut [a, d]. Fuzzy
+// arithmetic operations take two values and determine the two intervals of
+// the resulting value." Addition/subtraction/multiplication/division are
+// the interval-arithmetic extensions applied to both cuts; the Fuzzy SQL
+// AVG and SUM aggregates are built on them.
+#ifndef FUZZYDB_FUZZY_ARITHMETIC_H_
+#define FUZZYDB_FUZZY_ARITHMETIC_H_
+
+#include "common/status.h"
+#include "fuzzy/trapezoid.h"
+
+namespace fuzzydb {
+
+/// x + y: corner-wise interval addition on both cuts.
+Trapezoid FuzzyAdd(const Trapezoid& x, const Trapezoid& y);
+
+/// x - y: [a1 - d2, b1 - c2, c1 - b2, d1 - a2].
+Trapezoid FuzzySubtract(const Trapezoid& x, const Trapezoid& y);
+
+/// x * y: interval multiplication on both cuts (all sign combinations).
+Trapezoid FuzzyMultiply(const Trapezoid& x, const Trapezoid& y);
+
+/// x / y. Fails with InvalidArgument when the support of y contains 0.
+Result<Trapezoid> FuzzyDivide(const Trapezoid& x, const Trapezoid& y);
+
+/// x / k for a crisp non-zero scalar (used by AVG).
+Trapezoid FuzzyScale(const Trapezoid& x, double k);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_FUZZY_ARITHMETIC_H_

@@ -1,0 +1,68 @@
+// Satisfaction degrees of fuzzy comparison predicates.
+//
+// Following Section 2.2 of the paper, the degree to which a predicate
+// "X theta Y" is satisfied by values U (of X) and V (of Y) is the
+// possibility
+//
+//     d(X theta Y) = sup_{x,y} min(mu_U(x), mu_V(y), mu_theta(x, y))
+//
+// For the binary comparators (=, !=, <, <=, >, >=), mu_theta is the 0/1
+// characteristic function of the comparison; for the approximate-equality
+// comparator (~=), mu_theta(x, y) = max(0, 1 - |x - y| / tolerance).
+//
+// All degrees are computed analytically (no sampling): for trapezoids the
+// pointwise minimum of the two membership functions is piecewise linear,
+// so the supremum is attained at a corner, a rising/falling edge crossing,
+// or (for strict comparisons against a vertical edge) as a one-sided
+// limit. The computations here are exact up to floating-point rounding.
+#ifndef FUZZYDB_FUZZY_DEGREE_H_
+#define FUZZYDB_FUZZY_DEGREE_H_
+
+#include <string>
+
+#include "fuzzy/trapezoid.h"
+
+namespace fuzzydb {
+
+/// Comparison operators of Fuzzy SQL predicates.
+enum class CompareOp {
+  kEq,        // =
+  kNe,        // <> / !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kApproxEq,  // ~= (similarity with a tolerance)
+};
+
+/// Returns the SQL spelling of `op` ("=", "<", "~=", ...).
+const char* CompareOpName(CompareOp op);
+
+/// Possibility that X and Y take a common value:
+/// sup_x min(mu_X(x), mu_Y(x)). This is "the height of the highest
+/// intersection point of the two possibility distributions" (Section 2.2).
+double EqualityDegree(const Trapezoid& x, const Trapezoid& y);
+
+/// Possibility that X and Y take different values. 1 unless both are
+/// crisp, in which case it is the crisp inequality test.
+double NotEqualDegree(const Trapezoid& x, const Trapezoid& y);
+
+/// Poss(X <= Y) = sup_{x <= y} min(mu_X(x), mu_Y(y)).
+double LessEqualDegree(const Trapezoid& x, const Trapezoid& y);
+
+/// Poss(X < Y) = sup_{x < y} min(mu_X(x), mu_Y(y)).
+double LessDegree(const Trapezoid& x, const Trapezoid& y);
+
+/// Poss(X ~= Y): approximate equality with linear similarity
+/// mu(x, y) = max(0, 1 - |x - y| / tolerance). `tolerance` must be > 0.
+double ApproxEqualDegree(const Trapezoid& x, const Trapezoid& y,
+                         double tolerance);
+
+/// Dispatches to the functions above. For kApproxEq, `approx_tolerance`
+/// must be > 0.
+double SatisfactionDegree(const Trapezoid& x, CompareOp op,
+                          const Trapezoid& y, double approx_tolerance = 1.0);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_FUZZY_DEGREE_H_

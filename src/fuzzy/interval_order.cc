@@ -1,0 +1,26 @@
+#include "fuzzy/interval_order.h"
+
+namespace fuzzydb {
+
+int CompareIntervalOrder(const Trapezoid& x, const Trapezoid& y) {
+  if (x.SupportBegin() < y.SupportBegin()) return -1;
+  if (x.SupportBegin() > y.SupportBegin()) return 1;
+  if (x.SupportEnd() < y.SupportEnd()) return -1;
+  if (x.SupportEnd() > y.SupportEnd()) return 1;
+  return 0;
+}
+
+bool IntervalOrderLess(const Trapezoid& x, const Trapezoid& y) {
+  return CompareIntervalOrder(x, y) < 0;
+}
+
+bool SupportsIntersect(const Trapezoid& x, const Trapezoid& y) {
+  return x.SupportBegin() <= y.SupportEnd() &&
+         y.SupportBegin() <= x.SupportEnd();
+}
+
+bool SupportEntirelyBefore(const Trapezoid& x, const Trapezoid& y) {
+  return x.SupportEnd() < y.SupportBegin();
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,33 @@
+#include "fuzzy/necessity.h"
+
+#include <cassert>
+
+namespace fuzzydb {
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+    case CompareOp::kApproxEq:
+      break;
+  }
+  assert(false && "approximate equality has no comparator complement");
+  return CompareOp::kNe;
+}
+
+double NecessityDegree(const Trapezoid& x, CompareOp op, const Trapezoid& y) {
+  assert(op != CompareOp::kApproxEq);
+  return 1.0 - SatisfactionDegree(x, NegateCompareOp(op), y);
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,35 @@
+// The necessity measure of the double-measure system (paper Section 2.2
+// discussion; Prade & Testemale [28], [30]).
+//
+// For a predicate "X theta F":
+//
+//     Nec(X theta F) = 1 - Poss(X not-theta F)
+//
+// the "impossibility for the opposite comparison to be successful". With
+// convex, normal possibility distributions (all trapezoids here),
+// necessity never exceeds possibility.
+//
+// This module exists for completeness and comparison: the query engine
+// deliberately measures possibility only, because the double-measure
+// system yields two answer relations per operator, which breaks operator
+// composition -- and with it, unnesting (the whole point of the paper).
+// NecessityDegree is offered to users who want to post-qualify answers
+// ("how certainly does this tuple satisfy the query?"), not used inside
+// the evaluators.
+#ifndef FUZZYDB_FUZZY_NECESSITY_H_
+#define FUZZYDB_FUZZY_NECESSITY_H_
+
+#include "fuzzy/degree.h"
+
+namespace fuzzydb {
+
+/// The comparator whose satisfaction is the failure of `op`.
+CompareOp NegateCompareOp(CompareOp op);
+
+/// Nec(X op Y) = 1 - Poss(X negate(op) Y). Not defined for kApproxEq
+/// (its complement is not one of the comparators); asserts on it.
+double NecessityDegree(const Trapezoid& x, CompareOp op, const Trapezoid& y);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_FUZZY_NECESSITY_H_

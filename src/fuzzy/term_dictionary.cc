@@ -1,0 +1,69 @@
+#include "fuzzy/term_dictionary.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace fuzzydb {
+
+void TermDictionary::Define(const std::string& name, const Trapezoid& value) {
+  terms_[ToLower(name)] = value;
+}
+
+bool TermDictionary::Contains(const std::string& name) const {
+  return terms_.count(ToLower(name)) > 0;
+}
+
+Result<Trapezoid> TermDictionary::Lookup(const std::string& name) const {
+  const std::string key = ToLower(name);
+  auto it = terms_.find(key);
+  if (it != terms_.end()) return it->second;
+
+  // Generic "about <number>[K]" fallback.
+  if (key.rfind("about ", 0) == 0) {
+    std::string num = key.substr(6);
+    double scale = 1.0;
+    if (!num.empty() && (num.back() == 'k')) {
+      scale = 1000.0;
+      num.pop_back();
+    }
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end) * scale;
+    if (end != nullptr && *end == '\0' && !num.empty()) {
+      const double spread = std::max(1.0, 0.1 * std::fabs(v));
+      return Trapezoid::About(v, spread);
+    }
+  }
+  return Status::NotFound("unknown linguistic term: '" + name + "'");
+}
+
+std::vector<std::string> TermDictionary::Names() const {
+  std::vector<std::string> names;
+  names.reserve(terms_.size());
+  for (const auto& [name, value] : terms_) names.push_back(name);
+  return names;
+}
+
+TermDictionary TermDictionary::BuiltIn() {
+  TermDictionary dict;
+  // AGE vocabulary (years).
+  dict.Define("young", Trapezoid(0, 0, 20, 30));
+  dict.Define("medium young", Trapezoid(20, 25, 30, 35));
+  dict.Define("middle age", Trapezoid(31.5, 31.5, 44, 49));
+  dict.Define("old", Trapezoid(55, 65, 120, 120));
+  dict.Define("about 29", Trapezoid::Triangle(27, 29, 31));
+  dict.Define("about 35", Trapezoid::Triangle(30, 35, 40));
+  dict.Define("about 50", Trapezoid::Triangle(45, 50, 55));
+  // INCOME vocabulary (thousands of dollars).
+  dict.Define("low", Trapezoid(0, 0, 15, 30));
+  dict.Define("medium low", Trapezoid(15, 25, 35, 45));
+  dict.Define("medium high", Trapezoid(55, 60, 64, 69));
+  dict.Define("high", Trapezoid(62, 67, 150, 150));
+  dict.Define("about 25k", Trapezoid::Triangle(20, 25, 30));
+  dict.Define("about 40k", Trapezoid::Triangle(35, 40, 45));
+  dict.Define("about 60k", Trapezoid::Triangle(55, 60, 65));
+  return dict;
+}
+
+}  // namespace fuzzydb

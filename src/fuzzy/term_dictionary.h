@@ -1,0 +1,59 @@
+// Linguistic term dictionary: maps vocabulary such as "medium young" or
+// "about 35" to trapezoidal possibility distributions.
+//
+// Fuzzy SQL queries reference fuzzy constants by name (Query 1 of the
+// paper: M.INCOME > "medium high"); the binder resolves them through a
+// TermDictionary. The built-in dictionary defines the AGE and INCOME
+// vocabularies of the paper's dating-service example, calibrated so that
+// every satisfaction degree published in Example 4.1 and Figs. 1-2
+// reproduces exactly:
+//
+//   mu_medium_young(24) = 0.8                     (Fig. 1)
+//   d(about 35   = medium young) = 0.5            (Fig. 1 / Section 2.2)
+//   d(middle age = medium young) = 0.7            (Example 4.1, Betty)
+//   d(about 50   = middle age)   = 0.4            (Example 4.1, T)
+//   d(about 60K  = high)         = 0.3            (Example 4.1, Ann 101)
+//   d(medium high = high)        = 0.7            (Example 4.1, Ann 102)
+//
+// (The paper's Fig. 2 gives the term shapes only graphically; these
+// definitions are the calibration consistent with all published numbers.)
+#ifndef FUZZYDB_FUZZY_TERM_DICTIONARY_H_
+#define FUZZYDB_FUZZY_TERM_DICTIONARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzzy/trapezoid.h"
+
+namespace fuzzydb {
+
+/// A case-insensitive name -> distribution mapping.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Registers or replaces a term.
+  void Define(const std::string& name, const Trapezoid& value);
+
+  /// Looks up a term; also accepts "about <v>" / "about <v>K" generically
+  /// (spread of 10% of |v|, minimum 1) when no explicit entry exists.
+  Result<Trapezoid> Lookup(const std::string& name) const;
+
+  /// True when the term is explicitly defined.
+  bool Contains(const std::string& name) const;
+
+  /// All explicitly defined term names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The paper's AGE/INCOME vocabulary (see file comment).
+  static TermDictionary BuiltIn();
+
+ private:
+  std::map<std::string, Trapezoid> terms_;  // keys lower-cased
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_FUZZY_TERM_DICTIONARY_H_

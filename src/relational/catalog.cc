@@ -1,0 +1,52 @@
+#include "relational/catalog.h"
+
+#include "common/string_util.h"
+
+namespace fuzzydb {
+
+Status Catalog::AddRelation(Relation relation) {
+  const std::string key = ToLower(relation.name());
+  if (relations_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already exists");
+  }
+  relations_.emplace(key, std::move(relation));
+  return Status::OK();
+}
+
+void Catalog::PutRelation(Relation relation) {
+  relations_[ToLower(relation.name())] = std::move(relation);
+}
+
+Result<const Relation*> Catalog::GetRelation(const std::string& name) const {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Catalog::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasRelation(const std::string& name) const {
+  return relations_.count(ToLower(name)) > 0;
+}
+
+void Catalog::DropRelation(const std::string& name) {
+  relations_.erase(ToLower(name));
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [key, rel] : relations_) names.push_back(rel.name());
+  return names;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,49 @@
+// The catalog: named relations plus the linguistic term dictionary.
+#ifndef FUZZYDB_RELATIONAL_CATALOG_H_
+#define FUZZYDB_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzzy/term_dictionary.h"
+#include "relational/relation.h"
+
+namespace fuzzydb {
+
+/// Owns the database's relations and the vocabulary used to resolve
+/// linguistic constants in queries. Relation names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() : terms_(TermDictionary::BuiltIn()) {}
+
+  /// Registers a relation; fails if the name is taken.
+  Status AddRelation(Relation relation);
+
+  /// Replaces or registers a relation.
+  void PutRelation(Relation relation);
+
+  /// Looks up a relation by name.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Removes a relation if present.
+  void DropRelation(const std::string& name);
+
+  std::vector<std::string> RelationNames() const;
+
+  const TermDictionary& terms() const { return terms_; }
+  TermDictionary& mutable_terms() { return terms_; }
+
+ private:
+  std::map<std::string, Relation> relations_;  // keys lower-cased
+  TermDictionary terms_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_CATALOG_H_

@@ -1,0 +1,110 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace fuzzydb {
+
+namespace {
+
+/// Orders tuples by value content (total order), used to group duplicates.
+struct TupleValueLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    const size_t n = std::min(a.NumValues(), b.NumValues());
+    for (size_t i = 0; i < n; ++i) {
+      const int cmp = a.ValueAt(i).TotalOrderCompare(b.ValueAt(i));
+      if (cmp != 0) return cmp < 0;
+    }
+    return a.NumValues() < b.NumValues();
+  }
+};
+
+}  // namespace
+
+Status Relation::Append(Tuple tuple) {
+  if (schema_.NumColumns() != 0 && tuple.NumValues() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.NumValues()) +
+        " does not match schema arity " +
+        std::to_string(schema_.NumColumns()) + " of relation '" + name_ + "'");
+  }
+  if (tuple.degree() <= 0.0) return Status::OK();
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::AppendOrMax(Tuple tuple) {
+  if (tuple.degree() <= 0.0) return Status::OK();
+  for (Tuple& existing : tuples_) {
+    if (existing.SameValues(tuple)) {
+      existing.set_degree(std::max(existing.degree(), tuple.degree()));
+      return Status::OK();
+    }
+  }
+  return Append(std::move(tuple));
+}
+
+void Relation::EliminateDuplicates(double min_degree) {
+  std::map<Tuple, double, TupleValueLess> best;
+  for (const Tuple& t : tuples_) {
+    auto [it, inserted] = best.emplace(t, t.degree());
+    if (!inserted) it->second = std::max(it->second, t.degree());
+  }
+  tuples_.clear();
+  for (auto& [tuple, degree] : best) {
+    if (degree >= min_degree && degree > 0.0) {
+      Tuple copy = tuple;
+      copy.set_degree(degree);
+      tuples_.push_back(std::move(copy));
+    }
+  }
+}
+
+void Relation::ApplyThreshold(double min_degree) {
+  tuples_.erase(std::remove_if(tuples_.begin(), tuples_.end(),
+                               [min_degree](const Tuple& t) {
+                                 return t.degree() < min_degree;
+                               }),
+                tuples_.end());
+}
+
+void Relation::Sort(
+    const std::function<bool(const Tuple&, const Tuple&)>& less) {
+  std::stable_sort(tuples_.begin(), tuples_.end(), less);
+}
+
+bool Relation::EquivalentTo(const Relation& other, double tolerance) const {
+  Relation a = *this;
+  Relation b = other;
+  a.EliminateDuplicates();
+  b.EliminateDuplicates();
+  if (a.NumTuples() != b.NumTuples()) return false;
+  // EliminateDuplicates leaves both sides sorted by TupleValueLess.
+  for (size_t i = 0; i < a.NumTuples(); ++i) {
+    if (!a.TupleAt(i).SameValues(b.TupleAt(i))) return false;
+    if (std::abs(a.TupleAt(i).degree() - b.TupleAt(i).degree()) > tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = name_.empty() ? "(anonymous)" : name_;
+  out += " " + schema_.ToString() + " [" + std::to_string(tuples_.size()) +
+         " tuples]\n";
+  size_t shown = 0;
+  for (const Tuple& t : tuples_) {
+    if (shown++ >= max_rows) {
+      out += "  ... (" + std::to_string(tuples_.size() - max_rows) +
+             " more)\n";
+      break;
+    }
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

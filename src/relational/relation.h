@@ -1,0 +1,72 @@
+// In-memory fuzzy relations.
+//
+// A fuzzy relation is a fuzzy set of tuples (Section 2.2). Tuples with
+// identical attribute values are duplicates; when duplicates are
+// eliminated, the surviving tuple keeps the *maximum* membership degree
+// (fuzzy OR over the ways the tuple can arise).
+#ifndef FUZZYDB_RELATIONAL_RELATION_H_
+#define FUZZYDB_RELATIONAL_RELATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace fuzzydb {
+
+/// A named, in-memory fuzzy relation.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  size_t NumTuples() const { return tuples_.size(); }
+  bool Empty() const { return tuples_.empty(); }
+  const Tuple& TupleAt(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  /// Appends a tuple. Tuples with degree <= 0 are not members of a fuzzy
+  /// relation and are silently dropped. Fails when the arity mismatches.
+  Status Append(Tuple tuple);
+
+  /// Appends, combining with an existing duplicate by max degree
+  /// (fuzzy OR). O(n) per call; used for small answer relations.
+  Status AppendOrMax(Tuple tuple);
+
+  /// Removes duplicates keeping the maximum degree per distinct value
+  /// combination, and drops tuples below `min_degree` (the WITH clause:
+  /// WITH D >= z). Order of survivors is unspecified but deterministic.
+  void EliminateDuplicates(double min_degree = 0.0);
+
+  /// Drops tuples whose degree is < min_degree.
+  void ApplyThreshold(double min_degree);
+
+  /// Sorts tuples with `less`.
+  void Sort(const std::function<bool(const Tuple&, const Tuple&)>& less);
+
+  /// Two relations are equivalent fuzzy sets: same distinct tuples with
+  /// the same degrees within `tolerance`. Duplicate handling: both sides
+  /// are compared after max-degree duplicate elimination.
+  bool EquivalentTo(const Relation& other, double tolerance = 1e-9) const;
+
+  /// Pretty table, for examples and debugging.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_RELATION_H_

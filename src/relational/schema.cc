@@ -1,0 +1,50 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace fuzzydb {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::Has(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Status Schema::AddColumn(Column column) {
+  if (Has(column.name)) {
+    return Status::AlreadyExists("column '" + column.name +
+                                 "' already exists");
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fuzzydb

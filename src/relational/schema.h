@@ -1,0 +1,54 @@
+// Relation schemas.
+#ifndef FUZZYDB_RELATIONAL_SCHEMA_H_
+#define FUZZYDB_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace fuzzydb {
+
+/// One attribute of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kFuzzy;
+};
+
+/// An ordered list of named, typed attributes. Every fuzzy relation
+/// additionally carries the system-supplied membership-degree attribute D
+/// (Section 2.2), which lives on the Tuple, not in the Schema.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& ColumnAt(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given (case-insensitive) name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a column with this name exists.
+  bool Has(const std::string& name) const;
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(Column column);
+
+  /// "(<name> <TYPE>, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,256 @@
+#include "shell/shell.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "engine/classifier.h"
+#include "engine/explain.h"
+#include "engine/naive_evaluator.h"
+#include "engine/unnested_evaluator.h"
+#include "sql/binder.h"
+#include "sql/statement.h"
+#include "storage/database.h"
+
+namespace fuzzydb {
+
+namespace {
+
+/// Splits a command line into whitespace-separated words.
+std::vector<std::string> Words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream stream(line);
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+Shell::Shell() = default;
+
+void Shell::Run(std::istream& in, std::ostream& out, bool interactive) {
+  std::string line;
+  if (interactive) {
+    out << "FuzzyDB shell -- .help for help, .quit to exit\n";
+  }
+  while (!done_) {
+    if (interactive) out << (pending_.empty() ? "fuzzydb> " : "    ...> ");
+    if (!std::getline(in, line)) break;
+    if (!FeedLine(line, out)) break;
+  }
+}
+
+bool Shell::FeedLine(const std::string& line, std::ostream& out) {
+  if (pending_.empty()) {
+    // Skip blank lines and comments between statements.
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) return !done_;
+    if (line[first] == '#' || line.compare(first, 2, "--") == 0) {
+      return !done_;
+    }
+    if (line[first] == '.') {
+      ExecuteDotCommand(line.substr(first), out);
+      return !done_;
+    }
+  }
+  // Accumulate until ';'.
+  pending_ += line;
+  pending_ += ' ';
+  size_t semicolon;
+  while ((semicolon = pending_.find(';')) != std::string::npos) {
+    const std::string statement = pending_.substr(0, semicolon);
+    pending_.erase(0, semicolon + 1);
+    if (statement.find_first_not_of(" \t") != std::string::npos) {
+      ExecuteStatement(statement, out);
+    }
+  }
+  // An all-whitespace remainder is no pending statement.
+  if (pending_.find_first_not_of(" \t") == std::string::npos) {
+    pending_.clear();
+  }
+  return !done_;
+}
+
+void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
+  const std::vector<std::string> words = Words(line);
+  const std::string& command = words[0];
+
+  if (command == ".quit" || command == ".exit") {
+    done_ = true;
+    return;
+  }
+  if (command == ".help") {
+    out << "statements (end with ';'):\n"
+           "  SELECT ... FROM ... [WHERE ...] [GROUPBY ... [HAVING ...]]\n"
+           "         [ORDER BY col|D [DESC]] [WITH D >= z];\n"
+           "  CREATE TABLE name (col STRING|FUZZY, ...);\n"
+           "  INSERT INTO name VALUES (v, ...) [DEGREE d];\n"
+           "  DEFINE TERM \"name\" AS TRAP(a,b,c,d);\n"
+           "  DROP TABLE name;\n"
+           "commands:\n"
+           "  .tables .schema <t> .terms .explain on|off\n"
+           "  .engine naive|unnested .save <dir> .open <dir> .quit\n";
+    return;
+  }
+  if (command == ".tables") {
+    for (const std::string& name : catalog_.RelationNames()) {
+      auto relation = catalog_.GetRelation(name);
+      out << name << " (" << (*relation)->NumTuples() << " tuples)\n";
+    }
+    return;
+  }
+  if (command == ".schema") {
+    if (words.size() != 2) {
+      out << "usage: .schema <table>\n";
+      return;
+    }
+    auto relation = catalog_.GetRelation(words[1]);
+    if (!relation.ok()) {
+      out << relation.status().ToString() << "\n";
+      return;
+    }
+    out << (*relation)->name() << " " << (*relation)->schema().ToString()
+        << " [" << (*relation)->NumTuples() << " tuples]\n";
+    return;
+  }
+  if (command == ".terms") {
+    for (const std::string& name : catalog_.terms().Names()) {
+      auto term = catalog_.terms().Lookup(name);
+      out << "\"" << name << "\" = " << term->ToString() << "\n";
+    }
+    return;
+  }
+  if (command == ".explain") {
+    explain_ = words.size() > 1 && EqualsIgnoreCase(words[1], "on");
+    out << "explain " << (explain_ ? "on" : "off") << "\n";
+    return;
+  }
+  if (command == ".engine") {
+    if (words.size() != 2 || (!EqualsIgnoreCase(words[1], "naive") &&
+                              !EqualsIgnoreCase(words[1], "unnested"))) {
+      out << "usage: .engine naive|unnested\n";
+      return;
+    }
+    use_naive_ = EqualsIgnoreCase(words[1], "naive");
+    out << "engine: " << (use_naive_ ? "naive" : "unnested") << "\n";
+    return;
+  }
+  if (command == ".save" || command == ".open") {
+    if (words.size() != 2) {
+      out << "usage: " << command << " <directory>\n";
+      return;
+    }
+    BufferPool pool(64);
+    if (command == ".save") {
+      const Status status = SaveDatabase(catalog_, words[1], &pool);
+      out << (status.ok() ? "saved " + words[1] : status.ToString()) << "\n";
+    } else {
+      auto loaded = LoadDatabase(words[1], &pool);
+      if (!loaded.ok()) {
+        out << loaded.status().ToString() << "\n";
+      } else {
+        catalog_ = std::move(loaded).value();
+        out << "opened " << words[1] << "\n";
+      }
+    }
+    return;
+  }
+  out << "unknown command '" << command << "' (.help for help)\n";
+}
+
+void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
+  auto parsed = sql::ParseStatement(text);
+  if (!parsed.ok()) {
+    out << parsed.status().ToString() << "\n";
+    return;
+  }
+  sql::Statement& statement = *parsed;
+
+  switch (statement.kind) {
+    case sql::Statement::Kind::kSelect: {
+      auto bound = sql::Bind(*statement.select, catalog_);
+      if (!bound.ok()) {
+        out << bound.status().ToString() << "\n";
+        return;
+      }
+      Stopwatch watch;
+      Result<Relation> answer = Status::Internal("unset");
+      QueryType type = Classify(**bound);
+      bool unnested = false;
+      if (use_naive_) {
+        NaiveEvaluator naive;
+        answer = naive.Evaluate(**bound);
+      } else {
+        UnnestingEvaluator engine;
+        answer = engine.Evaluate(**bound);
+        unnested = engine.last_was_unnested();
+      }
+      if (!answer.ok()) {
+        out << answer.status().ToString() << "\n";
+        return;
+      }
+      if (explain_) {
+        out << "-- type " << QueryTypeName(type) << ", "
+            << (use_naive_ ? "naive nested-loop"
+                           : (unnested ? "unnested plan" : "naive fallback"))
+            << ", " << FormatDouble(watch.ElapsedSeconds() * 1000, 4)
+            << " ms\n"
+            << DescribePlan(**bound);
+      }
+      out << answer->ToString(100);
+      return;
+    }
+    case sql::Statement::Kind::kCreateTable: {
+      const Status status = catalog_.AddRelation(Relation(
+          statement.create_table.name, statement.create_table.schema));
+      out << (status.ok() ? "created " + statement.create_table.name
+                          : status.ToString())
+          << "\n";
+      return;
+    }
+    case sql::Statement::Kind::kInsert: {
+      auto relation = catalog_.GetMutableRelation(statement.insert.table);
+      if (!relation.ok()) {
+        out << relation.status().ToString() << "\n";
+        return;
+      }
+      std::vector<Value> values;
+      for (const sql::Literal& literal : statement.insert.values) {
+        if (!literal.term.empty()) {
+          auto term = catalog_.terms().Lookup(literal.term);
+          if (!term.ok()) {
+            out << term.status().ToString() << "\n";
+            return;
+          }
+          values.push_back(Value::Fuzzy(*term));
+        } else {
+          values.push_back(literal.value);
+        }
+      }
+      const Status status = (*relation)->Append(
+          Tuple(std::move(values), statement.insert.degree));
+      out << (status.ok() ? "inserted 1 tuple" : status.ToString()) << "\n";
+      return;
+    }
+    case sql::Statement::Kind::kDefineTerm: {
+      catalog_.mutable_terms().Define(statement.define_term.name,
+                                      statement.define_term.value);
+      out << "defined \"" << statement.define_term.name << "\"\n";
+      return;
+    }
+    case sql::Statement::Kind::kDropTable: {
+      if (!catalog_.HasRelation(statement.drop_table.name)) {
+        out << "no relation named '" << statement.drop_table.name << "'\n";
+        return;
+      }
+      catalog_.DropRelation(statement.drop_table.name);
+      out << "dropped " << statement.drop_table.name << "\n";
+      return;
+    }
+  }
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,58 @@
+// An embeddable command interpreter for FuzzyDB.
+//
+// Executes Fuzzy SQL statements (SELECT / CREATE TABLE / INSERT /
+// DEFINE TERM / DROP TABLE) against an in-memory catalog, plus
+// dot-commands for introspection and persistence:
+//
+//   .help                this summary
+//   .tables              list relations
+//   .schema <table>      show a relation's schema and size
+//   .terms               list linguistic terms with their shapes
+//   .explain on|off      print classification/plan info with answers
+//   .engine naive|unnested   choose the evaluator (default unnested)
+//   .save <dir> / .open <dir>   persist / load the whole database
+//   .quit
+//
+// The shell is a library class (driven by the fuzzydb_shell tool and by
+// the test suite); statements end at ';' and may span lines.
+#ifndef FUZZYDB_SHELL_SHELL_H_
+#define FUZZYDB_SHELL_SHELL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/catalog.h"
+
+namespace fuzzydb {
+
+/// Interprets statements against an owned catalog.
+class Shell {
+ public:
+  Shell();
+
+  /// Feeds one input line (without trailing newline). Statements execute
+  /// when their terminating ';' arrives; dot-commands execute
+  /// immediately. Output and errors go to `out`. Returns false when the
+  /// session should end (.quit).
+  bool FeedLine(const std::string& line, std::ostream& out);
+
+  /// Runs a complete session: reads `in` line by line until EOF or
+  /// .quit. When `interactive`, prints prompts to `out`.
+  void Run(std::istream& in, std::ostream& out, bool interactive);
+
+  Catalog& catalog() { return catalog_; }
+
+ private:
+  void ExecuteDotCommand(const std::string& line, std::ostream& out);
+  void ExecuteStatement(const std::string& text, std::ostream& out);
+
+  Catalog catalog_;
+  std::string pending_;   // partial statement across lines
+  bool explain_ = false;
+  bool use_naive_ = false;
+  bool done_ = false;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SHELL_SHELL_H_

@@ -1,0 +1,113 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace fuzzydb {
+namespace sql {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string Operand::ToString() const {
+  if (kind == Kind::kColumn) return column.ToString();
+  if (!literal.term.empty()) return "\"" + literal.term + "\"";
+  return literal.value.ToString();
+}
+
+std::string SelectItem::ToString() const {
+  if (agg == AggFunc::kNone) return column.ToString();
+  return std::string(AggFuncName(agg)) + "(" + column.ToString() + ")";
+}
+
+std::string HavingItem::ToString() const {
+  std::string lhs = agg == AggFunc::kNone
+                        ? column.ToString()
+                        : std::string(AggFuncName(agg)) + "(" +
+                              column.ToString() + ")";
+  std::string out = lhs + " " + CompareOpName(op) + " " +
+                    (!rhs.term.empty() ? "\"" + rhs.term + "\""
+                                       : rhs.value.ToString());
+  if (op == CompareOp::kApproxEq && approx_tolerance != 1.0) {
+    out += " WITHIN " + FormatDouble(approx_tolerance, 6);
+  }
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kCompare: {
+      std::string out =
+          lhs.ToString() + " " + CompareOpName(op) + " " + rhs.ToString();
+      if (op == CompareOp::kApproxEq && approx_tolerance != 1.0) {
+        out += " WITHIN " + FormatDouble(approx_tolerance, 6);
+      }
+      return out;
+    }
+    case Kind::kIn:
+      return lhs.ToString() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToString() + ")";
+    case Kind::kQuantified:
+      return lhs.ToString() + " " + CompareOpName(op) +
+             (quantifier == Quantifier::kAll ? " ALL (" : " SOME (") +
+             subquery->ToString() + ")";
+    case Kind::kAggCompare:
+      return lhs.ToString() + " " + CompareOpName(op) + " (" +
+             subquery->ToString() + ")";
+    case Kind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             subquery->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string Query::ToString() const {
+  std::vector<std::string> parts;
+  std::vector<std::string> items;
+  for (const auto& item : select) items.push_back(item.ToString());
+  parts.push_back("SELECT " + Join(items, ", "));
+  items.clear();
+  for (const auto& table : from) items.push_back(table.ToString());
+  parts.push_back("FROM " + Join(items, ", "));
+  if (!where.empty()) {
+    items.clear();
+    for (const auto& pred : where) items.push_back(pred.ToString());
+    parts.push_back("WHERE " + Join(items, " AND "));
+  }
+  if (!group_by.empty()) {
+    items.clear();
+    for (const auto& col : group_by) items.push_back(col.ToString());
+    parts.push_back("GROUPBY " + Join(items, ", "));
+  }
+  if (!having.empty()) {
+    items.clear();
+    for (const auto& item : having) items.push_back(item.ToString());
+    parts.push_back("HAVING " + Join(items, " AND "));
+  }
+  if (!order_by.empty()) {
+    items.clear();
+    for (const auto& item : order_by) items.push_back(item.ToString());
+    parts.push_back("ORDER BY " + Join(items, ", "));
+  }
+  if (has_with) {
+    parts.push_back("WITH D >= " + FormatDouble(with_threshold, 4));
+  }
+  return Join(parts, " ");
+}
+
+}  // namespace sql
+}  // namespace fuzzydb

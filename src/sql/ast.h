@@ -1,0 +1,165 @@
+// Abstract syntax of Fuzzy SQL queries.
+//
+// The language implemented here is the fragment of Fuzzy SQL [25], [23]
+// used throughout the paper:
+//
+//   SELECT [AGG(]R.A[)] {, ...}
+//   FROM   R [alias] {, ...}
+//   WHERE  conjunction of predicates
+//   [GROUPBY R.A {, ...}]
+//   [WITH D >= z]
+//
+// Predicates are:
+//   X op Y                 -- fuzzy comparison, op in {=, <>, <, <=, >, >=, ~=}
+//   X [NOT] IN (subquery)
+//   X op ALL (subquery) / X op SOME (subquery)
+//   X op (subquery)        -- scalar subquery whose SELECT is an aggregate
+// where X is a column and Y a column or constant (number, string, fuzzy
+// linguistic term in double quotes, or TRAP(a,b,c,d) / ABOUT(v, spread)).
+#ifndef FUZZYDB_SQL_AST_H_
+#define FUZZYDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzzy/degree.h"
+#include "relational/value.h"
+
+namespace fuzzydb {
+namespace sql {
+
+/// `table` may be empty when the column name is unqualified.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// A literal constant. When `term` is non-empty the constant is a
+/// linguistic term ("medium young") resolved by the binder through the
+/// catalog's TermDictionary; otherwise `value` holds the constant.
+struct Literal {
+  Value value;
+  std::string term;
+};
+
+/// A column reference or a literal.
+struct Operand {
+  enum class Kind { kColumn, kLiteral };
+  Kind kind = Kind::kLiteral;
+  ColumnRef column;
+  Literal literal;
+
+  static Operand Column(ColumnRef ref) {
+    Operand o;
+    o.kind = Kind::kColumn;
+    o.column = std::move(ref);
+    return o;
+  }
+  static Operand Constant(Literal lit) {
+    Operand o;
+    o.kind = Kind::kLiteral;
+    o.literal = std::move(lit);
+    return o;
+  }
+
+  std::string ToString() const;
+};
+
+/// Aggregate functions of Fuzzy SQL (Section 6).
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// One item of the SELECT clause.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef column;
+
+  std::string ToString() const;
+};
+
+struct Query;
+
+/// One conjunct of a WHERE clause.
+struct Predicate {
+  enum class Kind {
+    kCompare,     // lhs op rhs
+    kIn,          // lhs [NOT] IN (subquery)
+    kQuantified,  // lhs op ALL/SOME (subquery)
+    kAggCompare,  // lhs op (subquery with aggregate SELECT)
+    kExists,      // [NOT] EXISTS (subquery); no lhs
+  };
+  /// Quantifier for kQuantified.
+  enum class Quantifier { kNone, kAll, kSome };
+
+  Kind kind = Kind::kCompare;
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  bool negated = false;  // NOT IN
+  Quantifier quantifier = Quantifier::kNone;
+  Operand rhs;                      // kCompare only
+  /// Similarity tolerance for kApproxEq comparisons ("X ~= Y WITHIN t"):
+  /// mu(x, y) = max(0, 1 - |x - y| / tolerance). Default 1.
+  double approx_tolerance = 1.0;
+  std::unique_ptr<Query> subquery;  // other kinds
+
+  std::string ToString() const;
+};
+
+/// An entry of the FROM clause.
+struct TableRef {
+  std::string name;
+  std::string alias;  // defaults to name
+
+  std::string ToString() const {
+    return alias.empty() || alias == name ? name : name + " " + alias;
+  }
+};
+
+/// One HAVING conjunct: "AGG(col) op constant" or "group-col op constant".
+struct HavingItem {
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Literal rhs;
+  double approx_tolerance = 1.0;
+
+  std::string ToString() const;
+};
+
+/// One ORDER BY item: a projected column (ordered by its defuzzified
+/// value / string order) or the membership degree D.
+struct OrderItem {
+  ColumnRef column;        // ignored when by_degree
+  bool by_degree = false;  // ORDER BY D
+  bool descending = false;
+
+  std::string ToString() const {
+    return (by_degree ? std::string("D") : column.ToString()) +
+           (descending ? " DESC" : "");
+  }
+};
+
+/// A (possibly nested) query block.
+struct Query {
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;  // conjunction
+  std::vector<ColumnRef> group_by;
+  std::vector<HavingItem> having;  // requires group_by
+  std::vector<OrderItem> order_by;  // top-level blocks only
+  bool has_with = false;
+  double with_threshold = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_AST_H_

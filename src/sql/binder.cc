@@ -1,0 +1,307 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace fuzzydb {
+namespace sql {
+
+bool BoundPredicate::IsLocal() const {
+  if (subquery != nullptr) return false;
+  if (lhs.is_column && lhs.column.up != 0) return false;
+  if (kind == Predicate::Kind::kCompare && rhs.is_column &&
+      rhs.column.up != 0) {
+    return false;
+  }
+  return true;
+}
+
+int BoundQuery::NestingDepth() const {
+  int depth = 1;
+  for (const BoundPredicate& p : predicates) {
+    if (p.subquery != nullptr) {
+      depth = std::max(depth, 1 + p.subquery->NestingDepth());
+    }
+  }
+  return depth;
+}
+
+namespace {
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<BoundQuery>> BindBlock(const Query& query) {
+    auto bound = std::make_unique<BoundQuery>();
+
+    // FROM: resolve relations, check alias uniqueness.
+    for (const TableRef& table : query.from) {
+      FUZZYDB_ASSIGN_OR_RETURN(const Relation* relation,
+                               catalog_.GetRelation(table.name));
+      const std::string alias = table.alias.empty() ? table.name : table.alias;
+      for (const BoundTable& existing : bound->tables) {
+        if (EqualsIgnoreCase(existing.alias, alias)) {
+          return Status::BindError("duplicate table alias '" + alias + "'");
+        }
+      }
+      bound->tables.push_back(BoundTable{relation, alias});
+    }
+    scopes_.push_back(bound.get());
+
+    // SELECT.
+    for (const SelectItem& item : query.select) {
+      BoundSelectItem bound_item;
+      bound_item.agg = item.agg;
+      FUZZYDB_ASSIGN_OR_RETURN(bound_item.column,
+                               ResolveColumn(item.column,
+                                             /*allow_correlated=*/false));
+      bound_item.name = item.agg == AggFunc::kNone
+                            ? item.column.column
+                            : std::string(AggFuncName(item.agg)) + "(" +
+                                  item.column.ToString() + ")";
+      bound->select.push_back(std::move(bound_item));
+    }
+
+    // WHERE.
+    for (const Predicate& pred : query.where) {
+      FUZZYDB_ASSIGN_OR_RETURN(BoundPredicate bound_pred,
+                               BindPredicate(pred));
+      bound->predicates.push_back(std::move(bound_pred));
+    }
+
+    // GROUPBY.
+    for (const ColumnRef& col : query.group_by) {
+      FUZZYDB_ASSIGN_OR_RETURN(
+          BoundColumnRef ref,
+          ResolveColumn(col, /*allow_correlated=*/false));
+      bound->group_by.push_back(ref);
+    }
+    auto in_group_by = [&](const BoundColumnRef& ref) {
+      for (const BoundColumnRef& g : bound->group_by) {
+        if (g.table == ref.table && g.column == ref.column) return true;
+      }
+      return false;
+    };
+    if (!bound->group_by.empty()) {
+      // Grouped query: every plain SELECT item must be a grouping column.
+      for (const BoundSelectItem& item : bound->select) {
+        if (item.agg == AggFunc::kNone && !in_group_by(item.column)) {
+          return Status::BindError("column '" + item.name +
+                                   "' must appear in GROUPBY or inside an "
+                                   "aggregate");
+        }
+      }
+    }
+
+    // HAVING.
+    if (!query.having.empty() && bound->group_by.empty()) {
+      return Status::BindError("HAVING requires a GROUPBY clause");
+    }
+    for (const HavingItem& item : query.having) {
+      BoundHavingItem bound_item;
+      bound_item.agg = item.agg;
+      bound_item.op = item.op;
+      bound_item.approx_tolerance = item.approx_tolerance;
+      FUZZYDB_ASSIGN_OR_RETURN(
+          bound_item.column,
+          ResolveColumn(item.column, /*allow_correlated=*/false));
+      if (item.agg == AggFunc::kNone && !in_group_by(bound_item.column)) {
+        return Status::BindError(
+            "HAVING column must be aggregated or appear in GROUPBY");
+      }
+      if (item.agg != AggFunc::kNone && item.agg != AggFunc::kCount) {
+        const auto& schema =
+            bound->tables[bound_item.column.table].relation->schema();
+        if (schema.ColumnAt(bound_item.column.column).type !=
+            ValueType::kFuzzy) {
+          return Status::BindError("aggregate over non-numeric HAVING column");
+        }
+      }
+      if (!item.rhs.term.empty()) {
+        FUZZYDB_ASSIGN_OR_RETURN(Trapezoid t,
+                                 catalog_.terms().Lookup(item.rhs.term));
+        bound_item.constant = Value::Fuzzy(t);
+      } else {
+        bound_item.constant = item.rhs.value;
+      }
+      bound->having.push_back(std::move(bound_item));
+    }
+
+    bound->has_with = query.has_with;
+    bound->with_threshold = query.has_with ? query.with_threshold : 0.0;
+
+    // Output schema.
+    for (const BoundSelectItem& item : bound->select) {
+      const Schema& schema = bound->tables[item.column.table].relation->schema();
+      ValueType type = schema.ColumnAt(item.column.column).type;
+      if (item.agg == AggFunc::kCount) type = ValueType::kFuzzy;
+      if (item.agg != AggFunc::kNone && type != ValueType::kFuzzy) {
+        return Status::BindError("aggregate over non-numeric column '" +
+                                 item.name + "'");
+      }
+      // Disambiguate colliding output names (SELECT F.NAME, M.NAME) by
+      // qualifying with the table alias, then numbering.
+      std::string name = item.name;
+      if (bound->output_schema.Has(name)) {
+        name = bound->tables[item.column.table].alias + "." + item.name;
+      }
+      for (int n = 2; bound->output_schema.Has(name); ++n) {
+        name = item.name + "_" + std::to_string(n);
+      }
+      FUZZYDB_RETURN_IF_ERROR(
+          bound->output_schema.AddColumn(Column{name, type}));
+    }
+
+    // ORDER BY: resolves against the projected columns (or the degree).
+    // Only meaningful on the outermost block: an inner block's result is
+    // a fuzzy *set*, which has no order.
+    if (!query.order_by.empty() && scopes_.size() > 1) {
+      return Status::BindError("ORDER BY is not allowed in a subquery");
+    }
+    for (const OrderItem& item : query.order_by) {
+      BoundOrderItem bound_item;
+      bound_item.descending = item.descending;
+      if (item.by_degree) {
+        bound_item.by_degree = true;
+      } else {
+        FUZZYDB_ASSIGN_OR_RETURN(
+            bound_item.output_column,
+            bound->output_schema.IndexOf(item.column.column));
+      }
+      bound->order_by.push_back(bound_item);
+    }
+
+    scopes_.pop_back();
+    return bound;
+  }
+
+ private:
+  Result<BoundColumnRef> ResolveColumn(const ColumnRef& ref,
+                                       bool allow_correlated) {
+    for (int up = 0; up < static_cast<int>(scopes_.size()); ++up) {
+      const BoundQuery* scope = scopes_[scopes_.size() - 1 - up];
+      int match_table = -1;
+      size_t match_column = 0;
+      for (size_t t = 0; t < scope->tables.size(); ++t) {
+        const BoundTable& table = scope->tables[t];
+        if (!ref.table.empty() && !EqualsIgnoreCase(ref.table, table.alias)) {
+          continue;
+        }
+        auto idx = table.relation->schema().IndexOf(ref.column);
+        if (!idx.ok()) continue;
+        if (match_table >= 0) {
+          return Status::BindError("ambiguous column reference '" +
+                                   ref.ToString() + "'");
+        }
+        match_table = static_cast<int>(t);
+        match_column = idx.value();
+      }
+      if (match_table >= 0) {
+        if (up > 0 && !allow_correlated) {
+          return Status::BindError("correlated reference '" + ref.ToString() +
+                                   "' is not allowed here");
+        }
+        BoundColumnRef bound;
+        bound.up = up;
+        bound.table = static_cast<size_t>(match_table);
+        bound.column = match_column;
+        return bound;
+      }
+    }
+    return Status::BindError("cannot resolve column '" + ref.ToString() +
+                             "'");
+  }
+
+  Result<BoundOperand> BindOperand(const Operand& operand) {
+    BoundOperand bound;
+    if (operand.kind == Operand::Kind::kColumn) {
+      bound.is_column = true;
+      FUZZYDB_ASSIGN_OR_RETURN(
+          bound.column,
+          ResolveColumn(operand.column, /*allow_correlated=*/true));
+      return bound;
+    }
+    bound.is_column = false;
+    if (!operand.literal.term.empty()) {
+      FUZZYDB_ASSIGN_OR_RETURN(Trapezoid t,
+                               catalog_.terms().Lookup(operand.literal.term));
+      bound.constant = Value::Fuzzy(t);
+    } else {
+      bound.constant = operand.literal.value;
+    }
+    return bound;
+  }
+
+  Result<BoundPredicate> BindPredicate(const Predicate& pred) {
+    BoundPredicate bound;
+    bound.kind = pred.kind;
+    bound.op = pred.op;
+    bound.negated = pred.negated;
+    bound.quantifier = pred.quantifier;
+    bound.approx_tolerance = pred.approx_tolerance;
+    if (pred.kind != Predicate::Kind::kExists) {
+      FUZZYDB_ASSIGN_OR_RETURN(bound.lhs, BindOperand(pred.lhs));
+    }
+
+    if (pred.kind == Predicate::Kind::kCompare) {
+      FUZZYDB_ASSIGN_OR_RETURN(bound.rhs, BindOperand(pred.rhs));
+      return bound;
+    }
+
+    FUZZYDB_ASSIGN_OR_RETURN(bound.subquery, BindBlock(*pred.subquery));
+    const auto& sub_select = bound.subquery->select;
+    bool has_agg = false;
+    for (const auto& item : sub_select) {
+      has_agg = has_agg || item.agg != AggFunc::kNone;
+    }
+    if (pred.kind == Predicate::Kind::kExists) {
+      if (has_agg) {
+        return Status::BindError(
+            "EXISTS subquery must not select an aggregate");
+      }
+      return bound;
+    }
+    if (sub_select.size() != 1) {
+      return Status::BindError(
+          "subquery must project exactly one column");
+    }
+    if (pred.kind == Predicate::Kind::kAggCompare && !has_agg) {
+      return Status::BindError(
+          "scalar subquery must select an aggregate function");
+    }
+    if (pred.kind == Predicate::Kind::kAggCompare &&
+        !bound.subquery->group_by.empty()) {
+      return Status::BindError(
+          "scalar subquery must not use GROUPBY (it would return one row "
+          "per group)");
+    }
+    if (pred.kind != Predicate::Kind::kAggCompare && has_agg) {
+      return Status::BindError(
+          "IN/quantified subquery must not select an aggregate");
+    }
+    return bound;
+  }
+
+  const Catalog& catalog_;
+  std::vector<const BoundQuery*> scopes_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundQuery>> Bind(const Query& query,
+                                         const Catalog& catalog) {
+  Binder binder(catalog);
+  return binder.BindBlock(query);
+}
+
+Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& text,
+                                                 const Catalog& catalog) {
+  FUZZYDB_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(text));
+  return Bind(*query, catalog);
+}
+
+}  // namespace sql
+}  // namespace fuzzydb

@@ -1,0 +1,110 @@
+// Semantic analysis: resolves a parsed Query against a Catalog.
+//
+// Binding resolves relation names, column references (including
+// correlated references to enclosing blocks), and linguistic terms, and
+// validates subquery shapes (IN subqueries project one column; aggregate
+// subqueries project exactly one aggregate; ...). The evaluators consume
+// only bound queries.
+#ifndef FUZZYDB_SQL_BINDER_H_
+#define FUZZYDB_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "sql/ast.h"
+
+namespace fuzzydb {
+namespace sql {
+
+/// A resolved column: `up` blocks outward, table `table` of that block's
+/// FROM list, column `column` of the table's schema. up > 0 means a
+/// correlated reference.
+struct BoundColumnRef {
+  int up = 0;
+  size_t table = 0;
+  size_t column = 0;
+};
+
+/// A resolved operand: a column or a constant value.
+struct BoundOperand {
+  bool is_column = false;
+  BoundColumnRef column;
+  Value constant;
+};
+
+struct BoundSelectItem {
+  AggFunc agg = AggFunc::kNone;
+  BoundColumnRef column;
+  std::string name;  // output column name
+};
+
+struct BoundQuery;
+
+struct BoundTable {
+  const Relation* relation = nullptr;
+  std::string alias;
+};
+
+struct BoundPredicate {
+  Predicate::Kind kind = Predicate::Kind::kCompare;
+  BoundOperand lhs;
+  CompareOp op = CompareOp::kEq;
+  bool negated = false;
+  Predicate::Quantifier quantifier = Predicate::Quantifier::kNone;
+  BoundOperand rhs;
+  double approx_tolerance = 1.0;  // for kApproxEq comparisons
+  std::unique_ptr<BoundQuery> subquery;
+
+  /// True when the predicate references only this block's tables
+  /// (up == 0 everywhere and no subquery).
+  bool IsLocal() const;
+};
+
+/// A resolved HAVING conjunct.
+struct BoundHavingItem {
+  AggFunc agg = AggFunc::kNone;
+  BoundColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+  double approx_tolerance = 1.0;
+};
+
+/// A resolved ORDER BY item: an output column position or the degree.
+struct BoundOrderItem {
+  bool by_degree = false;
+  size_t output_column = 0;  // index into output_schema when !by_degree
+  bool descending = false;
+};
+
+struct BoundQuery {
+  std::vector<BoundTable> tables;
+  std::vector<BoundSelectItem> select;
+  std::vector<BoundPredicate> predicates;
+  std::vector<BoundColumnRef> group_by;
+  std::vector<BoundHavingItem> having;
+  std::vector<BoundOrderItem> order_by;
+  bool has_with = false;
+  double with_threshold = 0.0;
+  Schema output_schema;
+
+  /// Maximum nesting depth: 1 for a flat query, 2 for one subquery
+  /// level, etc.
+  int NestingDepth() const;
+};
+
+/// Binds `query` against `catalog`. The returned BoundQuery holds
+/// pointers into the catalog's relations; the catalog must outlive it.
+Result<std::unique_ptr<BoundQuery>> Bind(const Query& query,
+                                         const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& text,
+                                                 const Catalog& catalog);
+
+}  // namespace sql
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_BINDER_H_

@@ -1,0 +1,167 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fuzzydb {
+namespace sql {
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string literal";
+    case TokenType::kTerm:
+      return "term \"" + text + "\"";
+    case TokenType::kEnd:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenType type, std::string text, size_t pos) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      push(TokenType::kIdentifier, input.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      char* end = nullptr;
+      const double v = std::strtod(input.c_str() + i, &end);
+      Token t;
+      t.type = TokenType::kNumber;
+      t.number = v;
+      t.position = start;
+      tokens.push_back(std::move(t));
+      i = static_cast<size_t>(end - input.c_str());
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && input[j] != quote) text += input[j++];
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(quote == '"' ? TokenType::kTerm : TokenType::kString, text, start);
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenType::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenType::kDot, ".", start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenType::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::kRParen, ")", start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenType::kPlus, "+", start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenType::kMinus, "-", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::kEq, "=", start);
+        ++i;
+        continue;
+      case '~':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kApprox, "~=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '~' at offset " +
+                                  std::to_string(start));
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNe, "!=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(start));
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", start);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace fuzzydb

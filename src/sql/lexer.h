@@ -1,0 +1,51 @@
+// Tokenizer for Fuzzy SQL.
+#ifndef FUZZYDB_SQL_LEXER_H_
+#define FUZZYDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,   // SELECT, relation names, column names (keywords resolved
+                 // by the parser, case-insensitively)
+  kNumber,       // 42, 3.5, -7 handled as unary minus by parser
+  kString,       // '...' quoted character string literal
+  kTerm,         // "..." quoted linguistic term
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kEq,           // =
+  kNe,           // <> or !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kApprox,       // ~=
+  kPlus,
+  kMinus,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/string/term content
+  double number = 0;  // kNumber value
+  size_t position = 0;  // byte offset, for diagnostics
+
+  std::string Describe() const;
+};
+
+/// Splits `input` into tokens. Fails on unterminated strings or unexpected
+/// characters, reporting the byte offset.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_LEXER_H_

@@ -1,0 +1,563 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+#include "sql/statement.h"
+
+namespace fuzzydb {
+namespace sql {
+
+namespace {
+
+/// Keywords that terminate a table alias or clause.
+bool IsKeyword(const std::string& ident) {
+  static const char* kKeywords[] = {
+      "select", "from", "where",  "and",  "in",   "not", "is",  "groupby",
+      "group",  "by",   "having", "with", "all",  "some", "any", "count",
+      "sum",    "avg",  "min",    "max",  "trap", "about", "distinct",
+      "exists", "create", "table", "insert", "into", "values", "degree",
+      "define", "term", "as", "drop", "null", "order", "asc", "desc",
+      "within",
+  };
+  const std::string lower = ToLower(ident);
+  for (const char* kw : kKeywords) {
+    if (lower == kw) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Query>> Parse() {
+    FUZZYDB_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseSelect());
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+  Result<Statement> ParseStatementTop() {
+    Statement statement;
+    if (PeekIsKeyword("select")) {
+      statement.kind = Statement::Kind::kSelect;
+      FUZZYDB_ASSIGN_OR_RETURN(statement.select, ParseSelect());
+    } else if (PeekIsKeyword("create")) {
+      statement.kind = Statement::Kind::kCreateTable;
+      FUZZYDB_ASSIGN_OR_RETURN(statement.create_table, ParseCreateTable());
+    } else if (PeekIsKeyword("insert")) {
+      statement.kind = Statement::Kind::kInsert;
+      FUZZYDB_ASSIGN_OR_RETURN(statement.insert, ParseInsert());
+    } else if (PeekIsKeyword("define")) {
+      statement.kind = Statement::Kind::kDefineTerm;
+      FUZZYDB_ASSIGN_OR_RETURN(statement.define_term, ParseDefineTerm());
+    } else if (PeekIsKeyword("drop")) {
+      statement.kind = Statement::Kind::kDropTable;
+      FUZZYDB_ASSIGN_OR_RETURN(statement.drop_table, ParseDropTable());
+    } else {
+      return Error("expected SELECT, CREATE, INSERT, DEFINE, or DROP");
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekIsKeyword(const std::string& word, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, word);
+  }
+
+  bool MatchKeyword(const std::string& word) {
+    if (PeekIsKeyword(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool Match(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (at " + Peek().Describe() +
+                              ", offset " + std::to_string(Peek().position) +
+                              ")");
+  }
+
+  Status ExpectKeyword(const std::string& word) {
+    if (!MatchKeyword(word)) return Error("expected '" + word + "'");
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const std::string& what) {
+    if (!Match(type)) return Error("expected " + what);
+    return Status::OK();
+  }
+
+  /// Parses a comparison operator token if present.
+  bool MatchCompareOp(CompareOp* op) {
+    switch (Peek().type) {
+      case TokenType::kEq:
+        *op = CompareOp::kEq;
+        break;
+      case TokenType::kNe:
+        *op = CompareOp::kNe;
+        break;
+      case TokenType::kLt:
+        *op = CompareOp::kLt;
+        break;
+      case TokenType::kLe:
+        *op = CompareOp::kLe;
+        break;
+      case TokenType::kGt:
+        *op = CompareOp::kGt;
+        break;
+      case TokenType::kGe:
+        *op = CompareOp::kGe;
+        break;
+      case TokenType::kApprox:
+        *op = CompareOp::kApproxEq;
+        break;
+      default:
+        return false;
+    }
+    Advance();
+    return true;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected column name");
+    }
+    ColumnRef ref;
+    ref.column = Advance().text;
+    if (Match(TokenType::kDot)) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name after '.'");
+      }
+      ref.table = ref.column;
+      ref.column = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<double> ParseNumber() {
+    double sign = 1.0;
+    if (Match(TokenType::kMinus)) {
+      sign = -1.0;
+    } else {
+      Match(TokenType::kPlus);
+    }
+    if (Peek().type != TokenType::kNumber) return Error("expected number");
+    return sign * Advance().number;
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kNumber:
+      case TokenType::kMinus:
+      case TokenType::kPlus: {
+        FUZZYDB_ASSIGN_OR_RETURN(double v, ParseNumber());
+        return Operand::Constant(Literal{Value::Number(v), ""});
+      }
+      case TokenType::kString: {
+        Literal lit{Value::String(Advance().text), ""};
+        return Operand::Constant(std::move(lit));
+      }
+      case TokenType::kTerm: {
+        Literal lit{Value::Null(), Advance().text};
+        return Operand::Constant(std::move(lit));
+      }
+      case TokenType::kIdentifier: {
+        if (EqualsIgnoreCase(t.text, "trap")) {
+          Advance();
+          FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          double corners[4];
+          for (int i = 0; i < 4; ++i) {
+            if (i > 0) FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+            FUZZYDB_ASSIGN_OR_RETURN(corners[i], ParseNumber());
+          }
+          FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          if (!(corners[0] <= corners[1] && corners[1] <= corners[2] &&
+                corners[2] <= corners[3])) {
+            return Error("TRAP corners must be nondecreasing");
+          }
+          return Operand::Constant(
+              Literal{Value::Fuzzy(Trapezoid(corners[0], corners[1],
+                                             corners[2], corners[3])),
+                      ""});
+        }
+        if (EqualsIgnoreCase(t.text, "about")) {
+          Advance();
+          FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          FUZZYDB_ASSIGN_OR_RETURN(double v, ParseNumber());
+          FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+          FUZZYDB_ASSIGN_OR_RETURN(double spread, ParseNumber());
+          FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          if (spread <= 0) return Error("ABOUT spread must be positive");
+          return Operand::Constant(
+              Literal{Value::Fuzzy(Trapezoid::About(v, spread)), ""});
+        }
+        FUZZYDB_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        return Operand::Column(std::move(ref));
+      }
+      default:
+        return Error("expected operand");
+    }
+  }
+
+  Result<std::string> ParseIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier || IsKeyword(Peek().text)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  /// A constant literal (no column references): for INSERT values.
+  Result<Literal> ParseLiteral() {
+    if (PeekIsKeyword("null")) {
+      Advance();
+      return Literal{Value::Null(), ""};
+    }
+    FUZZYDB_ASSIGN_OR_RETURN(Operand operand, ParseOperand());
+    if (operand.kind != Operand::Kind::kLiteral) {
+      return Error("expected a literal value");
+    }
+    return operand.literal;
+  }
+
+  Result<CreateTableStatement> ParseCreateTable() {
+    CreateTableStatement statement;
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("create"));
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("table"));
+    FUZZYDB_ASSIGN_OR_RETURN(statement.name, ParseIdentifier("table name"));
+    FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    do {
+      FUZZYDB_ASSIGN_OR_RETURN(std::string column,
+                               ParseIdentifier("column name"));
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column type (STRING or FUZZY)");
+      }
+      const std::string type_name = Advance().text;
+      ValueType type;
+      if (EqualsIgnoreCase(type_name, "string")) {
+        type = ValueType::kString;
+      } else if (EqualsIgnoreCase(type_name, "fuzzy") ||
+                 EqualsIgnoreCase(type_name, "number") ||
+                 EqualsIgnoreCase(type_name, "numeric")) {
+        type = ValueType::kFuzzy;
+      } else {
+        return Error("unknown column type '" + type_name + "'");
+      }
+      FUZZYDB_RETURN_IF_ERROR(
+          statement.schema.AddColumn(Column{column, type}));
+    } while (Match(TokenType::kComma));
+    FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return statement;
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    InsertStatement statement;
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("insert"));
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("into"));
+    FUZZYDB_ASSIGN_OR_RETURN(statement.table, ParseIdentifier("table name"));
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("values"));
+    FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    do {
+      FUZZYDB_ASSIGN_OR_RETURN(Literal literal, ParseLiteral());
+      statement.values.push_back(std::move(literal));
+    } while (Match(TokenType::kComma));
+    FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (MatchKeyword("degree")) {
+      FUZZYDB_ASSIGN_OR_RETURN(statement.degree, ParseNumber());
+      if (statement.degree <= 0.0 || statement.degree > 1.0) {
+        return Error("DEGREE must be in (0, 1]");
+      }
+    }
+    return statement;
+  }
+
+  Result<DefineTermStatement> ParseDefineTerm() {
+    DefineTermStatement statement;
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("define"));
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("term"));
+    if (Peek().type != TokenType::kTerm &&
+        Peek().type != TokenType::kString) {
+      return Error("expected quoted term name");
+    }
+    statement.name = Advance().text;
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("as"));
+    FUZZYDB_ASSIGN_OR_RETURN(Literal literal, ParseLiteral());
+    if (!literal.value.is_fuzzy()) {
+      return Error("term definition must be numeric (TRAP/ABOUT/number)");
+    }
+    statement.value = literal.value.AsFuzzy();
+    return statement;
+  }
+
+  Result<DropTableStatement> ParseDropTable() {
+    DropTableStatement statement;
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("drop"));
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("table"));
+    FUZZYDB_ASSIGN_OR_RETURN(statement.name, ParseIdentifier("table name"));
+    return statement;
+  }
+
+  Result<std::unique_ptr<Query>> ParseSubquery() {
+    FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    FUZZYDB_ASSIGN_OR_RETURN(std::unique_ptr<Query> sub, ParseSelect());
+    FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return sub;
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate pred;
+
+    // [NOT] EXISTS (subquery)
+    {
+      const bool exists_negated =
+          PeekIsKeyword("not") && PeekIsKeyword("exists", 1);
+      if (exists_negated) Advance();
+      if (MatchKeyword("exists")) {
+        pred.kind = Predicate::Kind::kExists;
+        pred.negated = exists_negated;
+        FUZZYDB_ASSIGN_OR_RETURN(pred.subquery, ParseSubquery());
+        return pred;
+      }
+      if (exists_negated) {
+        return Error("expected EXISTS after NOT");
+      }
+    }
+
+    FUZZYDB_ASSIGN_OR_RETURN(pred.lhs, ParseOperand());
+
+    // "is [not] in" / "[not] in"
+    const bool saw_is = MatchKeyword("is");
+    bool negated = MatchKeyword("not");
+    if (MatchKeyword("in")) {
+      pred.kind = Predicate::Kind::kIn;
+      pred.negated = negated;
+      FUZZYDB_ASSIGN_OR_RETURN(pred.subquery, ParseSubquery());
+      return pred;
+    }
+    if (saw_is || negated) {
+      return Error("expected IN after IS/NOT");
+    }
+
+    CompareOp op;
+    if (!MatchCompareOp(&op)) return Error("expected comparison operator");
+    pred.op = op;
+
+    if (MatchKeyword("all")) {
+      pred.kind = Predicate::Kind::kQuantified;
+      pred.quantifier = Predicate::Quantifier::kAll;
+      FUZZYDB_ASSIGN_OR_RETURN(pred.subquery, ParseSubquery());
+      return pred;
+    }
+    if (MatchKeyword("some") || MatchKeyword("any")) {
+      pred.kind = Predicate::Kind::kQuantified;
+      pred.quantifier = Predicate::Quantifier::kSome;
+      FUZZYDB_ASSIGN_OR_RETURN(pred.subquery, ParseSubquery());
+      return pred;
+    }
+    if (Peek().type == TokenType::kLParen &&
+        PeekIsKeyword("select", 1)) {
+      pred.kind = Predicate::Kind::kAggCompare;
+      FUZZYDB_ASSIGN_OR_RETURN(pred.subquery, ParseSubquery());
+      return pred;
+    }
+    pred.kind = Predicate::Kind::kCompare;
+    FUZZYDB_ASSIGN_OR_RETURN(pred.rhs, ParseOperand());
+    if (MatchKeyword("within")) {
+      if (pred.op != CompareOp::kApproxEq) {
+        return Error("WITHIN requires the ~= comparator");
+      }
+      FUZZYDB_ASSIGN_OR_RETURN(pred.approx_tolerance, ParseNumber());
+      if (pred.approx_tolerance <= 0.0) {
+        return Error("WITHIN tolerance must be positive");
+      }
+    }
+    return pred;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    const Token& t = Peek();
+    if (t.type == TokenType::kIdentifier) {
+      AggFunc agg = AggFunc::kNone;
+      if (EqualsIgnoreCase(t.text, "count")) agg = AggFunc::kCount;
+      else if (EqualsIgnoreCase(t.text, "sum")) agg = AggFunc::kSum;
+      else if (EqualsIgnoreCase(t.text, "avg")) agg = AggFunc::kAvg;
+      else if (EqualsIgnoreCase(t.text, "min")) agg = AggFunc::kMin;
+      else if (EqualsIgnoreCase(t.text, "max")) agg = AggFunc::kMax;
+      if (agg != AggFunc::kNone && Peek(1).type == TokenType::kLParen) {
+        Advance();  // aggregate name
+        Advance();  // '('
+        MatchKeyword("distinct");  // COUNT(DISTINCT x): Fuzzy-set COUNT is
+                                   // inherently distinct; accepted, no-op.
+        FUZZYDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        FUZZYDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        item.agg = agg;
+        return item;
+      }
+    }
+    FUZZYDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    return item;
+  }
+
+  Result<std::unique_ptr<Query>> ParseSelect() {
+    auto query = std::make_unique<Query>();
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("select"));
+    MatchKeyword("distinct");  // duplicates always eliminated (fuzzy sets)
+    do {
+      FUZZYDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      query->select.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+
+    FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("from"));
+    do {
+      if (Peek().type != TokenType::kIdentifier || IsKeyword(Peek().text)) {
+        return Error("expected relation name");
+      }
+      TableRef table;
+      table.name = Advance().text;
+      table.alias = table.name;
+      if (Peek().type == TokenType::kIdentifier && !IsKeyword(Peek().text)) {
+        table.alias = Advance().text;
+      }
+      query->from.push_back(std::move(table));
+    } while (Match(TokenType::kComma));
+
+    if (MatchKeyword("where")) {
+      do {
+        FUZZYDB_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+        query->where.push_back(std::move(pred));
+      } while (MatchKeyword("and"));
+    }
+
+    // Optional tail clauses, each at most once, in any order.
+    while (true) {
+      bool saw_groupby = MatchKeyword("groupby");
+      if (!saw_groupby && PeekIsKeyword("group") && PeekIsKeyword("by", 1)) {
+        Advance();
+        Advance();
+        saw_groupby = true;
+      }
+      if (saw_groupby) {
+        if (!query->group_by.empty()) return Error("duplicate GROUPBY");
+        do {
+          FUZZYDB_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+          query->group_by.push_back(std::move(col));
+        } while (Match(TokenType::kComma));
+        continue;
+      }
+
+      if (MatchKeyword("having")) {
+        if (!query->having.empty()) return Error("duplicate HAVING");
+        do {
+          HavingItem item;
+          // AGG(col) or a plain column on the left.
+          FUZZYDB_ASSIGN_OR_RETURN(SelectItem lhs, ParseSelectItem());
+          item.agg = lhs.agg;
+          item.column = lhs.column;
+          if (!MatchCompareOp(&item.op)) {
+            return Error("expected comparison operator in HAVING");
+          }
+          FUZZYDB_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+          if (rhs.kind != Operand::Kind::kLiteral) {
+            return Error("HAVING right-hand side must be a constant");
+          }
+          item.rhs = rhs.literal;
+          if (MatchKeyword("within")) {
+            if (item.op != CompareOp::kApproxEq) {
+              return Error("WITHIN requires the ~= comparator");
+            }
+            FUZZYDB_ASSIGN_OR_RETURN(item.approx_tolerance, ParseNumber());
+            if (item.approx_tolerance <= 0.0) {
+              return Error("WITHIN tolerance must be positive");
+            }
+          }
+          query->having.push_back(std::move(item));
+        } while (MatchKeyword("and"));
+        continue;
+      }
+
+      if (PeekIsKeyword("order") && PeekIsKeyword("by", 1)) {
+        Advance();
+        Advance();
+        if (!query->order_by.empty()) return Error("duplicate ORDER BY");
+        do {
+          OrderItem item;
+          if (PeekIsKeyword("d") && Peek(1).type != TokenType::kDot) {
+            Advance();
+            item.by_degree = true;
+          } else {
+            FUZZYDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+          }
+          if (MatchKeyword("desc")) {
+            item.descending = true;
+          } else {
+            MatchKeyword("asc");
+          }
+          query->order_by.push_back(std::move(item));
+        } while (Match(TokenType::kComma));
+        continue;
+      }
+
+      if (MatchKeyword("with")) {
+        // WITH D >= z   (also accepts > for compatibility)
+        if (query->has_with) return Error("duplicate WITH");
+        if (!MatchKeyword("d")) return Error("expected D after WITH");
+        CompareOp op;
+        if (!MatchCompareOp(&op) ||
+            (op != CompareOp::kGe && op != CompareOp::kGt)) {
+          return Error("expected >= in WITH clause");
+        }
+        FUZZYDB_ASSIGN_OR_RETURN(double threshold, ParseNumber());
+        if (threshold < 0.0 || threshold > 1.0) {
+          return Error("WITH threshold must be in [0, 1]");
+        }
+        query->has_with = true;
+        query->with_threshold = threshold;
+        continue;
+      }
+      break;
+    }
+    return query;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Query>> ParseQuery(const std::string& text) {
+  FUZZYDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<Statement> ParseStatement(const std::string& text) {
+  FUZZYDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+}  // namespace sql
+}  // namespace fuzzydb

@@ -1,0 +1,23 @@
+// Recursive-descent parser for Fuzzy SQL.
+#ifndef FUZZYDB_SQL_PARSER_H_
+#define FUZZYDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace fuzzydb {
+namespace sql {
+
+/// Parses one Fuzzy SQL SELECT statement. See ast.h for the grammar.
+/// Keywords are case-insensitive; "GROUP BY" and "GROUPBY" (the paper's
+/// spelling) are both accepted, as are "is in" / "is not in" / "in" /
+/// "not in" for set membership.
+Result<std::unique_ptr<Query>> ParseQuery(const std::string& text);
+
+}  // namespace sql
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_PARSER_H_

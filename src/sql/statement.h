@@ -1,0 +1,65 @@
+// Statement-level Fuzzy SQL: queries plus the DDL/DML used by the shell
+// and by applications that build databases textually.
+//
+//   SELECT ...                                   (ast.h)
+//   CREATE TABLE name (col TYPE, ...)            TYPE: STRING | FUZZY
+//   INSERT INTO name VALUES (v, ...) [DEGREE d]  d in (0, 1], default 1
+//   DEFINE TERM "name" AS TRAP(a,b,c,d)          (or ABOUT(v, spread))
+//   DROP TABLE name
+//
+// INSERT values are literals: numbers, 'strings', "linguistic terms"
+// (resolved against the catalog at execution time), TRAP(a,b,c,d),
+// ABOUT(v, spread), or NULL.
+#ifndef FUZZYDB_SQL_STATEMENT_H_
+#define FUZZYDB_SQL_STATEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzzy/trapezoid.h"
+#include "relational/schema.h"
+#include "sql/ast.h"
+
+namespace fuzzydb {
+namespace sql {
+
+struct CreateTableStatement {
+  std::string name;
+  Schema schema;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<Literal> values;  // term literals resolved at execution
+  double degree = 1.0;
+};
+
+struct DefineTermStatement {
+  std::string name;
+  Trapezoid value;
+};
+
+struct DropTableStatement {
+  std::string name;
+};
+
+/// One parsed statement; exactly one member is active per `kind`.
+struct Statement {
+  enum class Kind { kSelect, kCreateTable, kInsert, kDefineTerm, kDropTable };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<Query> select;
+  CreateTableStatement create_table;
+  InsertStatement insert;
+  DefineTermStatement define_term;
+  DropTableStatement drop_table;
+};
+
+/// Parses a single statement (no trailing ';').
+Result<Statement> ParseStatement(const std::string& text);
+
+}  // namespace sql
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_STATEMENT_H_

@@ -1,0 +1,196 @@
+#include "storage/database.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "storage/heap_file.h"
+
+namespace fuzzydb {
+
+namespace {
+
+constexpr char kManifestName[] = "catalog.meta";
+constexpr char kMagic[] = "fuzzydb";
+constexpr int kVersion = 1;
+
+Status EnsureDirectory(const std::string& directory) {
+  struct stat st;
+  if (stat(directory.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IoError("'" + directory + "' exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  if (mkdir(directory.c_str(), 0755) != 0) {
+    return Status::IoError("cannot create directory '" + directory + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+Result<double> ParseDouble(const std::string& field) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == nullptr || *end != '\0' || field.empty()) {
+    return Status::IoError("bad numeric field '" + field + "' in manifest");
+  }
+  return v;
+}
+
+Result<ValueType> ParseType(const std::string& field) {
+  if (field == "STRING") return ValueType::kString;
+  if (field == "FUZZY") return ValueType::kFuzzy;
+  if (field == "NULL") return ValueType::kNull;
+  return Status::IoError("bad column type '" + field + "' in manifest");
+}
+
+}  // namespace
+
+Status SaveDatabase(const Catalog& catalog, const std::string& directory,
+                    BufferPool* pool) {
+  FUZZYDB_RETURN_IF_ERROR(EnsureDirectory(directory));
+
+  std::ostringstream manifest;
+  manifest << kMagic << "\t" << kVersion << "\n";
+
+  for (const std::string& term : catalog.terms().Names()) {
+    FUZZYDB_ASSIGN_OR_RETURN(Trapezoid t, catalog.terms().Lookup(term));
+    manifest << "term\t" << term << "\t" << FormatDouble(t.a(), 17) << "\t"
+             << FormatDouble(t.b(), 17) << "\t" << FormatDouble(t.c(), 17)
+             << "\t" << FormatDouble(t.d(), 17) << "\n";
+  }
+
+  size_t index = 0;
+  for (const std::string& name : catalog.RelationNames()) {
+    FUZZYDB_ASSIGN_OR_RETURN(const Relation* relation,
+                             catalog.GetRelation(name));
+    const std::string file_name = "rel_" + std::to_string(index++) + ".fdb";
+    manifest << "relation\t" << relation->name() << "\t" << file_name << "\t"
+             << relation->schema().NumColumns() << "\n";
+    for (const Column& column : relation->schema().columns()) {
+      manifest << "col\t" << column.name << "\t" << ValueTypeName(column.type)
+               << "\n";
+    }
+    FUZZYDB_ASSIGN_OR_RETURN(
+        auto file,
+        WriteRelationToFile(*relation, directory + "/" + file_name, pool));
+    pool->Invalidate(file.get());
+  }
+  manifest << "end\n";
+
+  const std::string manifest_path = directory + "/" + kManifestName;
+  std::ofstream out(manifest_path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot write manifest '" + manifest_path + "'");
+  }
+  out << manifest.str();
+  out.close();
+  if (!out) {
+    return Status::IoError("failed writing manifest '" + manifest_path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Catalog> LoadDatabase(const std::string& directory, BufferPool* pool) {
+  const std::string manifest_path = directory + "/" + kManifestName;
+  std::ifstream in(manifest_path);
+  if (!in) {
+    return Status::NotFound("no database manifest at '" + manifest_path + "'");
+  }
+
+  Catalog catalog;
+  catalog.mutable_terms() = TermDictionary();  // only persisted terms
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty manifest");
+  }
+  {
+    const auto fields = SplitTabs(line);
+    if (fields.size() != 2 || fields[0] != kMagic) {
+      return Status::IoError("bad manifest header");
+    }
+  }
+
+  // Pending relation being parsed.
+  std::string rel_name, rel_file;
+  size_t cols_expected = 0;
+  Schema schema;
+
+  auto finish_relation = [&]() -> Status {
+    if (rel_name.empty()) return Status::OK();
+    if (schema.NumColumns() != cols_expected) {
+      return Status::IoError("manifest column count mismatch for '" +
+                             rel_name + "'");
+    }
+    FUZZYDB_ASSIGN_OR_RETURN(auto file,
+                             PageFile::Open(directory + "/" + rel_file));
+    FUZZYDB_ASSIGN_OR_RETURN(
+        Relation relation,
+        ReadRelationFromFile(file.get(), pool, rel_name, schema));
+    pool->Invalidate(file.get());
+    FUZZYDB_RETURN_IF_ERROR(catalog.AddRelation(std::move(relation)));
+    rel_name.clear();
+    schema = Schema();
+    return Status::OK();
+  };
+
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = SplitTabs(line);
+    const std::string& kind = fields[0];
+    if (kind == "term") {
+      if (fields.size() != 6) return Status::IoError("bad term line");
+      double corners[4];
+      for (int i = 0; i < 4; ++i) {
+        FUZZYDB_ASSIGN_OR_RETURN(corners[i], ParseDouble(fields[2 + i]));
+      }
+      catalog.mutable_terms().Define(
+          fields[1], Trapezoid(corners[0], corners[1], corners[2], corners[3]));
+    } else if (kind == "relation") {
+      FUZZYDB_RETURN_IF_ERROR(finish_relation());
+      if (fields.size() != 4) return Status::IoError("bad relation line");
+      rel_name = fields[1];
+      rel_file = fields[2];
+      FUZZYDB_ASSIGN_OR_RETURN(const double n, ParseDouble(fields[3]));
+      cols_expected = static_cast<size_t>(n);
+    } else if (kind == "col") {
+      if (fields.size() != 3) return Status::IoError("bad column line");
+      FUZZYDB_ASSIGN_OR_RETURN(ValueType type, ParseType(fields[2]));
+      FUZZYDB_RETURN_IF_ERROR(schema.AddColumn(Column{fields[1], type}));
+    } else if (kind == "end") {
+      FUZZYDB_RETURN_IF_ERROR(finish_relation());
+      saw_end = true;
+      break;
+    } else {
+      return Status::IoError("unknown manifest entry '" + kind + "'");
+    }
+  }
+  if (!saw_end) {
+    return Status::IoError("manifest truncated (no end marker)");
+  }
+  return catalog;
+}
+
+}  // namespace fuzzydb

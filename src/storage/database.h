@@ -1,0 +1,31 @@
+// Durable storage of a whole catalog.
+//
+// A saved database is a directory containing
+//   catalog.meta  -- a text manifest: linguistic terms, relation schemas
+//   rel_<i>.fdb   -- one heap file of tuples per relation
+//
+// The manifest is line-oriented with tab-separated fields so names may
+// contain spaces ("medium young"). Loading reconstructs an in-memory
+// Catalog; all page traffic flows through the caller's BufferPool.
+#ifndef FUZZYDB_STORAGE_DATABASE_H_
+#define FUZZYDB_STORAGE_DATABASE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "storage/buffer_pool.h"
+
+namespace fuzzydb {
+
+/// Saves `catalog` (relations + term definitions) under `directory`,
+/// creating it if needed and replacing any database already there.
+Status SaveDatabase(const Catalog& catalog, const std::string& directory,
+                    BufferPool* pool);
+
+/// Loads the database stored under `directory`.
+Result<Catalog> LoadDatabase(const std::string& directory, BufferPool* pool);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_STORAGE_DATABASE_H_

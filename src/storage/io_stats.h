@@ -1,0 +1,35 @@
+// I/O accounting.
+//
+// The paper reports page I/O counts (Fig. 3 plots "Number of IOs") and
+// derives cost formulas in page units (b_R, b_S). IoStats counts every
+// page transferred between the buffer pool and files; the benchmark
+// harness reads and resets these counters around each measured phase.
+#ifndef FUZZYDB_STORAGE_IO_STATS_H_
+#define FUZZYDB_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace fuzzydb {
+
+/// Counters for page traffic and buffer behaviour.
+struct IoStats {
+  uint64_t page_reads = 0;    // pages fetched from a file
+  uint64_t page_writes = 0;   // pages flushed to a file
+  uint64_t buffer_hits = 0;   // requests served without a file read
+
+  uint64_t TotalIos() const { return page_reads + page_writes; }
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.page_reads = page_reads - other.page_reads;
+    d.page_writes = page_writes - other.page_writes;
+    d.buffer_hits = buffer_hits - other.buffer_hits;
+    return d;
+  }
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_STORAGE_IO_STATS_H_

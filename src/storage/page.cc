@@ -1,0 +1,60 @@
+#include "storage/page.h"
+
+namespace fuzzydb {
+
+namespace {
+constexpr size_t kNumSlotsOffset = 0;
+constexpr size_t kFreeEndOffset = 2;
+constexpr size_t kHeaderSize = 4;
+constexpr size_t kSlotSize = 4;  // u16 offset + u16 length
+}  // namespace
+
+void Page::Reset() {
+  std::memset(bytes_, 0, kPageSize);
+  WriteU16(kNumSlotsOffset, 0);
+  WriteU16(kFreeEndOffset, static_cast<uint16_t>(kPageSize));
+}
+
+uint16_t Page::ReadU16(size_t offset) const {
+  uint16_t v;
+  std::memcpy(&v, bytes_ + offset, sizeof(v));
+  return v;
+}
+
+void Page::WriteU16(size_t offset, uint16_t value) {
+  std::memcpy(bytes_ + offset, &value, sizeof(value));
+}
+
+uint16_t Page::NumRecords() const { return ReadU16(kNumSlotsOffset); }
+
+size_t Page::FreeSpace() const {
+  const size_t slots_end = kHeaderSize + NumRecords() * kSlotSize;
+  const size_t free_end = ReadU16(kFreeEndOffset);
+  const size_t available = free_end > slots_end ? free_end - slots_end : 0;
+  return available > kSlotSize ? available - kSlotSize : 0;
+}
+
+bool Page::Fits(size_t length) const { return length <= FreeSpace(); }
+
+int Page::Insert(const uint8_t* data, size_t length) {
+  if (!Fits(length)) return -1;
+  const uint16_t num_slots = NumRecords();
+  const uint16_t free_end = ReadU16(kFreeEndOffset);
+  const uint16_t record_offset = static_cast<uint16_t>(free_end - length);
+  std::memcpy(bytes_ + record_offset, data, length);
+  const size_t slot_offset = kHeaderSize + num_slots * kSlotSize;
+  WriteU16(slot_offset, record_offset);
+  WriteU16(slot_offset + 2, static_cast<uint16_t>(length));
+  WriteU16(kNumSlotsOffset, static_cast<uint16_t>(num_slots + 1));
+  WriteU16(kFreeEndOffset, record_offset);
+  return num_slots;
+}
+
+const uint8_t* Page::Record(uint16_t slot, uint16_t* length) const {
+  const size_t slot_offset = kHeaderSize + slot * kSlotSize;
+  const uint16_t record_offset = ReadU16(slot_offset);
+  *length = ReadU16(slot_offset + 2);
+  return bytes_ + record_offset;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,61 @@
+// Slotted pages.
+//
+// The experiments in the paper use 8 KB pages ("one buffer page (8 k-bytes)
+// is allocated to the inner relation..."). A page stores variable-length
+// tuple records through a slot directory growing from the front while
+// record payloads grow from the back.
+#ifndef FUZZYDB_STORAGE_PAGE_H_
+#define FUZZYDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fuzzydb {
+
+/// Page size in bytes, matching the paper's experimental setup.
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifies a page within a file.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// A slotted page. Layout:
+///   [u16 num_slots][u16 free_end][slot 0][slot 1]... payload ...[end]
+/// where each slot is {u16 offset, u16 length} and payloads are allocated
+/// from the end of the page downwards.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  /// Clears the page to the empty state.
+  void Reset();
+
+  /// Number of records on the page.
+  uint16_t NumRecords() const;
+
+  /// Free bytes available for one more record (slot overhead included).
+  size_t FreeSpace() const;
+
+  /// True if a record of `length` bytes fits.
+  bool Fits(size_t length) const;
+
+  /// Appends a record; returns its slot index or -1 when it doesn't fit.
+  int Insert(const uint8_t* data, size_t length);
+
+  /// Pointer to the record in slot `slot`; length returned via out-param.
+  const uint8_t* Record(uint16_t slot, uint16_t* length) const;
+
+  uint8_t* raw() { return bytes_; }
+  const uint8_t* raw() const { return bytes_; }
+
+ private:
+  uint16_t ReadU16(size_t offset) const;
+  void WriteU16(size_t offset, uint16_t value);
+
+  uint8_t bytes_[kPageSize];
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_STORAGE_PAGE_H_

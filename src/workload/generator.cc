@@ -1,0 +1,128 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuzzydb {
+
+namespace {
+
+/// A join value in group `group`: crisp at the group center, or a fuzzy
+/// trapezoid whose support contains an open interval around the center
+/// (guaranteeing a positive equality degree with every group member).
+Value MakeJoinValue(Rng* rng, double center, const WorkloadConfig& config) {
+  if (!rng->Bernoulli(config.fuzzy_fraction)) {
+    return Value::Number(center);
+  }
+  const double w = config.max_interval_width;
+  // Support ends at least w/4 away from the center on each side.
+  const double left = rng->UniformDouble(0.25 * w, 0.5 * w);
+  const double right = rng->UniformDouble(0.25 * w, 0.5 * w);
+  const double a = center - left;
+  const double d = center + right;
+  // Random core inside the support.
+  double b = rng->UniformDouble(a, d);
+  double c = rng->UniformDouble(a, d);
+  if (b > c) std::swap(b, c);
+  return Value::Fuzzy(Trapezoid(a, b, c, d));
+}
+
+double MakeDegree(Rng* rng, const WorkloadConfig& config) {
+  if (rng->Bernoulli(config.partial_membership_fraction)) {
+    return rng->UniformDouble(0.2, 1.0);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+TypeJDataset GenerateTypeJDataset(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  const size_t num_groups = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::llround(static_cast<double>(config.num_s) /
+                          std::max(1.0, config.join_fanout))));
+  const double spacing = 4.0 * config.max_interval_width;
+
+  TypeJDataset dataset;
+  dataset.r = Relation("R", Schema{Column{"X", ValueType::kFuzzy},
+                                   Column{"Y", ValueType::kFuzzy},
+                                   Column{"U", ValueType::kFuzzy}});
+  dataset.s = Relation("S", Schema{Column{"Z", ValueType::kFuzzy},
+                                   Column{"V", ValueType::kFuzzy}});
+
+  for (size_t i = 0; i < config.num_r; ++i) {
+    const auto group =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(num_groups) - 1));
+    const double center = static_cast<double>(group) * spacing;
+    (void)dataset.r.Append(
+        Tuple({Value::Number(static_cast<double>(i)),
+               MakeJoinValue(&rng, center, config),
+               Value::Number(static_cast<double>(group))},
+              MakeDegree(&rng, config)));
+  }
+  for (size_t i = 0; i < config.num_s; ++i) {
+    const auto group =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(num_groups) - 1));
+    const double center = static_cast<double>(group) * spacing;
+    (void)dataset.s.Append(
+        Tuple({MakeJoinValue(&rng, center, config),
+               Value::Number(static_cast<double>(group))},
+              MakeDegree(&rng, config)));
+  }
+  return dataset;
+}
+
+Relation GenerateRandomRelation(uint64_t seed, const std::string& name,
+                                size_t num_cols, size_t num_rows,
+                                double domain_lo, double domain_hi) {
+  Rng rng(seed);
+  std::vector<Column> columns;
+  for (size_t c = 0; c < num_cols; ++c) {
+    columns.push_back(Column{"C" + std::to_string(c), ValueType::kFuzzy});
+  }
+  Relation relation(name, Schema(std::move(columns)));
+
+  auto random_value = [&]() -> Value {
+    // Integer-ish corners over a small domain: collisions are the point.
+    auto point = [&] {
+      return static_cast<double>(
+          rng.UniformInt(static_cast<int64_t>(domain_lo),
+                         static_cast<int64_t>(domain_hi)));
+    };
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // crisp
+        return Value::Number(point());
+      case 1: {  // interval
+        double lo = point(), hi = point();
+        if (lo > hi) std::swap(lo, hi);
+        return Value::Fuzzy(Trapezoid::Interval(lo, hi));
+      }
+      case 2: {  // triangle
+        double corners[3] = {point(), point(), point()};
+        std::sort(corners, corners + 3);
+        return Value::Fuzzy(
+            Trapezoid::Triangle(corners[0], corners[1], corners[2]));
+      }
+      default: {  // trapezoid
+        double corners[4] = {point(), point(), point(), point()};
+        std::sort(corners, corners + 4);
+        return Value::Fuzzy(
+            Trapezoid(corners[0], corners[1], corners[2], corners[3]));
+      }
+    }
+  };
+
+  for (size_t i = 0; i < num_rows; ++i) {
+    std::vector<Value> values;
+    values.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) values.push_back(random_value());
+    // Degrees on a coarse grid so duplicate-elimination ties are common.
+    const double degree =
+        static_cast<double>(rng.UniformInt(1, 10)) / 10.0;
+    (void)relation.Append(Tuple(std::move(values), degree));
+  }
+  return relation;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,70 @@
+// Synthetic workloads reproducing the paper's experimental setup.
+//
+// Section 9: "Tuples of the relations are randomly generated and a tuple
+// of one relation joins, on the average, C tuples of the other relation"
+// with controllable relation size (number of tuples), tuple size in bytes
+// (128..2048) and join fan-out C (1..128). Values are "imprecise but not
+// very vague": fuzzy join values have small support intervals.
+//
+// Join values are organized into groups around well-separated centers:
+// tuples join exactly within their group (all group members' supports
+// share an open interval around the center, so every in-group pair has a
+// positive equality degree), giving an average fan-out of
+// C = n_S / num_groups.
+#ifndef FUZZYDB_WORKLOAD_GENERATOR_H_
+#define FUZZYDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "relational/relation.h"
+
+namespace fuzzydb {
+
+/// Knobs of the synthetic type J workload.
+struct WorkloadConfig {
+  uint64_t seed = 42;
+
+  size_t num_r = 1000;  // outer relation tuples
+  size_t num_s = 1000;  // inner relation tuples
+
+  /// Average number of S tuples joining each R tuple (the paper's C).
+  double join_fanout = 7.0;
+
+  /// Fraction of join values that are fuzzy (vs crisp).
+  double fuzzy_fraction = 0.5;
+
+  /// Maximum support width of a fuzzy join value. Group centers are
+  /// spaced 4x this apart, so distinct groups never overlap.
+  double max_interval_width = 4.0;
+
+  /// Fraction of tuples whose membership degree is drawn uniformly from
+  /// (0.2, 1.0) instead of being exactly 1.
+  double partial_membership_fraction = 0.0;
+};
+
+/// The generated pair of relations.
+/// R(X number, Y fuzzy-join, U group-key) and S(Z fuzzy-join, V group-key):
+/// the experimental query is
+///   SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U).
+struct TypeJDataset {
+  Relation r;
+  Relation s;
+};
+
+/// Generates the dataset deterministically from config.seed.
+TypeJDataset GenerateTypeJDataset(const WorkloadConfig& config);
+
+/// A fully random small relation for property tests: `num_cols` fuzzy
+/// columns with values drawn over a small domain (mixing crisp points,
+/// intervals, triangles and trapezoids) plus random membership degrees.
+/// Small domains make value collisions and overlaps frequent, which is
+/// what exercises duplicate elimination and fuzzy joins.
+Relation GenerateRandomRelation(uint64_t seed, const std::string& name,
+                                size_t num_cols, size_t num_rows,
+                                double domain_lo = 0.0,
+                                double domain_hi = 20.0);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_WORKLOAD_GENERATOR_H_

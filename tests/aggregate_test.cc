@@ -1,0 +1,85 @@
+#include "engine/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+using sql::AggFunc;
+using testing_util::MakeSet;
+
+TEST(AggregateTest, CountCountsDistinctValues) {
+  const Relation set = MakeSet("T", {{Trapezoid::Crisp(1), 0.5},
+                                     {Trapezoid::Crisp(2), 1.0},
+                                     {Trapezoid(0, 1, 2, 3), 0.2}});
+  ASSERT_OK_AND_ASSIGN(AggregateResult r,
+                       ApplyAggregate(AggFunc::kCount, set));
+  EXPECT_DOUBLE_EQ(r.value.AsFuzzy().CrispValue(), 3.0);
+  EXPECT_DOUBLE_EQ(r.degree, 1.0);
+}
+
+TEST(AggregateTest, CountOfEmptySetIsZero) {
+  const Relation set = MakeSet("T", {});
+  ASSERT_OK_AND_ASSIGN(AggregateResult r,
+                       ApplyAggregate(AggFunc::kCount, set));
+  EXPECT_DOUBLE_EQ(r.value.AsFuzzy().CrispValue(), 0.0);
+}
+
+TEST(AggregateTest, NonCountAggregatesOfEmptySetAreNull) {
+  const Relation set = MakeSet("T", {});
+  for (AggFunc f :
+       {AggFunc::kSum, AggFunc::kAvg, AggFunc::kMin, AggFunc::kMax}) {
+    ASSERT_OK_AND_ASSIGN(AggregateResult r, ApplyAggregate(f, set));
+    EXPECT_TRUE(r.value.is_null());
+  }
+}
+
+TEST(AggregateTest, SumUsesFuzzyAddition) {
+  const Relation set = MakeSet(
+      "T", {{Trapezoid(1, 2, 3, 4), 1.0}, {Trapezoid(10, 20, 30, 40), 0.5}});
+  ASSERT_OK_AND_ASSIGN(AggregateResult r, ApplyAggregate(AggFunc::kSum, set));
+  EXPECT_EQ(r.value.AsFuzzy(), Trapezoid(11, 22, 33, 44));
+}
+
+TEST(AggregateTest, AvgScalesTheSum) {
+  const Relation set = MakeSet(
+      "T", {{Trapezoid(1, 2, 3, 4), 1.0}, {Trapezoid(3, 4, 5, 6), 1.0}});
+  ASSERT_OK_AND_ASSIGN(AggregateResult r, ApplyAggregate(AggFunc::kAvg, set));
+  EXPECT_EQ(r.value.AsFuzzy(), Trapezoid(2, 3, 4, 5));
+}
+
+TEST(AggregateTest, MinMaxDefuzzifyByCoreCenter) {
+  // Centers: 2.5, 25, 7.
+  const Relation set = MakeSet("T", {{Trapezoid(1, 2, 3, 4), 1.0},
+                                     {Trapezoid(10, 20, 30, 40), 1.0},
+                                     {Trapezoid::Crisp(7), 1.0}});
+  ASSERT_OK_AND_ASSIGN(AggregateResult lo, ApplyAggregate(AggFunc::kMin, set));
+  EXPECT_EQ(lo.value.AsFuzzy(), Trapezoid(1, 2, 3, 4));
+  ASSERT_OK_AND_ASSIGN(AggregateResult hi, ApplyAggregate(AggFunc::kMax, set));
+  EXPECT_EQ(hi.value.AsFuzzy(), Trapezoid(10, 20, 30, 40));
+}
+
+TEST(AggregateTest, MinMaxTieBreakIsDeterministic) {
+  // Same core center 5, different shapes; both orders give the same pick.
+  const Trapezoid narrow(4, 5, 5, 6), wide(0, 4, 6, 10);
+  const Relation a = MakeSet("T", {{narrow, 1.0}, {wide, 1.0}});
+  const Relation b = MakeSet("T", {{wide, 1.0}, {narrow, 1.0}});
+  ASSERT_OK_AND_ASSIGN(AggregateResult ra, ApplyAggregate(AggFunc::kMin, a));
+  ASSERT_OK_AND_ASSIGN(AggregateResult rb, ApplyAggregate(AggFunc::kMin, b));
+  EXPECT_TRUE(ra.value.Identical(rb.value));
+}
+
+TEST(AggregateTest, RejectsNonNumericValues) {
+  Relation set("T", Schema{Column{"Z", ValueType::kString}});
+  ASSERT_OK(set.Append(Tuple({Value::String("x")}, 1.0)));
+  EXPECT_FALSE(ApplyAggregate(AggFunc::kSum, set).ok());
+  // COUNT works on anything.
+  ASSERT_OK_AND_ASSIGN(AggregateResult r,
+                       ApplyAggregate(AggFunc::kCount, set));
+  EXPECT_DOUBLE_EQ(r.value.AsFuzzy().CrispValue(), 1.0);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,230 @@
+#include "algebra/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fuzzy/necessity.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace fuzzydb {
+namespace algebra {
+namespace {
+
+using testing_util::DegreeOf;
+
+Relation NumberSet(const std::string& name,
+                   const std::vector<std::pair<double, double>>& rows) {
+  Relation rel(name, Schema{Column{"A", ValueType::kFuzzy}});
+  for (const auto& [v, d] : rows) {
+    EXPECT_OK(rel.Append(Tuple({Value::Number(v)}, d)));
+  }
+  return rel;
+}
+
+// ------------------------------ Select --------------------------------
+
+TEST(AlgebraSelectTest, CombinesMembershipAndPredicateByMin) {
+  Relation r("R", Schema{Column{"AGE", ValueType::kFuzzy}});
+  ASSERT_OK(r.Append(Tuple({Value::Number(24)}, 0.6)));
+  ASSERT_OK(r.Append(Tuple({Value::Number(27)}, 1.0)));
+  ASSERT_OK(r.Append(Tuple({Value::Number(50)}, 1.0)));
+
+  const Trapezoid medium_young(20, 25, 30, 35);
+  Relation out = Select(
+      r, ColumnCompare(0, CompareOp::kEq, Value::Fuzzy(medium_young)));
+  ASSERT_EQ(out.NumTuples(), 2u);
+  // min(0.6, mu(24)=0.8) = 0.6; min(1, mu(27)=1) = 1; 50 excluded.
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 24.0), 0.6);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 27.0), 1.0);
+}
+
+TEST(AlgebraSelectTest, ComposesWithItself) {
+  // sigma_p(sigma_q(R)) == sigma_q(sigma_p(R)) == sigma_{p AND q}(R):
+  // the composability property the possibility-only measure buys.
+  Relation r = NumberSet("R", {{1, 1}, {5, 0.9}, {9, 0.7}});
+  auto p = ColumnCompare(0, CompareOp::kGe, Value::Number(3));
+  auto q = ColumnCompare(0, CompareOp::kLe, Value::Number(7));
+  Relation pq = Select(Select(r, p), q);
+  Relation qp = Select(Select(r, q), p);
+  EXPECT_TRUE(pq.EquivalentTo(qp));
+  ASSERT_EQ(pq.NumTuples(), 1u);
+  EXPECT_DOUBLE_EQ(DegreeOf(pq, 5.0), 0.9);
+}
+
+// ------------------------------ Project -------------------------------
+
+TEST(AlgebraProjectTest, MergesDuplicatesWithMaxDegree) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy},
+                         Column{"B", ValueType::kFuzzy}});
+  ASSERT_OK(r.Append(Tuple({Value::Number(1), Value::Number(10)}, 0.4)));
+  ASSERT_OK(r.Append(Tuple({Value::Number(1), Value::Number(20)}, 0.9)));
+  ASSERT_OK_AND_ASSIGN(Relation out, Project(r, {0}));
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_DOUBLE_EQ(out.TupleAt(0).degree(), 0.9);
+  EXPECT_EQ(out.schema().ColumnAt(0).name, "A");
+}
+
+TEST(AlgebraProjectTest, RejectsBadColumn) {
+  Relation r = NumberSet("R", {{1, 1}});
+  EXPECT_FALSE(Project(r, {3}).ok());
+}
+
+TEST(AlgebraProjectTest, DuplicateColumnNamesDisambiguated) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy},
+                         Column{"B", ValueType::kFuzzy}});
+  ASSERT_OK(r.Append(Tuple({Value::Number(1), Value::Number(2)}, 1.0)));
+  ASSERT_OK_AND_ASSIGN(Relation out, Project(r, {0, 0, 1}));
+  EXPECT_EQ(out.schema().ColumnAt(1).name, "A_2");
+}
+
+// --------------------------- Product / Join ---------------------------
+
+TEST(AlgebraJoinTest, ProductDegreesAreMin) {
+  Relation l = NumberSet("L", {{1, 0.8}});
+  Relation r = NumberSet("R", {{2, 0.5}, {3, 1.0}});
+  Relation out = CartesianProduct(l, r);
+  ASSERT_EQ(out.NumTuples(), 2u);
+  EXPECT_DOUBLE_EQ(out.TupleAt(0).degree(), 0.5);
+  EXPECT_DOUBLE_EQ(out.TupleAt(1).degree(), 0.8);
+  EXPECT_EQ(out.schema().NumColumns(), 2u);
+  EXPECT_EQ(out.schema().ColumnAt(1).name, "A_2");  // collision renamed
+}
+
+TEST(AlgebraJoinTest, ThetaJoinFiltersByDegree) {
+  Relation l = NumberSet("L", {{1, 1}, {5, 1}});
+  Relation r = NumberSet("R", {{4, 1}, {9, 1}});
+  Relation out =
+      ThetaJoin(l, r, ColumnsCompare(0, CompareOp::kGt, 0));
+  // (5 > 4) only.
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_DOUBLE_EQ(out.TupleAt(0).ValueAt(0).AsFuzzy().CrispValue(), 5.0);
+}
+
+TEST(AlgebraJoinTest, FuzzyEquiJoinMatchesThetaJoinOracle) {
+  for (uint64_t seed : {41, 42, 43}) {
+    Relation l = GenerateRandomRelation(seed, "L", 2, 60);
+    Relation r = GenerateRandomRelation(seed + 100, "R", 2, 60);
+    ASSERT_OK_AND_ASSIGN(Relation merged, FuzzyEquiJoin(l, 0, r, 1));
+    Relation oracle =
+        ThetaJoin(l, r, ColumnsCompare(0, CompareOp::kEq, 1));
+    EXPECT_TRUE(merged.EquivalentTo(oracle, 1e-12)) << "seed " << seed;
+  }
+}
+
+TEST(AlgebraJoinTest, FuzzyEquiJoinPaperQuery1) {
+  // Query 1: pairs of about the same age.
+  Catalog db = testing_util::MakePaperCatalog();
+  const Relation* f = db.GetRelation("F").value();
+  const Relation* m = db.GetRelation("M").value();
+  ASSERT_OK_AND_ASSIGN(Relation pairs, FuzzyEquiJoin(*f, 2, *m, 2));
+  // (Betty middle age, Bill middle age) joins with degree 1.
+  bool found = false;
+  for (const Tuple& t : pairs.tuples()) {
+    if (t.ValueAt(1).AsString() == "Betty" &&
+        t.ValueAt(5).AsString() == "Bill") {
+      found = true;
+      EXPECT_DOUBLE_EQ(t.degree(), 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --------------------------- Set operations ---------------------------
+
+TEST(AlgebraSetTest, UnionTakesMax) {
+  Relation l = NumberSet("L", {{1, 0.3}, {2, 0.9}});
+  Relation r = NumberSet("R", {{1, 0.8}, {3, 0.4}});
+  ASSERT_OK_AND_ASSIGN(Relation out, Union(l, r));
+  ASSERT_EQ(out.NumTuples(), 3u);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 1.0), 0.8);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 2.0), 0.9);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 3.0), 0.4);
+}
+
+TEST(AlgebraSetTest, IntersectTakesMin) {
+  Relation l = NumberSet("L", {{1, 0.3}, {2, 0.9}});
+  Relation r = NumberSet("R", {{1, 0.8}, {2, 0.5}, {3, 1.0}});
+  ASSERT_OK_AND_ASSIGN(Relation out, Intersect(l, r));
+  ASSERT_EQ(out.NumTuples(), 2u);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 1.0), 0.3);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 2.0), 0.5);
+}
+
+TEST(AlgebraSetTest, DifferenceUsesComplement) {
+  Relation l = NumberSet("L", {{1, 1.0}, {2, 0.9}, {3, 0.5}});
+  Relation r = NumberSet("R", {{1, 1.0}, {2, 0.3}});
+  ASSERT_OK_AND_ASSIGN(Relation out, Difference(l, r));
+  // 1: min(1, 1-1) = 0 -> gone. 2: min(0.9, 0.7) = 0.7. 3: 0.5.
+  ASSERT_EQ(out.NumTuples(), 2u);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 2.0), 0.7);
+  EXPECT_DOUBLE_EQ(DegreeOf(out, 3.0), 0.5);
+}
+
+TEST(AlgebraSetTest, ArityMismatchRejected) {
+  Relation l("L", Schema{Column{"A", ValueType::kFuzzy}});
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy},
+                         Column{"B", ValueType::kFuzzy}});
+  EXPECT_FALSE(Union(l, r).ok());
+  EXPECT_FALSE(Intersect(l, r).ok());
+  EXPECT_FALSE(Difference(l, r).ok());
+}
+
+TEST(AlgebraSetTest, DeMorganStyleLaws) {
+  // Union/intersection idempotence and absorption under max/min degrees.
+  Relation l = GenerateRandomRelation(77, "L", 1, 30, 0, 6);
+  ASSERT_OK_AND_ASSIGN(Relation self_union, Union(l, l));
+  Relation dedup = l;
+  dedup.EliminateDuplicates();
+  EXPECT_TRUE(self_union.EquivalentTo(dedup));
+  ASSERT_OK_AND_ASSIGN(Relation self_intersect, Intersect(l, l));
+  EXPECT_TRUE(self_intersect.EquivalentTo(dedup));
+}
+
+// ------------------------- Necessity measure --------------------------
+
+TEST(NecessityTest, NeverExceedsPossibility) {
+  // With convex normal distributions Nec <= Poss (Section 2.2).
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    double c[4];
+    for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 20));
+    std::sort(c, c + 4);
+    const Trapezoid x(c[0], c[1], c[2], c[3]);
+    for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 20));
+    std::sort(c, c + 4);
+    const Trapezoid y(c[0], c[1], c[2], c[3]);
+    for (CompareOp op : {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                         CompareOp::kGt, CompareOp::kGe}) {
+      EXPECT_LE(NecessityDegree(x, op, y),
+                SatisfactionDegree(x, op, y) + 1e-12)
+          << CompareOpName(op) << " " << x.ToString() << " "
+          << y.ToString();
+    }
+  }
+}
+
+TEST(NecessityTest, CrispValuesAgreeWithPossibility) {
+  const Trapezoid a = Trapezoid::Crisp(3), b = Trapezoid::Crisp(5);
+  EXPECT_DOUBLE_EQ(NecessityDegree(a, CompareOp::kLt, b), 1.0);
+  EXPECT_DOUBLE_EQ(NecessityDegree(b, CompareOp::kLt, a), 0.0);
+  EXPECT_DOUBLE_EQ(NecessityDegree(a, CompareOp::kEq, a), 1.0);
+}
+
+TEST(NecessityTest, FuzzyEqualityIsNeverNecessary) {
+  // Two genuinely fuzzy values may be equal (Poss > 0) but are never
+  // necessarily equal (the values could differ).
+  const Trapezoid x(0, 2, 4, 6), y(3, 4, 6, 8);
+  EXPECT_GT(SatisfactionDegree(x, CompareOp::kEq, y), 0.0);
+  EXPECT_DOUBLE_EQ(NecessityDegree(x, CompareOp::kEq, y), 0.0);
+}
+
+TEST(NecessityTest, ClearlySeparatedValues) {
+  const Trapezoid low(0, 1, 2, 3), high(10, 11, 12, 13);
+  EXPECT_DOUBLE_EQ(NecessityDegree(low, CompareOp::kLt, high), 1.0);
+  EXPECT_DOUBLE_EQ(NecessityDegree(high, CompareOp::kLt, low), 0.0);
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace fuzzydb

@@ -1,0 +1,73 @@
+#include "fuzzy/arithmetic.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(FuzzyArithmeticTest, AdditionIsCornerWise) {
+  // The paper's Section 6 example: x + y has 0-cut [x1+y1, x4+y4] and
+  // 1-cut [x2+y2, x3+y3].
+  const Trapezoid x(1, 2, 3, 4), y(10, 20, 30, 40);
+  EXPECT_EQ(FuzzyAdd(x, y), Trapezoid(11, 22, 33, 44));
+}
+
+TEST(FuzzyArithmeticTest, AdditionWithCrisp) {
+  EXPECT_EQ(FuzzyAdd(Trapezoid::Crisp(5), Trapezoid(1, 2, 3, 4)),
+            Trapezoid(6, 7, 8, 9));
+}
+
+TEST(FuzzyArithmeticTest, SubtractionReversesCuts) {
+  const Trapezoid x(10, 20, 30, 40), y(1, 2, 3, 4);
+  EXPECT_EQ(FuzzySubtract(x, y), Trapezoid(6, 17, 28, 39));
+  // x - x is spread around zero, not crisp zero (interval arithmetic).
+  const Trapezoid spread = FuzzySubtract(y, y);
+  EXPECT_DOUBLE_EQ(spread.a(), -3);
+  EXPECT_DOUBLE_EQ(spread.d(), 3);
+  EXPECT_DOUBLE_EQ(spread.Membership(0), 1.0);
+}
+
+TEST(FuzzyArithmeticTest, MultiplicationPositive) {
+  EXPECT_EQ(FuzzyMultiply(Trapezoid(1, 2, 3, 4), Trapezoid(2, 2, 2, 2)),
+            Trapezoid(2, 4, 6, 8));
+}
+
+TEST(FuzzyArithmeticTest, MultiplicationMixedSigns) {
+  const Trapezoid x(-2, -1, 1, 2), y(3, 4, 5, 6);
+  const Trapezoid p = FuzzyMultiply(x, y);
+  EXPECT_DOUBLE_EQ(p.a(), -12);  // -2 * 6
+  EXPECT_DOUBLE_EQ(p.b(), -5);   // -1 * 5
+  EXPECT_DOUBLE_EQ(p.c(), 5);    // 1 * 5
+  EXPECT_DOUBLE_EQ(p.d(), 12);   // 2 * 6
+}
+
+TEST(FuzzyArithmeticTest, DivisionByPositive) {
+  ASSERT_OK_AND_ASSIGN(
+      Trapezoid q, FuzzyDivide(Trapezoid(10, 20, 30, 40), Trapezoid::Crisp(10)));
+  EXPECT_EQ(q, Trapezoid(1, 2, 3, 4));
+}
+
+TEST(FuzzyArithmeticTest, DivisionBySupportContainingZeroFails) {
+  const auto result =
+      FuzzyDivide(Trapezoid::Crisp(1), Trapezoid(-1, 0, 0, 1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzyArithmeticTest, ScaleByPositiveAndNegative) {
+  EXPECT_EQ(FuzzyScale(Trapezoid(10, 20, 30, 40), 10.0),
+            Trapezoid(1, 2, 3, 4));
+  EXPECT_EQ(FuzzyScale(Trapezoid(10, 20, 30, 40), -10.0),
+            Trapezoid(-4, -3, -2, -1));
+}
+
+TEST(FuzzyArithmeticTest, AverageOfTwoViaAddAndScale) {
+  const Trapezoid sum =
+      FuzzyAdd(Trapezoid(1, 2, 3, 4), Trapezoid(3, 4, 5, 6));
+  EXPECT_EQ(FuzzyScale(sum, 2.0), Trapezoid(2, 3, 4, 5));
+}
+
+}  // namespace
+}  // namespace fuzzydb

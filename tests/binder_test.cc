@@ -1,0 +1,148 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace sql {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = testing_util::MakePaperCatalog();
+};
+
+TEST_F(BinderTest, ResolvesQualifiedColumns) {
+  ASSERT_OK_AND_ASSIGN(
+      auto bound,
+      ParseAndBind("SELECT F.NAME FROM F WHERE F.AGE = \"medium young\"",
+                   catalog_));
+  ASSERT_EQ(bound->tables.size(), 1u);
+  EXPECT_EQ(bound->tables[0].relation->name(), "F");
+  ASSERT_EQ(bound->select.size(), 1u);
+  EXPECT_EQ(bound->select[0].column.column, 1u);  // NAME
+  ASSERT_EQ(bound->predicates.size(), 1u);
+  EXPECT_FALSE(bound->predicates[0].rhs.is_column);
+  EXPECT_TRUE(bound->predicates[0].rhs.constant.is_fuzzy());
+}
+
+TEST_F(BinderTest, ResolvesUnqualifiedColumnsWhenUnambiguous) {
+  ASSERT_OK_AND_ASSIGN(auto bound,
+                       ParseAndBind("SELECT NAME FROM F", catalog_));
+  EXPECT_EQ(bound->select[0].column.column, 1u);
+}
+
+TEST_F(BinderTest, RejectsAmbiguousUnqualifiedColumn) {
+  const auto result = ParseAndBind("SELECT NAME FROM F, M", catalog_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, RejectsUnknownRelationAndColumn) {
+  EXPECT_EQ(ParseAndBind("SELECT X.A FROM X", catalog_).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      ParseAndBind("SELECT F.NOPE FROM F", catalog_).status().code(),
+      StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, RejectsUnknownTerm) {
+  const auto result = ParseAndBind(
+      "SELECT F.NAME FROM F WHERE F.AGE = \"unheard of\"", catalog_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, BindsCorrelatedSubquery) {
+  ASSERT_OK_AND_ASSIGN(auto bound, ParseAndBind(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE))sql",
+                                                catalog_));
+  ASSERT_EQ(bound->predicates.size(), 1u);
+  const auto& sub = bound->predicates[0].subquery;
+  ASSERT_NE(sub, nullptr);
+  ASSERT_EQ(sub->predicates.size(), 1u);
+  const auto& corr = sub->predicates[0];
+  // M.AGE is local (up 0); F.AGE refers one block out (up 1).
+  EXPECT_EQ(corr.lhs.column.up, 0);
+  EXPECT_EQ(corr.rhs.column.up, 1);
+  EXPECT_FALSE(corr.IsLocal());
+  EXPECT_EQ(bound->NestingDepth(), 2);
+}
+
+TEST_F(BinderTest, RejectsCorrelatedSelectItem) {
+  const auto result = ParseAndBind(
+      "SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT F.INCOME FROM M)",
+      catalog_);
+  // F.INCOME inside the subquery's SELECT is a correlated reference.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, RejectsMultiColumnSubquery) {
+  const auto result = ParseAndBind(
+      "SELECT F.NAME FROM F WHERE F.INCOME IN "
+      "(SELECT M.INCOME, M.AGE FROM M)",
+      catalog_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, RequiresAggregateForScalarSubquery) {
+  const auto bad = ParseAndBind(
+      "SELECT F.NAME FROM F WHERE F.INCOME > (SELECT M.INCOME FROM M)",
+      catalog_);
+  ASSERT_FALSE(bad.ok());
+  ASSERT_OK_AND_ASSIGN(
+      auto good,
+      ParseAndBind(
+          "SELECT F.NAME FROM F WHERE F.INCOME > (SELECT MAX(M.INCOME) FROM M)",
+          catalog_));
+  EXPECT_EQ(good->predicates[0].kind, Predicate::Kind::kAggCompare);
+}
+
+TEST_F(BinderTest, RejectsAggregateInInSubquery) {
+  const auto result = ParseAndBind(
+      "SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT MAX(M.INCOME) FROM M)",
+      catalog_);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(BinderTest, RejectsAggregateOverStrings) {
+  const auto result = ParseAndBind(
+      "SELECT F.NAME FROM F WHERE F.INCOME > (SELECT MAX(M.NAME) FROM M)",
+      catalog_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, RejectsDuplicateAliases) {
+  const auto result = ParseAndBind("SELECT a.NAME FROM F a, M a", catalog_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, OutputSchemaNamesAggregates) {
+  ASSERT_OK_AND_ASSIGN(
+      auto bound,
+      ParseAndBind("SELECT F.NAME FROM F WHERE F.INCOME > "
+                   "(SELECT AVG(M.INCOME) FROM M)",
+                   catalog_));
+  const auto& sub = bound->predicates[0].subquery;
+  EXPECT_EQ(sub->output_schema.ColumnAt(0).name, "AVG(M.INCOME)");
+  EXPECT_EQ(bound->output_schema.ColumnAt(0).name, "NAME");
+  EXPECT_EQ(bound->output_schema.ColumnAt(0).type, ValueType::kString);
+}
+
+TEST_F(BinderTest, WithThresholdPropagates) {
+  ASSERT_OK_AND_ASSIGN(
+      auto bound,
+      ParseAndBind("SELECT F.NAME FROM F WITH D >= 0.7", catalog_));
+  EXPECT_TRUE(bound->has_with);
+  EXPECT_DOUBLE_EQ(bound->with_threshold, 0.7);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace fuzzydb

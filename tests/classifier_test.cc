@@ -1,0 +1,166 @@
+#include "engine/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  QueryType TypeOf(const std::string& text) {
+    auto bound = sql::ParseAndBind(text, catalog_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    if (!bound.ok()) return QueryType::kGeneral;
+    return Classify(**bound);
+  }
+
+  Catalog catalog_ = testing_util::MakePaperCatalog();
+};
+
+TEST_F(ClassifierTest, FlatQuery) {
+  EXPECT_EQ(TypeOf("SELECT F.NAME FROM F WHERE F.AGE = \"medium young\""),
+            QueryType::kFlat);
+  EXPECT_EQ(TypeOf("SELECT F.NAME, M.NAME FROM F, M WHERE F.AGE = M.AGE"),
+            QueryType::kFlat);
+}
+
+TEST_F(ClassifierTest, TypeN) {
+  // Paper Query 2: uncorrelated IN.
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.AGE = "medium young" AND
+            F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = "middle age"))sql"),
+            QueryType::kTypeN);
+}
+
+TEST_F(ClassifierTest, TypeJ) {
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE))sql"),
+            QueryType::kTypeJ);
+}
+
+TEST_F(ClassifierTest, TypeNXAndJX) {
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME NOT IN (SELECT M.INCOME FROM M))sql"),
+            QueryType::kTypeNX);
+  // Paper Query 4 shape: correlated NOT IN.
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IS NOT IN (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE))sql"),
+            QueryType::kTypeJX);
+}
+
+TEST_F(ClassifierTest, TypeAAndJA) {
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME > (SELECT MAX(M.INCOME) FROM M))sql"),
+            QueryType::kTypeA);
+  // Paper Query 5 shape.
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME > (SELECT MAX(M.INCOME) FROM M WHERE M.AGE = F.AGE))sql"),
+            QueryType::kTypeJA);
+}
+
+TEST_F(ClassifierTest, TypeALLAndJALL) {
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME <= ALL (SELECT M.INCOME FROM M))sql"),
+            QueryType::kTypeALL);
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME <= ALL (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE))sql"),
+            QueryType::kTypeJALL);
+}
+
+TEST_F(ClassifierTest, TypeSOMEAndJSOME) {
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME > SOME (SELECT M.INCOME FROM M))sql"),
+            QueryType::kTypeSOME);
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME > SOME (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE))sql"),
+            QueryType::kTypeJSOME);
+}
+
+TEST_F(ClassifierTest, TypeEXISTSAndJEXISTS) {
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE EXISTS (SELECT M.NAME FROM M WHERE M.INCOME > "medium high"))sql"),
+            QueryType::kTypeEXISTS);
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE NOT EXISTS (SELECT M.NAME FROM M WHERE M.AGE = F.AGE))sql"),
+            QueryType::kTypeJEXISTS);
+}
+
+TEST_F(ClassifierTest, ChainQueries) {
+  // 3-level chain in the shape of the paper's Query 6 (F -> M -> F).
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN
+        (SELECT M.INCOME FROM M
+         WHERE M.AGE = F.AGE AND M.INCOME IN
+           (SELECT F.INCOME FROM F
+            WHERE F.AGE = M.AGE)))sql"),
+            QueryType::kChain);
+}
+
+TEST_F(ClassifierTest, ChainWithSkipLevelCorrelation) {
+  // The innermost block references the outermost relation (up = 2),
+  // allowed for chains (Section 8's p_{i,j}).
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT a.NAME FROM F a
+      WHERE a.INCOME IN
+        (SELECT b.INCOME FROM M b
+         WHERE b.AGE = a.AGE AND b.INCOME IN
+           (SELECT c.INCOME FROM F c
+            WHERE c.AGE = b.AGE AND c.ID = a.ID)))sql"),
+            QueryType::kChain);
+}
+
+TEST_F(ClassifierTest, MultiSubqueryQueries) {
+  // Two independent subqueries at the same level: the kTypeMulti
+  // extension (each evaluated by its own unnested plan, combined by min).
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN (SELECT M.INCOME FROM M)
+        AND F.AGE IN (SELECT M.AGE FROM M))sql"),
+            QueryType::kTypeMulti);
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)
+        AND F.INCOME > (SELECT MIN(M.INCOME) FROM M))sql"),
+            QueryType::kTypeMulti);
+}
+
+TEST_F(ClassifierTest, GeneralQueries) {
+  // Two subqueries where one nests further: not multi, not chain.
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN (SELECT M.INCOME FROM M)
+        AND F.AGE IN (SELECT M.AGE FROM M
+                      WHERE M.INCOME IN (SELECT F.INCOME FROM F)))sql"),
+            QueryType::kGeneral);
+  // NOT IN nested below IN breaks the chain shape.
+  EXPECT_EQ(TypeOf(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN
+        (SELECT M.INCOME FROM M
+         WHERE M.AGE NOT IN (SELECT F.AGE FROM F)))sql"),
+            QueryType::kGeneral);
+}
+
+TEST_F(ClassifierTest, NamesAreStable) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kTypeJ), "J");
+  EXPECT_STREQ(QueryTypeName(QueryType::kTypeJX), "JX");
+  EXPECT_STREQ(QueryTypeName(QueryType::kChain), "CHAIN");
+}
+
+}  // namespace
+}  // namespace fuzzydb

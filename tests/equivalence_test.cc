@@ -1,0 +1,231 @@
+// The paper's equivalence theorems, checked empirically: for every query
+// type and random database, the unnested plan must produce exactly the
+// same fuzzy answer relation (same tuples, same membership degrees) as
+// the naive nested evaluation.
+//
+//   Theorem 4.1  (type N)        Theorem 6.1 (types JA / COUNT)
+//   Theorem 4.2  (type J)        Theorem 7.1 (type JALL)
+//   Theorem 5.1  (type JX)       Theorem 8.1 (chain queries)
+#include <gtest/gtest.h>
+
+#include "engine/naive_evaluator.h"
+#include "engine/unnested_evaluator.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace fuzzydb {
+namespace {
+
+struct EquivalenceCase {
+  const char* name;
+  const char* query;
+  QueryType expected_type;
+};
+
+// R has 3 fuzzy columns C0..C2, S and T3 have 2 fuzzy columns C0..C1.
+// Small domains make overlaps and exact collisions frequent.
+const EquivalenceCase kCases[] = {
+    {"TypeN",
+     "SELECT R.C0 FROM R WHERE R.C1 IN (SELECT S.C0 FROM S WHERE S.C1 >= 5)",
+     QueryType::kTypeN},
+    {"TypeN_WithLocalOuterPredicate",
+     "SELECT R.C0 FROM R WHERE R.C2 <= 15 AND R.C1 IN (SELECT S.C0 FROM S)",
+     QueryType::kTypeN},
+    {"TypeJ",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJ},
+    {"TypeJ_ReversedCorrelation",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE R.C2 = S.C1)",
+     QueryType::kTypeJ},
+    {"TypeJ_NonEqualityCorrelation",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 <= R.C2)",
+     QueryType::kTypeJ},
+    {"TypeJ_TwoCorrelations",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2 AND S.C0 >= R.C0)",
+     QueryType::kTypeJ},
+    {"TypeJ_WithThreshold",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2) WITH D >= 0.4",
+     QueryType::kTypeJ},
+    {"TypeNX",
+     "SELECT R.C0 FROM R WHERE R.C1 NOT IN (SELECT S.C0 FROM S)",
+     QueryType::kTypeNX},
+    {"TypeJX",
+     "SELECT R.C0 FROM R WHERE R.C1 NOT IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJX},
+    {"TypeJX_WithInnerLocalPredicate",
+     "SELECT R.C0 FROM R WHERE R.C1 NOT IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2 AND S.C0 < 12)",
+     QueryType::kTypeJX},
+    {"TypeA_Max",
+     "SELECT R.C0 FROM R WHERE R.C1 > (SELECT MAX(S.C0) FROM S)",
+     QueryType::kTypeA},
+    {"TypeJA_Max",
+     "SELECT R.C0 FROM R WHERE R.C1 > "
+     "(SELECT MAX(S.C0) FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJA},
+    {"TypeJA_Min",
+     "SELECT R.C0 FROM R WHERE R.C1 <= "
+     "(SELECT MIN(S.C0) FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJA},
+    {"TypeJA_Avg",
+     "SELECT R.C0 FROM R WHERE R.C1 ~= "
+     "(SELECT AVG(S.C0) FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJA},
+    {"TypeJA_Sum",
+     "SELECT R.C0 FROM R WHERE R.C1 < "
+     "(SELECT SUM(S.C0) FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJA},
+    {"TypeJA_Count",
+     "SELECT R.C0 FROM R WHERE R.C1 >= "
+     "(SELECT COUNT(S.C0) FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJA},
+    {"TypeJA_CountEmptyGroups",
+     "SELECT R.C0 FROM R WHERE R.C1 < "
+     "(SELECT COUNT(S.C0) FROM S WHERE S.C1 = R.C2 AND S.C0 > 18)",
+     QueryType::kTypeJA},
+    {"TypeJA_NonEqualityCorrelation",
+     "SELECT R.C0 FROM R WHERE R.C1 > "
+     "(SELECT MAX(S.C0) FROM S WHERE S.C1 <= R.C2)",
+     QueryType::kTypeJA},
+    {"TypeALL",
+     "SELECT R.C0 FROM R WHERE R.C1 <= ALL (SELECT S.C0 FROM S)",
+     QueryType::kTypeALL},
+    {"TypeJALL",
+     "SELECT R.C0 FROM R WHERE R.C1 <= ALL "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJALL},
+    {"TypeJALL_GreaterThan",
+     "SELECT R.C0 FROM R WHERE R.C1 > ALL "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJALL},
+    {"TypeSOME",
+     "SELECT R.C0 FROM R WHERE R.C1 < SOME (SELECT S.C0 FROM S)",
+     QueryType::kTypeSOME},
+    {"TypeJSOME",
+     "SELECT R.C0 FROM R WHERE R.C1 < SOME "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJSOME},
+    {"TypeEXISTS",
+     "SELECT R.C0 FROM R WHERE EXISTS (SELECT S.C0 FROM S WHERE S.C1 > 10)",
+     QueryType::kTypeEXISTS},
+    {"TypeJEXISTS",
+     "SELECT R.C0 FROM R WHERE EXISTS "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2)",
+     QueryType::kTypeJEXISTS},
+    {"TypeJNotEXISTS",
+     "SELECT R.C0 FROM R WHERE NOT EXISTS "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2 AND S.C0 < R.C1)",
+     QueryType::kTypeJEXISTS},
+    {"Multi_TwoINs",
+     "SELECT R.C0 FROM R WHERE R.C1 IN (SELECT S.C0 FROM S) "
+     "AND R.C2 IN (SELECT S.C1 FROM S)",
+     QueryType::kTypeMulti},
+    {"Multi_MixedKinds",
+     "SELECT R.C0 FROM R WHERE "
+     "R.C1 IN (SELECT S.C0 FROM S WHERE S.C1 = R.C2) AND "
+     "R.C0 <= (SELECT MAX(S.C0) FROM S WHERE S.C1 = R.C1) AND "
+     "R.C2 < SOME (SELECT S.C1 FROM S)",
+     QueryType::kTypeMulti},
+    {"Multi_WithNotInAndExists",
+     "SELECT R.C0 FROM R WHERE "
+     "R.C1 NOT IN (SELECT S.C0 FROM S WHERE S.C1 = R.C2) AND "
+     "EXISTS (SELECT S.C0 FROM S WHERE S.C1 = R.C1)",
+     QueryType::kTypeMulti},
+    {"Chain3",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2 AND S.C0 IN "
+     "(SELECT T3.C0 FROM T3 WHERE T3.C1 = S.C1))",
+     QueryType::kChain},
+    {"Chain3_SkipLevelCorrelation",
+     "SELECT R.C0 FROM R WHERE R.C1 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C2 AND S.C0 IN "
+     "(SELECT T3.C0 FROM T3 WHERE T3.C1 = S.C1 AND T3.C0 <= R.C0))",
+     QueryType::kChain},
+    {"Chain4",
+     "SELECT R.C0 FROM R WHERE R.C0 IN "
+     "(SELECT S.C0 FROM S WHERE S.C1 = R.C1 AND S.C0 IN "
+     "(SELECT T3.C0 FROM T3 WHERE T3.C1 = S.C1 AND T3.C0 IN "
+     "(SELECT S.C1 FROM S WHERE S.C0 = T3.C0)))",
+     QueryType::kChain},
+};
+
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(EquivalenceTest, NaiveAndUnnestedAgree) {
+  const EquivalenceCase& test_case = kCases[std::get<0>(GetParam())];
+  const uint64_t seed = std::get<1>(GetParam());
+
+  Catalog catalog;
+  ASSERT_OK(catalog.AddRelation(
+      GenerateRandomRelation(seed * 11 + 1, "R", 3, 40)));
+  ASSERT_OK(catalog.AddRelation(
+      GenerateRandomRelation(seed * 13 + 2, "S", 2, 40)));
+  ASSERT_OK(catalog.AddRelation(
+      GenerateRandomRelation(seed * 17 + 3, "T3", 2, 25)));
+
+  ASSERT_OK_AND_ASSIGN(auto bound,
+                       sql::ParseAndBind(test_case.query, catalog));
+  ASSERT_EQ(Classify(*bound), test_case.expected_type) << test_case.query;
+
+  NaiveEvaluator naive;
+  ASSERT_OK_AND_ASSIGN(Relation expected, naive.Evaluate(*bound));
+
+  UnnestingEvaluator unnesting;
+  ASSERT_OK_AND_ASSIGN(Relation actual, unnesting.Evaluate(*bound));
+  EXPECT_TRUE(unnesting.last_was_unnested()) << test_case.query;
+
+  EXPECT_TRUE(expected.EquivalentTo(actual, 1e-12))
+      << test_case.name << " seed=" << seed << "\nnaive:\n"
+      << expected.ToString(100) << "\nunnested:\n"
+      << actual.ToString(100);
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<size_t, uint64_t>>& info) {
+  return std::string(kCases[std::get<0>(info.param)].name) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, EquivalenceTest,
+    ::testing::Combine(::testing::Range<size_t>(0, std::size(kCases)),
+                       ::testing::Values<uint64_t>(1, 2, 3, 4, 5)),
+    CaseName);
+
+// Partial membership degrees in base relations must also be preserved.
+TEST(EquivalenceDegreesTest, PartialBaseMembership) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    config.num_r = 60;
+    config.num_s = 60;
+    config.join_fanout = 5;
+    config.partial_membership_fraction = 0.7;
+    TypeJDataset dataset = GenerateTypeJDataset(config);
+
+    Catalog catalog;
+    ASSERT_OK(catalog.AddRelation(dataset.r));
+    ASSERT_OK(catalog.AddRelation(dataset.s));
+    ASSERT_OK_AND_ASSIGN(
+        auto bound,
+        sql::ParseAndBind("SELECT R.X FROM R WHERE R.Y IN "
+                          "(SELECT S.Z FROM S WHERE S.V = R.U)",
+                          catalog));
+    NaiveEvaluator naive;
+    UnnestingEvaluator unnesting;
+    ASSERT_OK_AND_ASSIGN(Relation expected, naive.Evaluate(*bound));
+    ASSERT_OK_AND_ASSIGN(Relation actual, unnesting.Evaluate(*bound));
+    EXPECT_TRUE(expected.EquivalentTo(actual, 1e-12)) << "seed " << seed;
+    EXPECT_GT(expected.NumTuples(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fuzzydb

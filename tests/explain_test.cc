@@ -1,0 +1,79 @@
+#include "engine/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  std::string Plan(const std::string& text) {
+    auto bound = sql::ParseAndBind(text, catalog_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return bound.ok() ? DescribePlan(**bound) : "";
+  }
+
+  Catalog catalog_ = testing_util::MakePaperCatalog();
+};
+
+TEST_F(ExplainTest, FlatQuery) {
+  const std::string plan =
+      Plan("SELECT F.NAME FROM F WHERE F.AGE = \"medium young\"");
+  EXPECT_NE(plan.find("type FLAT"), std::string::npos);
+  EXPECT_NE(plan.find("scan F (4 tuples)"), std::string::npos);
+  EXPECT_NE(plan.find("filter: F.AGE ="), std::string::npos);
+}
+
+TEST_F(ExplainTest, TypeJNamesTheTheorem) {
+  const std::string plan = Plan(
+      "SELECT F.NAME FROM F WHERE F.INCOME IN "
+      "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)");
+  EXPECT_NE(plan.find("type J (Theorem 4.2)"), std::string::npos);
+  EXPECT_NE(plan.find("semijoin (IN) on F.INCOME"), std::string::npos);
+  EXPECT_NE(plan.find("correlation: M.AGE = outer(1)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, JXAndJALL) {
+  EXPECT_NE(Plan("SELECT F.NAME FROM F WHERE F.INCOME NOT IN "
+                 "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)")
+                .find("anti-semijoin (NOT IN)"),
+            std::string::npos);
+  EXPECT_NE(Plan("SELECT F.NAME FROM F WHERE F.INCOME <= ALL "
+                 "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)")
+                .find("group-by-min (op ALL)"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, AggregateCountMentionsOuterJoin) {
+  const std::string plan = Plan(
+      "SELECT F.NAME FROM F WHERE F.INCOME > "
+      "(SELECT COUNT(M.INCOME) FROM M WHERE M.AGE = F.AGE)");
+  EXPECT_NE(plan.find("Theorem 6.1"), std::string::npos);
+  EXPECT_NE(plan.find("left outer join for COUNT"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ChainShowsNestedScans) {
+  const std::string plan = Plan(
+      "SELECT F.NAME FROM F WHERE F.INCOME IN "
+      "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE AND M.INCOME IN "
+      "(SELECT F.INCOME FROM F WHERE F.AGE = M.AGE))");
+  EXPECT_NE(plan.find("type CHAIN (Theorem 8.1)"), std::string::npos);
+  // Three scan lines, one per level.
+  size_t scans = 0, pos = 0;
+  while ((pos = plan.find("scan ", pos)) != std::string::npos) {
+    ++scans;
+    pos += 5;
+  }
+  EXPECT_EQ(scans, 3u);
+}
+
+TEST_F(ExplainTest, WithThresholdShown) {
+  EXPECT_NE(Plan("SELECT F.NAME FROM F WITH D >= 0.5")
+                .find("threshold: WITH D >= 0.5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,130 @@
+#include "engine/join_order.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/naive_evaluator.h"
+#include "engine/unnested_evaluator.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(JoinOrderPlanTest, SingleLevelTrivial) {
+  ChainStats stats;
+  stats.cardinality = {100};
+  const ChainJoinOrder order = PlanChainJoinOrder(stats);
+  EXPECT_EQ(order.levels, std::vector<size_t>({0}));
+  EXPECT_DOUBLE_EQ(order.estimated_cost, 0.0);
+}
+
+TEST(JoinOrderPlanTest, IntervalSizeEstimate) {
+  ChainStats stats;
+  stats.cardinality = {10, 20, 30};
+  stats.selectivity = {0.5, 0.1};
+  EXPECT_DOUBLE_EQ(EstimateIntervalSize(stats, 0, 0), 10);
+  EXPECT_DOUBLE_EQ(EstimateIntervalSize(stats, 0, 1), 10 * 20 * 0.5);
+  EXPECT_DOUBLE_EQ(EstimateIntervalSize(stats, 1, 2), 20 * 30 * 0.1);
+  EXPECT_DOUBLE_EQ(EstimateIntervalSize(stats, 0, 2),
+                   10 * 20 * 30 * 0.5 * 0.1);
+}
+
+TEST(JoinOrderPlanTest, StartsAtTheSelectiveEnd) {
+  // A highly selective link at the inner end: joining 1-2 first produces
+  // a tiny intermediate; joining 0-1 first a huge one.
+  ChainStats stats;
+  stats.cardinality = {1000, 1000, 1000};
+  stats.selectivity = {1.0, 1e-5};  // link 0-1 dense, link 1-2 selective
+  const ChainJoinOrder order = PlanChainJoinOrder(stats);
+  ASSERT_EQ(order.levels.size(), 3u);
+  // The first join performed must be across the selective link: the
+  // first two levels joined are {1, 2} in some order.
+  const size_t a = order.levels[0], b = order.levels[1];
+  EXPECT_TRUE((a == 1 && b == 2) || (a == 2 && b == 1))
+      << "order: " << a << "," << b << "," << order.levels[2];
+}
+
+TEST(JoinOrderPlanTest, CostPrefersCheaperIntermediates) {
+  ChainStats dense_first;
+  dense_first.cardinality = {100, 100, 100, 100};
+  dense_first.selectivity = {0.5, 0.01, 0.5};
+  const ChainJoinOrder order = PlanChainJoinOrder(dense_first);
+  // Optimal: build around the middle selective link first.
+  ASSERT_EQ(order.levels.size(), 4u);
+  const size_t first = order.levels[0], second = order.levels[1];
+  EXPECT_TRUE((first == 1 && second == 2) || (first == 2 && second == 1));
+  // Cost equals the DP recomputation.
+  EXPECT_GT(order.estimated_cost, 0.0);
+}
+
+TEST(JoinOrderPlanTest, OrderIsAlwaysContiguous) {
+  for (double s01 : {1e-4, 0.5, 1.0}) {
+    for (double s12 : {1e-4, 0.5, 1.0}) {
+      for (double s23 : {1e-4, 0.5, 1.0}) {
+        ChainStats stats;
+        stats.cardinality = {50, 500, 5, 5000};
+        stats.selectivity = {s01, s12, s23};
+        const ChainJoinOrder order = PlanChainJoinOrder(stats);
+        ASSERT_EQ(order.levels.size(), 4u);
+        size_t lo = order.levels[0], hi = order.levels[0];
+        for (size_t i = 1; i < order.levels.size(); ++i) {
+          const size_t level = order.levels[i];
+          EXPECT_TRUE(level + 1 == lo || level == hi + 1)
+              << "non-contiguous at step " << i;
+          lo = std::min(lo, level);
+          hi = std::max(hi, level);
+        }
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 3u);
+      }
+    }
+  }
+}
+
+// ---- End-to-end: the planner changes the order, never the answer ----
+
+class ChainOrderEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ChainOrderEquivalenceTest, PlannedAndUnplannedAgree) {
+  const uint64_t seed = GetParam();
+  Catalog catalog;
+  // Skewed sizes so the planner has something to exploit.
+  ASSERT_OK(catalog.AddRelation(
+      GenerateRandomRelation(seed, "R", 3, 60)));
+  ASSERT_OK(catalog.AddRelation(
+      GenerateRandomRelation(seed + 1, "S", 2, 8)));
+  ASSERT_OK(catalog.AddRelation(
+      GenerateRandomRelation(seed + 2, "T3", 2, 60)));
+
+  ASSERT_OK_AND_ASSIGN(auto bound, sql::ParseAndBind(R"sql(
+      SELECT R.C0 FROM R WHERE R.C1 IN
+        (SELECT S.C0 FROM S WHERE S.C1 = R.C2 AND S.C0 IN
+          (SELECT T3.C0 FROM T3 WHERE T3.C1 = S.C1)))sql",
+                                                     catalog));
+  ASSERT_EQ(Classify(*bound), QueryType::kChain);
+
+  UnnestingEvaluator planned;
+  planned.set_use_join_order_planner(true);
+  ASSERT_OK_AND_ASSIGN(Relation with_planner, planned.Evaluate(*bound));
+  EXPECT_EQ(planned.last_chain_order().size(), 3u);
+
+  UnnestingEvaluator unplanned;
+  unplanned.set_use_join_order_planner(false);
+  ASSERT_OK_AND_ASSIGN(Relation without_planner, unplanned.Evaluate(*bound));
+  EXPECT_EQ(unplanned.last_chain_order(),
+            std::vector<size_t>({0, 1, 2}));
+
+  EXPECT_TRUE(with_planner.EquivalentTo(without_planner, 1e-12));
+
+  // And both agree with the nested-loop execution semantics.
+  NaiveEvaluator naive;
+  ASSERT_OK_AND_ASSIGN(Relation expected, naive.Evaluate(*bound));
+  EXPECT_TRUE(expected.EquivalentTo(with_planner, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainOrderEquivalenceTest,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+}  // namespace
+}  // namespace fuzzydb

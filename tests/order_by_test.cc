@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "engine/naive_evaluator.h"
+#include "engine/unnested_evaluator.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  OrderByTest() {
+    Relation people("People", Schema{Column{"NAME", ValueType::kString},
+                                     Column{"AGE", ValueType::kFuzzy}});
+    auto add = [&](const char* name, Value age, double degree) {
+      EXPECT_OK(people.Append(
+          Tuple({Value::String(name), std::move(age)}, degree)));
+    };
+    add("carol", Value::Number(40), 0.5);
+    add("ana", Value::Number(25), 1.0);
+    add("bo", Value::Fuzzy(Trapezoid(28, 30, 34, 36)), 0.8);  // center 32
+    EXPECT_OK(catalog_.AddRelation(std::move(people)));
+  }
+
+  Relation Run(const std::string& text) {
+    auto bound = sql::ParseAndBind(text, catalog_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    NaiveEvaluator naive;
+    auto result = naive.Evaluate(**bound);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::vector<std::string> Names(const Relation& relation) {
+    std::vector<std::string> names;
+    for (const Tuple& t : relation.tuples()) {
+      names.push_back(t.ValueAt(0).AsString());
+    }
+    return names;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(OrderByTest, ParsesIntoAst) {
+  ASSERT_OK_AND_ASSIGN(
+      auto q, sql::ParseQuery(
+                  "SELECT NAME FROM People ORDER BY AGE DESC, D"));
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].by_degree);
+  EXPECT_TRUE(q->order_by[0].descending);
+  EXPECT_TRUE(q->order_by[1].by_degree);
+  // Round trips through ToString.
+  ASSERT_OK_AND_ASSIGN(auto q2, sql::ParseQuery(q->ToString()));
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+TEST_F(OrderByTest, OrdersByDefuzzifiedValue) {
+  const Relation ascending =
+      Run("SELECT NAME, AGE FROM People ORDER BY AGE");
+  EXPECT_EQ(Names(ascending),
+            (std::vector<std::string>{"ana", "bo", "carol"}));
+  const Relation descending =
+      Run("SELECT NAME, AGE FROM People ORDER BY AGE DESC");
+  EXPECT_EQ(Names(descending),
+            (std::vector<std::string>{"carol", "bo", "ana"}));
+}
+
+TEST_F(OrderByTest, OrdersByDegree) {
+  const Relation by_degree = Run("SELECT NAME FROM People ORDER BY D DESC");
+  EXPECT_EQ(Names(by_degree),
+            (std::vector<std::string>{"ana", "bo", "carol"}));
+}
+
+TEST_F(OrderByTest, OrdersByStringColumn) {
+  const Relation by_name = Run("SELECT NAME FROM People ORDER BY NAME");
+  EXPECT_EQ(Names(by_name),
+            (std::vector<std::string>{"ana", "bo", "carol"}));
+}
+
+TEST_F(OrderByTest, WithClauseComposes) {
+  const Relation answer =
+      Run("SELECT NAME FROM People ORDER BY D DESC WITH D >= 0.6");
+  EXPECT_EQ(Names(answer), (std::vector<std::string>{"ana", "bo"}));
+  // Clause order is flexible.
+  const Relation swapped =
+      Run("SELECT NAME FROM People WITH D >= 0.6 ORDER BY D DESC");
+  EXPECT_EQ(Names(swapped), (std::vector<std::string>{"ana", "bo"}));
+}
+
+TEST_F(OrderByTest, RejectedInSubqueries) {
+  const auto result = sql::ParseAndBind(
+      "SELECT NAME FROM People WHERE AGE IN "
+      "(SELECT AGE FROM People ORDER BY AGE)",
+      catalog_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(OrderByTest, UnknownOrderColumnFails) {
+  const auto result =
+      sql::ParseAndBind("SELECT NAME FROM People ORDER BY WEIGHT", catalog_);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(OrderByTest, UnnestingEvaluatorAlsoOrders) {
+  Catalog catalog = testing_util::MakePaperCatalog();
+  ASSERT_OK_AND_ASSIGN(auto bound, sql::ParseAndBind(R"sql(
+      SELECT F.NAME FROM F
+      WHERE F.INCOME IN (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)
+      ORDER BY NAME DESC)sql",
+                                                     catalog));
+  UnnestingEvaluator engine;
+  ASSERT_OK_AND_ASSIGN(Relation answer, engine.Evaluate(*bound));
+  ASSERT_GE(answer.NumTuples(), 2u);
+  for (size_t i = 1; i < answer.NumTuples(); ++i) {
+    EXPECT_GE(answer.TupleAt(i - 1).ValueAt(0).AsString(),
+              answer.TupleAt(i).ValueAt(0).AsString());
+  }
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,233 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace sql {
+namespace {
+
+// ------------------------------ Lexer --------------------------------
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  ASSERT_OK_AND_ASSIGN(auto tokens,
+                       Tokenize("a.b <= 3.5, 'str' \"term\" <> ~= ()"));
+  ASSERT_EQ(tokens.size(), 13u);  // incl. end-of-input
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[3].type, TokenType::kLe);
+  EXPECT_EQ(tokens[4].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 3.5);
+  EXPECT_EQ(tokens[5].type, TokenType::kComma);
+  EXPECT_EQ(tokens[6].type, TokenType::kString);
+  EXPECT_EQ(tokens[6].text, "str");
+  EXPECT_EQ(tokens[7].type, TokenType::kTerm);
+  EXPECT_EQ(tokens[7].text, "term");
+  EXPECT_EQ(tokens[8].type, TokenType::kNe);
+  EXPECT_EQ(tokens[9].type, TokenType::kApprox);
+}
+
+TEST(LexerTest, ReportsUnterminatedString) {
+  const auto result = Tokenize("select 'oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, ReportsUnexpectedCharacter) {
+  EXPECT_FALSE(Tokenize("select #").ok());
+  EXPECT_FALSE(Tokenize("a ~ b").ok());
+}
+
+// ------------------------------ Parser -------------------------------
+
+TEST(ParserTest, PaperQuery1) {
+  // Query 1 (Section 2.2); the FROM clause uses an explicit comma.
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(R"sql(
+      SELECT F.NAME, M.NAME
+      FROM F, M
+      WHERE F.AGE = M.AGE AND M.INCOME > "medium high")sql"));
+  EXPECT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->from.size(), 2u);
+  EXPECT_EQ(q->where.size(), 2u);
+  EXPECT_EQ(q->where[0].kind, Predicate::Kind::kCompare);
+  EXPECT_EQ(q->where[1].op, CompareOp::kGt);
+  EXPECT_EQ(q->where[1].rhs.literal.term, "medium high");
+}
+
+TEST(ParserTest, PaperQuery2Nested) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(R"sql(
+      SELECT F.NAME
+      FROM F
+      WHERE F.AGE = "medium young" AND
+            F.INCOME IN (SELECT M.INCOME FROM M
+                         WHERE M.AGE = "middle age"))sql"));
+  ASSERT_EQ(q->where.size(), 2u);
+  EXPECT_EQ(q->where[1].kind, Predicate::Kind::kIn);
+  EXPECT_FALSE(q->where[1].negated);
+  ASSERT_NE(q->where[1].subquery, nullptr);
+  EXPECT_EQ(q->where[1].subquery->from[0].name, "M");
+}
+
+TEST(ParserTest, PaperQuery4NotIn) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(R"sql(
+      SELECT R.NAME
+      FROM EMP_SALES R
+      WHERE R.INCOME is not in
+            (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE))sql"));
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].kind, Predicate::Kind::kIn);
+  EXPECT_TRUE(q->where[0].negated);
+  EXPECT_EQ(q->from[0].alias, "R");
+}
+
+TEST(ParserTest, PaperQuery5Aggregate) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(R"sql(
+      SELECT R.NAME
+      FROM CITIES_REGION_A R
+      WHERE R.AVE_HOME_INCOME >
+            (SELECT MAX(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S
+             WHERE S.POPULATION = R.POPULATION))sql"));
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].kind, Predicate::Kind::kAggCompare);
+  EXPECT_EQ(q->where[0].op, CompareOp::kGt);
+  EXPECT_EQ(q->where[0].subquery->select[0].agg, AggFunc::kMax);
+}
+
+TEST(ParserTest, QuantifiedAll) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(R"sql(
+      SELECT R.X FROM R
+      WHERE R.Y <= ALL (SELECT S.Z FROM S WHERE S.V = R.U))sql"));
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].kind, Predicate::Kind::kQuantified);
+  EXPECT_EQ(q->where[0].quantifier, Predicate::Quantifier::kAll);
+  EXPECT_EQ(q->where[0].op, CompareOp::kLe);
+}
+
+TEST(ParserTest, QuantifiedSomeAndAny) {
+  ASSERT_OK_AND_ASSIGN(auto q1, ParseQuery(
+      "SELECT R.X FROM R WHERE R.Y > SOME (SELECT S.Z FROM S)"));
+  EXPECT_EQ(q1->where[0].quantifier, Predicate::Quantifier::kSome);
+  ASSERT_OK_AND_ASSIGN(auto q2, ParseQuery(
+      "SELECT R.X FROM R WHERE R.Y > ANY (SELECT S.Z FROM S)"));
+  EXPECT_EQ(q2->where[0].quantifier, Predicate::Quantifier::kSome);
+}
+
+TEST(ParserTest, ChainQuery6Shape) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(R"sql(
+      SELECT R1.X1 FROM R1
+      WHERE R1.P > 5 AND R1.Y1 IN
+        (SELECT R2.X2 FROM R2
+         WHERE R2.U2 = R1.U1 AND R2.X2 IN
+           (SELECT R3.X3 FROM R3
+            WHERE R3.V3 = R2.V2 AND R3.W3 = R1.W1)))sql"));
+  const auto& level2 = q->where[1].subquery;
+  ASSERT_NE(level2, nullptr);
+  const auto& level3 = level2->where[1].subquery;
+  ASSERT_NE(level3, nullptr);
+  EXPECT_EQ(level3->from[0].name, "R3");
+  EXPECT_EQ(level3->where.size(), 2u);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  ASSERT_OK_AND_ASSIGN(auto q1, ParseQuery(
+      "SELECT R.X FROM R WHERE EXISTS (SELECT S.Z FROM S WHERE S.V = R.U)"));
+  ASSERT_EQ(q1->where.size(), 1u);
+  EXPECT_EQ(q1->where[0].kind, Predicate::Kind::kExists);
+  EXPECT_FALSE(q1->where[0].negated);
+
+  ASSERT_OK_AND_ASSIGN(auto q2, ParseQuery(
+      "SELECT R.X FROM R WHERE NOT EXISTS (SELECT S.Z FROM S)"));
+  EXPECT_EQ(q2->where[0].kind, Predicate::Kind::kExists);
+  EXPECT_TRUE(q2->where[0].negated);
+
+  // NOT without EXISTS or IN is an error.
+  EXPECT_FALSE(ParseQuery("SELECT R.X FROM R WHERE NOT R.Y = 3").ok());
+}
+
+TEST(ParserTest, WithClause) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(
+      "SELECT R.X FROM R WHERE R.Y = 3 WITH D >= 0.5"));
+  EXPECT_TRUE(q->has_with);
+  EXPECT_DOUBLE_EQ(q->with_threshold, 0.5);
+}
+
+TEST(ParserTest, WithClauseRejectsBadThreshold) {
+  EXPECT_FALSE(ParseQuery("SELECT R.X FROM R WITH D >= 1.5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT R.X FROM R WITH D = 0.5").ok());
+}
+
+TEST(ParserTest, GroupByBothSpellings) {
+  ASSERT_OK_AND_ASSIGN(auto q1,
+                       ParseQuery("SELECT R.K FROM R GROUPBY R.K"));
+  EXPECT_EQ(q1->group_by.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto q2,
+                       ParseQuery("SELECT R.K FROM R GROUP BY R.K"));
+  EXPECT_EQ(q2->group_by.size(), 1u);
+}
+
+TEST(ParserTest, TrapAndAboutLiterals) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(
+      "SELECT R.X FROM R WHERE R.Y = TRAP(1, 2, 3, 4) AND R.Z ~= ABOUT(10, 2)"));
+  const auto& lit1 = q->where[0].rhs.literal.value;
+  EXPECT_EQ(lit1.AsFuzzy(), Trapezoid(1, 2, 3, 4));
+  EXPECT_EQ(q->where[1].op, CompareOp::kApproxEq);
+  EXPECT_EQ(q->where[1].rhs.literal.value.AsFuzzy(),
+            Trapezoid::Triangle(8, 10, 12));
+}
+
+TEST(ParserTest, ApproxEqualWithTolerance) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(
+      "SELECT R.X FROM R WHERE R.Y ~= 25 WITHIN 40"));
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].op, CompareOp::kApproxEq);
+  EXPECT_DOUBLE_EQ(q->where[0].approx_tolerance, 40.0);
+  // Round trips.
+  ASSERT_OK_AND_ASSIGN(auto q2, ParseQuery(q->ToString()));
+  EXPECT_EQ(q->ToString(), q2->ToString());
+  // WITHIN requires ~= and a positive tolerance.
+  EXPECT_FALSE(ParseQuery("SELECT R.X FROM R WHERE R.Y = 25 WITHIN 40").ok());
+  EXPECT_FALSE(ParseQuery("SELECT R.X FROM R WHERE R.Y ~= 25 WITHIN 0").ok());
+}
+
+TEST(ParserTest, NegativeNumbersAndSigns) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(
+      "SELECT R.X FROM R WHERE R.Y >= -2.5 AND R.Z < +7"));
+  EXPECT_DOUBLE_EQ(q->where[0].rhs.literal.value.AsFuzzy().CrispValue(), -2.5);
+  EXPECT_DOUBLE_EQ(q->where[1].rhs.literal.value.AsFuzzy().CrispValue(), 7.0);
+}
+
+TEST(ParserTest, TableAliases) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery("SELECT r.X FROM People r"));
+  EXPECT_EQ(q->from[0].name, "People");
+  EXPECT_EQ(q->from[0].alias, "r");
+}
+
+TEST(ParserTest, ErrorMessagesNameTheProblem) {
+  auto r1 = ParseQuery("SELECT FROM R");
+  ASSERT_FALSE(r1.ok());
+  auto r2 = ParseQuery("SELECT R.X R");  // missing FROM
+  ASSERT_FALSE(r2.ok());
+  auto r3 = ParseQuery("SELECT R.X FROM R WHERE");
+  ASSERT_FALSE(r3.ok());
+  auto r4 = ParseQuery("SELECT R.X FROM R extra stuff");
+  ASSERT_FALSE(r4.ok());
+  auto r5 = ParseQuery("SELECT R.X FROM R WHERE R.Y NOT 5");
+  ASSERT_FALSE(r5.ok());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const std::string text =
+      "SELECT F.NAME FROM F WHERE F.AGE = \"medium young\" AND F.INCOME IN "
+      "(SELECT M.INCOME FROM M WHERE M.AGE = \"middle age\") WITH D >= 0.25";
+  ASSERT_OK_AND_ASSIGN(auto q, ParseQuery(text));
+  // Printing and re-parsing yields the same structure.
+  ASSERT_OK_AND_ASSIGN(auto q2, ParseQuery(q->ToString()));
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace fuzzydb

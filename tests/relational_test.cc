@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+// ----------------------------- Value ---------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Number(3).is_fuzzy());
+  EXPECT_TRUE(Value::Number(3).AsFuzzy().IsCrisp());
+  EXPECT_DOUBLE_EQ(Value::Number(3).AsFuzzy().CrispValue(), 3.0);
+}
+
+TEST(ValueTest, IdenticalIsRepresentationEquality) {
+  EXPECT_TRUE(Value::Number(3).Identical(Value::Number(3)));
+  EXPECT_FALSE(Value::Number(3).Identical(Value::Number(4)));
+  EXPECT_TRUE(Value::String("a").Identical(Value::String("a")));
+  EXPECT_FALSE(Value::String("a").Identical(Value::Number(3)));
+  EXPECT_TRUE(Value::Null().Identical(Value::Null()));
+  // Fuzzy-equal but not identical.
+  const Value wide = Value::Fuzzy(Trapezoid(0, 1, 2, 3));
+  const Value crisp = Value::Number(1.5);
+  EXPECT_FALSE(wide.Identical(crisp));
+  EXPECT_DOUBLE_EQ(crisp.Compare(CompareOp::kEq, wide), 1.0);
+}
+
+TEST(ValueTest, StringComparisonsAreCrisp) {
+  const Value a = Value::String("apple"), b = Value::String("banana");
+  EXPECT_DOUBLE_EQ(a.Compare(CompareOp::kEq, a), 1.0);
+  EXPECT_DOUBLE_EQ(a.Compare(CompareOp::kEq, b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Compare(CompareOp::kNe, b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Compare(CompareOp::kLt, b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Compare(CompareOp::kLt, a), 0.0);
+  EXPECT_DOUBLE_EQ(a.Compare(CompareOp::kLe, a), 1.0);
+}
+
+TEST(ValueTest, TypeMismatchAndNullCompareToZero) {
+  EXPECT_DOUBLE_EQ(
+      Value::String("x").Compare(CompareOp::kEq, Value::Number(1)), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().Compare(CompareOp::kEq, Value::Null()), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Number(1).Compare(CompareOp::kEq, Value::Null()),
+                   0.0);
+}
+
+TEST(ValueTest, TotalOrderIsConsistentWithIdentical) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::String("a"),
+      Value::String("b"),
+      Value::Number(1),
+      Value::Number(2),
+      Value::Fuzzy(Trapezoid(1, 1, 2, 3)),
+      Value::Fuzzy(Trapezoid(1, 2, 2, 3)),
+  };
+  for (const Value& x : values) {
+    for (const Value& y : values) {
+      const int cmp = x.TotalOrderCompare(y);
+      EXPECT_EQ(cmp == 0, x.Identical(y))
+          << x.ToString() << " vs " << y.ToString();
+      EXPECT_EQ(cmp, -y.TotalOrderCompare(x));
+    }
+  }
+}
+
+// ----------------------------- Schema --------------------------------
+
+TEST(SchemaTest, IndexLookupIsCaseInsensitive) {
+  const Schema schema{Column{"NAME", ValueType::kString},
+                      Column{"AGE", ValueType::kFuzzy}};
+  ASSERT_OK_AND_ASSIGN(size_t idx, schema.IndexOf("age"));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_FALSE(schema.IndexOf("income").ok());
+  EXPECT_TRUE(schema.Has("Name"));
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicates) {
+  Schema schema{Column{"A", ValueType::kFuzzy}};
+  EXPECT_OK(schema.AddColumn(Column{"B", ValueType::kString}));
+  const Status st = schema.AddColumn(Column{"a", ValueType::kFuzzy});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+// ----------------------------- Tuple ---------------------------------
+
+TEST(TupleTest, ConcatTakesMinDegree) {
+  const Tuple a({Value::Number(1)}, 0.8);
+  const Tuple b({Value::Number(2)}, 0.5);
+  const Tuple joined = a.Concat(b);
+  EXPECT_EQ(joined.NumValues(), 2u);
+  EXPECT_DOUBLE_EQ(joined.degree(), 0.5);
+}
+
+TEST(TupleTest, ProjectKeepsDegree) {
+  const Tuple t({Value::Number(1), Value::Number(2), Value::Number(3)}, 0.7);
+  const Tuple p = t.Project({2, 0});
+  EXPECT_EQ(p.NumValues(), 2u);
+  EXPECT_DOUBLE_EQ(p.ValueAt(0).AsFuzzy().CrispValue(), 3.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(1).AsFuzzy().CrispValue(), 1.0);
+  EXPECT_DOUBLE_EQ(p.degree(), 0.7);
+}
+
+// ---------------------------- Relation -------------------------------
+
+TEST(RelationTest, AppendDropsZeroDegreeTuples) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy}});
+  EXPECT_OK(r.Append(Tuple({Value::Number(1)}, 0.0)));
+  EXPECT_OK(r.Append(Tuple({Value::Number(2)}, 0.5)));
+  EXPECT_EQ(r.NumTuples(), 1u);
+}
+
+TEST(RelationTest, AppendChecksArity) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy}});
+  const Status st = r.Append(Tuple({Value::Number(1), Value::Number(2)}, 1.0));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, DuplicateEliminationKeepsMaxDegree) {
+  // Fuzzy OR: identical answers keep the highest membership (Section 2.2).
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy}});
+  EXPECT_OK(r.Append(Tuple({Value::Number(1)}, 0.3)));
+  EXPECT_OK(r.Append(Tuple({Value::Number(1)}, 0.7)));
+  EXPECT_OK(r.Append(Tuple({Value::Number(1)}, 0.5)));
+  EXPECT_OK(r.Append(Tuple({Value::Number(2)}, 0.2)));
+  r.EliminateDuplicates();
+  EXPECT_EQ(r.NumTuples(), 2u);
+  EXPECT_DOUBLE_EQ(testing_util::DegreeOf(r, 1.0), 0.7);
+  EXPECT_DOUBLE_EQ(testing_util::DegreeOf(r, 2.0), 0.2);
+}
+
+TEST(RelationTest, WithThresholdFiltersAnswers) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy}});
+  EXPECT_OK(r.Append(Tuple({Value::Number(1)}, 0.3)));
+  EXPECT_OK(r.Append(Tuple({Value::Number(2)}, 0.8)));
+  r.EliminateDuplicates(0.5);  // WITH D >= 0.5
+  EXPECT_EQ(r.NumTuples(), 1u);
+  EXPECT_DOUBLE_EQ(testing_util::DegreeOf(r, 2.0), 0.8);
+}
+
+TEST(RelationTest, AppendOrMaxMergesInPlace) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy}});
+  EXPECT_OK(r.AppendOrMax(Tuple({Value::Number(1)}, 0.3)));
+  EXPECT_OK(r.AppendOrMax(Tuple({Value::Number(1)}, 0.6)));
+  EXPECT_OK(r.AppendOrMax(Tuple({Value::Number(1)}, 0.4)));
+  EXPECT_EQ(r.NumTuples(), 1u);
+  EXPECT_DOUBLE_EQ(r.TupleAt(0).degree(), 0.6);
+}
+
+TEST(RelationTest, EquivalentToIgnoresOrderAndDuplicates) {
+  Relation a("A", Schema{Column{"X", ValueType::kFuzzy}});
+  Relation b("B", Schema{Column{"X", ValueType::kFuzzy}});
+  EXPECT_OK(a.Append(Tuple({Value::Number(1)}, 0.5)));
+  EXPECT_OK(a.Append(Tuple({Value::Number(2)}, 0.9)));
+  EXPECT_OK(b.Append(Tuple({Value::Number(2)}, 0.9)));
+  EXPECT_OK(b.Append(Tuple({Value::Number(1)}, 0.2)));
+  EXPECT_OK(b.Append(Tuple({Value::Number(1)}, 0.5)));
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_OK(b.Append(Tuple({Value::Number(3)}, 0.1)));
+  EXPECT_FALSE(a.EquivalentTo(b));
+}
+
+TEST(RelationTest, EquivalentToComparesDegrees) {
+  Relation a("A", Schema{Column{"X", ValueType::kFuzzy}});
+  Relation b("B", Schema{Column{"X", ValueType::kFuzzy}});
+  EXPECT_OK(a.Append(Tuple({Value::Number(1)}, 0.5)));
+  EXPECT_OK(b.Append(Tuple({Value::Number(1)}, 0.6)));
+  EXPECT_FALSE(a.EquivalentTo(b));
+  EXPECT_TRUE(a.EquivalentTo(b, 0.2));
+}
+
+// ---------------------------- Catalog --------------------------------
+
+TEST(CatalogTest, AddLookupDrop) {
+  Catalog catalog;
+  EXPECT_OK(catalog.AddRelation(
+      Relation("Emp", Schema{Column{"ID", ValueType::kFuzzy}})));
+  EXPECT_TRUE(catalog.HasRelation("emp"));
+  ASSERT_OK_AND_ASSIGN(const Relation* rel, catalog.GetRelation("EMP"));
+  EXPECT_EQ(rel->name(), "Emp");
+  const Status dup = catalog.AddRelation(
+      Relation("EMP", Schema{Column{"ID", ValueType::kFuzzy}}));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  catalog.DropRelation("Emp");
+  EXPECT_FALSE(catalog.HasRelation("emp"));
+}
+
+TEST(CatalogTest, BuiltInTermsAvailable) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.terms().Contains("medium young"));
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,119 @@
+// Unit tests of the shared degree algebra (engine/semantics.h) and the
+// alpha-cut accessors underpinning the threshold pushdown.
+#include "engine/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+using testing_util::MakeSet;
+
+TEST(InDegreeTest, MaxOfMinOverTheSet) {
+  // d(v IN T) = max_z min(mu_T(z), d(v = z)) -- the Example 4.1 algebra.
+  const Relation t = MakeSet("T", {{Trapezoid::Triangle(35, 40, 45), 0.4},
+                                   {Trapezoid(62, 67, 150, 150), 1.0}});
+  // "about 60K" vs T: min(0.4, 0) vs min(1, 0.3) -> 0.3.
+  EXPECT_DOUBLE_EQ(
+      InDegree(Value::Fuzzy(Trapezoid::Triangle(55, 60, 65)), t, nullptr),
+      0.3);
+  // "medium high" vs T: -> 0.7.
+  EXPECT_DOUBLE_EQ(
+      InDegree(Value::Fuzzy(Trapezoid(55, 60, 64, 69)), t, nullptr), 0.7);
+  // Empty set.
+  const Relation empty = MakeSet("T", {});
+  EXPECT_DOUBLE_EQ(InDegree(Value::Number(5), empty, nullptr), 0.0);
+}
+
+TEST(InDegreeTest, SetMembershipCapsTheDegree) {
+  const Relation t = MakeSet("T", {{Trapezoid::Crisp(5), 0.3}});
+  EXPECT_DOUBLE_EQ(InDegree(Value::Number(5), t, nullptr), 0.3);
+}
+
+TEST(AllDegreeTest, EmptySetIsFullySatisfied) {
+  const Relation empty = MakeSet("T", {});
+  EXPECT_DOUBLE_EQ(
+      AllDegree(Value::Number(5), CompareOp::kLe, empty, nullptr), 1.0);
+}
+
+TEST(AllDegreeTest, WorstViolatorDecides) {
+  const Relation t = MakeSet("T", {{Trapezoid::Crisp(10), 1.0},
+                                   {Trapezoid::Crisp(3), 0.6}});
+  // v = 5: 5 <= 10 holds fully; 5 <= 3 fails, violation min(0.6, 1) = 0.6.
+  EXPECT_DOUBLE_EQ(
+      AllDegree(Value::Number(5), CompareOp::kLe, t, nullptr), 0.4);
+  // v = 2: no violations.
+  EXPECT_DOUBLE_EQ(
+      AllDegree(Value::Number(2), CompareOp::kLe, t, nullptr), 1.0);
+}
+
+TEST(SomeDegreeTest, BestWitnessDecides) {
+  const Relation t = MakeSet("T", {{Trapezoid::Crisp(10), 0.5},
+                                   {Trapezoid::Crisp(3), 1.0}});
+  EXPECT_DOUBLE_EQ(
+      SomeDegree(Value::Number(5), CompareOp::kLt, t, nullptr), 0.5);
+  EXPECT_DOUBLE_EQ(
+      SomeDegree(Value::Number(99), CompareOp::kLt, t, nullptr), 0.0);
+  const Relation empty = MakeSet("T", {});
+  EXPECT_DOUBLE_EQ(
+      SomeDegree(Value::Number(5), CompareOp::kLt, empty, nullptr), 0.0);
+}
+
+TEST(AlphaCutTest, BoundsInterpolateBetweenSupportAndCore) {
+  const Trapezoid t(10, 20, 30, 40);
+  EXPECT_DOUBLE_EQ(t.AlphaCutBegin(0), 10);
+  EXPECT_DOUBLE_EQ(t.AlphaCutEnd(0), 40);
+  EXPECT_DOUBLE_EQ(t.AlphaCutBegin(1), 20);
+  EXPECT_DOUBLE_EQ(t.AlphaCutEnd(1), 30);
+  EXPECT_DOUBLE_EQ(t.AlphaCutBegin(0.5), 15);
+  EXPECT_DOUBLE_EQ(t.AlphaCutEnd(0.5), 35);
+}
+
+TEST(AlphaCutTest, CutIntersectionCharacterizesThresholdedEquality) {
+  // EqualityDegree(x, y) >= z  iff  the closed z-cuts intersect -- the
+  // invariant the thresholded merge window relies on.
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    double c[4];
+    for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 24)) / 2;
+    std::sort(c, c + 4);
+    const Trapezoid x(c[0], c[1], c[2], c[3]);
+    for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 24)) / 2;
+    std::sort(c, c + 4);
+    const Trapezoid y(c[0], c[1], c[2], c[3]);
+    for (double z : {0.25, 0.5, 0.75}) {
+      const bool cuts_intersect =
+          x.AlphaCutBegin(z) <= y.AlphaCutEnd(z) &&
+          y.AlphaCutBegin(z) <= x.AlphaCutEnd(z);
+      const bool degree_reaches = EqualityDegree(x, y) >= z - 1e-12;
+      EXPECT_EQ(cuts_intersect, degree_reaches)
+          << x.ToString() << " vs " << y.ToString() << " at z=" << z;
+    }
+  }
+}
+
+TEST(ApplyOrderByTest, SortsByColumnAndDegree) {
+  Relation r("R", Schema{Column{"A", ValueType::kFuzzy}});
+  ASSERT_OK(r.Append(Tuple({Value::Number(3)}, 0.5)));
+  ASSERT_OK(r.Append(Tuple({Value::Number(1)}, 0.9)));
+  ASSERT_OK(r.Append(Tuple({Value::Number(2)}, 0.7)));
+
+  sql::BoundOrderItem by_value;
+  by_value.output_column = 0;
+  ApplyOrderBy({by_value}, &r);
+  EXPECT_DOUBLE_EQ(r.TupleAt(0).ValueAt(0).AsFuzzy().CrispValue(), 1.0);
+  EXPECT_DOUBLE_EQ(r.TupleAt(2).ValueAt(0).AsFuzzy().CrispValue(), 3.0);
+
+  sql::BoundOrderItem by_degree;
+  by_degree.by_degree = true;
+  by_degree.descending = true;
+  ApplyOrderBy({by_degree}, &r);
+  EXPECT_DOUBLE_EQ(r.TupleAt(0).degree(), 0.9);
+  EXPECT_DOUBLE_EQ(r.TupleAt(2).degree(), 0.5);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,97 @@
+#include "fuzzy/term_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/degree.h"
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+class BuiltInTermsTest : public ::testing::Test {
+ protected:
+  TermDictionary dict_ = TermDictionary::BuiltIn();
+
+  Trapezoid Term(const std::string& name) {
+    auto result = dict_.Lookup(name);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : Trapezoid();
+  }
+};
+
+TEST_F(BuiltInTermsTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(Term("Medium Young"), Term("medium young"));
+  EXPECT_EQ(Term("HIGH"), Term("high"));
+}
+
+TEST_F(BuiltInTermsTest, UnknownTermFails) {
+  const auto result = dict_.Lookup("no such term");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BuiltInTermsTest, GenericAboutFallback) {
+  ASSERT_OK_AND_ASSIGN(Trapezoid about, dict_.Lookup("about 100"));
+  EXPECT_DOUBLE_EQ(about.b(), 100);
+  EXPECT_DOUBLE_EQ(about.c(), 100);
+  EXPECT_DOUBLE_EQ(about.Membership(100), 1.0);
+  EXPECT_DOUBLE_EQ(about.Membership(90), 0.0);
+}
+
+TEST_F(BuiltInTermsTest, DefineOverridesFallback) {
+  dict_.Define("about 100", Trapezoid::Triangle(98, 100, 102));
+  ASSERT_OK_AND_ASSIGN(Trapezoid about, dict_.Lookup("about 100"));
+  EXPECT_EQ(about, Trapezoid::Triangle(98, 100, 102));
+}
+
+// ----- Calibration: every degree published in the paper reproduces -----
+
+TEST_F(BuiltInTermsTest, Fig1MembershipValues) {
+  EXPECT_DOUBLE_EQ(Term("medium young").Membership(24), 0.8);
+  EXPECT_DOUBLE_EQ(Term("medium young").Membership(23), 0.6);
+  EXPECT_DOUBLE_EQ(Term("medium young").Membership(32), 0.6);
+  EXPECT_DOUBLE_EQ(Term("medium young").Membership(27), 1.0);
+}
+
+TEST_F(BuiltInTermsTest, Fig1About35VsMediumYoung) {
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("about 35"), Term("medium young")),
+                   0.5);
+}
+
+TEST_F(BuiltInTermsTest, Example41AgeDegrees) {
+  // Betty (middle age) vs the outer predicate AGE = "medium young": 0.7.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("middle age"), Term("medium young")),
+                   0.7);
+  // Allen 202 (about 50) vs inner predicate AGE = "middle age": 0.4.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("about 50"), Term("middle age")), 0.4);
+  // Carl (about 29) does not satisfy AGE = "middle age" at all.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("about 29"), Term("middle age")), 0.0);
+  // Allen 201 (crisp 24) does not satisfy it either.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Trapezoid::Crisp(24), Term("middle age")),
+                   0.0);
+  // Cathy (about 50) does not satisfy AGE = "medium young".
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("about 50"), Term("medium young")),
+                   0.0);
+}
+
+TEST_F(BuiltInTermsTest, Example41IncomeDegrees) {
+  // Ann 101: d(about 60K IN T) = 0.3 via d(about 60K = high) = 0.3.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("about 60k"), Term("high")), 0.3);
+  // Ann 102: d(medium high IN T) = 0.7 via d(medium high = high) = 0.7.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("medium high"), Term("high")), 0.7);
+  // Cross terms that must vanish for T to be exactly {about 40K, high}.
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("about 60k"), Term("about 40k")), 0.0);
+  EXPECT_DOUBLE_EQ(EqualityDegree(Term("medium high"), Term("about 40k")),
+                   0.0);
+}
+
+TEST_F(BuiltInTermsTest, NamesEnumeratesDefinitions) {
+  const auto names = dict_.Names();
+  EXPECT_GE(names.size(), 14u);
+  EXPECT_TRUE(dict_.Contains("medium young"));
+  EXPECT_TRUE(dict_.Contains("about 40k"));
+  EXPECT_FALSE(dict_.Contains("about 41k"));
+}
+
+}  // namespace
+}  // namespace fuzzydb

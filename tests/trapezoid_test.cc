@@ -1,0 +1,112 @@
+#include "fuzzy/trapezoid.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzydb {
+namespace {
+
+TEST(TrapezoidTest, MembershipOnPlainTrapezoid) {
+  const Trapezoid t(20, 25, 30, 35);  // "medium young" (Fig. 1)
+  EXPECT_DOUBLE_EQ(t.Membership(19.9), 0.0);
+  EXPECT_DOUBLE_EQ(t.Membership(20), 0.0);
+  EXPECT_DOUBLE_EQ(t.Membership(24), 0.8);  // Fig. 1: mu(24) = 0.8
+  EXPECT_DOUBLE_EQ(t.Membership(23), 0.6);  // Fig. 1: mu(23) = 0.6
+  EXPECT_DOUBLE_EQ(t.Membership(25), 1.0);
+  EXPECT_DOUBLE_EQ(t.Membership(27.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.Membership(30), 1.0);
+  EXPECT_DOUBLE_EQ(t.Membership(32), 0.6);  // Fig. 1: mu(32) = 0.6
+  EXPECT_DOUBLE_EQ(t.Membership(31), 0.8);
+  EXPECT_DOUBLE_EQ(t.Membership(35), 0.0);
+  EXPECT_DOUBLE_EQ(t.Membership(40), 0.0);
+}
+
+TEST(TrapezoidTest, CrispValue) {
+  const Trapezoid t = Trapezoid::Crisp(28);
+  EXPECT_TRUE(t.IsCrisp());
+  EXPECT_DOUBLE_EQ(t.CrispValue(), 28);
+  EXPECT_DOUBLE_EQ(t.Membership(28), 1.0);
+  EXPECT_DOUBLE_EQ(t.Membership(27.999), 0.0);
+  EXPECT_DOUBLE_EQ(t.SupportBegin(), 28);
+  EXPECT_DOUBLE_EQ(t.SupportEnd(), 28);
+}
+
+TEST(TrapezoidTest, IntervalAndTriangleFactories) {
+  const Trapezoid interval = Trapezoid::Interval(10, 20);
+  EXPECT_DOUBLE_EQ(interval.Membership(10), 1.0);
+  EXPECT_DOUBLE_EQ(interval.Membership(20), 1.0);
+  EXPECT_DOUBLE_EQ(interval.Membership(9.99), 0.0);
+
+  const Trapezoid triangle = Trapezoid::Triangle(30, 35, 40);  // "about 35"
+  EXPECT_DOUBLE_EQ(triangle.Membership(35), 1.0);
+  EXPECT_DOUBLE_EQ(triangle.Membership(32.5), 0.5);
+  EXPECT_DOUBLE_EQ(triangle.Membership(30), 0.0);
+
+  const Trapezoid about = Trapezoid::About(50, 5);  // "about 50"
+  EXPECT_EQ(about, Trapezoid::Triangle(45, 50, 55));
+}
+
+TEST(TrapezoidTest, VerticalEdgesBelongToCore) {
+  const Trapezoid left_vertical(10, 10, 15, 20);
+  EXPECT_DOUBLE_EQ(left_vertical.Membership(10), 1.0);
+  EXPECT_DOUBLE_EQ(left_vertical.Membership(9.999), 0.0);
+
+  const Trapezoid right_vertical(10, 12, 20, 20);
+  EXPECT_DOUBLE_EQ(right_vertical.Membership(20), 1.0);
+  EXPECT_DOUBLE_EQ(right_vertical.Membership(20.001), 0.0);
+}
+
+TEST(TrapezoidTest, SupAtOrBelow) {
+  const Trapezoid t(10, 20, 30, 40);
+  EXPECT_DOUBLE_EQ(t.SupAtOrBelow(5), 0.0);
+  EXPECT_DOUBLE_EQ(t.SupAtOrBelow(10), 0.0);
+  EXPECT_DOUBLE_EQ(t.SupAtOrBelow(15), 0.5);
+  EXPECT_DOUBLE_EQ(t.SupAtOrBelow(20), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupAtOrBelow(35), 1.0);  // nondecreasing past the core
+  EXPECT_DOUBLE_EQ(t.SupAtOrBelow(100), 1.0);
+}
+
+TEST(TrapezoidTest, SupStrictlyBelowDiffersAtVerticalEdge) {
+  const Trapezoid vertical(10, 10, 15, 20);
+  EXPECT_DOUBLE_EQ(vertical.SupAtOrBelow(10), 1.0);
+  EXPECT_DOUBLE_EQ(vertical.SupStrictlyBelow(10), 0.0);
+  EXPECT_DOUBLE_EQ(vertical.SupStrictlyBelow(10.001), 1.0);
+
+  const Trapezoid slanted(10, 20, 30, 40);
+  // For a continuous edge the strict and closed variants agree.
+  EXPECT_DOUBLE_EQ(slanted.SupStrictlyBelow(15), 0.5);
+  EXPECT_DOUBLE_EQ(slanted.SupStrictlyBelow(20), 1.0);
+  EXPECT_DOUBLE_EQ(slanted.SupStrictlyBelow(10), 0.0);
+}
+
+TEST(TrapezoidTest, SupAtOrAboveMirrors) {
+  const Trapezoid t(10, 20, 30, 40);
+  EXPECT_DOUBLE_EQ(t.SupAtOrAbove(45), 0.0);
+  EXPECT_DOUBLE_EQ(t.SupAtOrAbove(40), 0.0);
+  EXPECT_DOUBLE_EQ(t.SupAtOrAbove(35), 0.5);
+  EXPECT_DOUBLE_EQ(t.SupAtOrAbove(30), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupAtOrAbove(5), 1.0);
+
+  const Trapezoid vertical(10, 15, 20, 20);
+  EXPECT_DOUBLE_EQ(vertical.SupAtOrAbove(20), 1.0);
+  EXPECT_DOUBLE_EQ(vertical.SupStrictlyAbove(20), 0.0);
+  EXPECT_DOUBLE_EQ(vertical.SupStrictlyAbove(19.999), 1.0);
+}
+
+TEST(TrapezoidTest, CoreCenterDefuzzification) {
+  EXPECT_DOUBLE_EQ(Trapezoid(10, 20, 30, 40).CoreCenter(), 25.0);
+  EXPECT_DOUBLE_EQ(Trapezoid::Crisp(7).CoreCenter(), 7.0);
+  EXPECT_DOUBLE_EQ(Trapezoid::Triangle(0, 5, 20).CoreCenter(), 5.0);
+}
+
+TEST(TrapezoidTest, ToStringFormats) {
+  EXPECT_EQ(Trapezoid::Crisp(28).ToString(), "28");
+  EXPECT_EQ(Trapezoid(20, 25, 30, 35).ToString(), "trap(20,25,30,35)");
+}
+
+TEST(TrapezoidTest, SupportWidth) {
+  EXPECT_DOUBLE_EQ(Trapezoid(20, 25, 30, 35).SupportWidth(), 15.0);
+  EXPECT_DOUBLE_EQ(Trapezoid::Crisp(3).SupportWidth(), 0.0);
+}
+
+}  // namespace
+}  // namespace fuzzydb

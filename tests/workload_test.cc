@@ -1,0 +1,112 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/interval_order.h"
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadConfig config;
+  config.seed = 5;
+  config.num_r = 50;
+  config.num_s = 50;
+  TypeJDataset a = GenerateTypeJDataset(config);
+  TypeJDataset b = GenerateTypeJDataset(config);
+  ASSERT_EQ(a.r.NumTuples(), b.r.NumTuples());
+  for (size_t i = 0; i < a.r.NumTuples(); ++i) {
+    EXPECT_TRUE(a.r.TupleAt(i).SameValues(b.r.TupleAt(i)));
+  }
+}
+
+TEST(WorkloadTest, SizesMatchConfig) {
+  WorkloadConfig config;
+  config.num_r = 123;
+  config.num_s = 77;
+  TypeJDataset d = GenerateTypeJDataset(config);
+  EXPECT_EQ(d.r.NumTuples(), 123u);
+  EXPECT_EQ(d.s.NumTuples(), 77u);
+  EXPECT_EQ(d.r.schema().NumColumns(), 3u);
+  EXPECT_EQ(d.s.schema().NumColumns(), 2u);
+}
+
+TEST(WorkloadTest, AverageFanoutIsApproximatelyC) {
+  for (double c : {1.0, 4.0, 16.0}) {
+    WorkloadConfig config;
+    config.seed = 77;
+    config.num_r = 400;
+    config.num_s = 400;
+    config.join_fanout = c;
+    TypeJDataset d = GenerateTypeJDataset(config);
+
+    // Count joining pairs: same group AND positive fuzzy equality.
+    uint64_t pairs = 0;
+    for (const Tuple& r : d.r.tuples()) {
+      for (const Tuple& s : d.s.tuples()) {
+        if (r.ValueAt(2).Compare(CompareOp::kEq, s.ValueAt(1)) <= 0.0) {
+          continue;
+        }
+        if (r.ValueAt(1).Compare(CompareOp::kEq, s.ValueAt(0)) > 0.0) {
+          ++pairs;
+        }
+      }
+    }
+    const double fanout = static_cast<double>(pairs) / config.num_r;
+    EXPECT_NEAR(fanout, c, c * 0.35) << "C=" << c;
+  }
+}
+
+TEST(WorkloadTest, GroupsNeverOverlapAcross) {
+  WorkloadConfig config;
+  config.seed = 3;
+  config.num_r = 200;
+  config.num_s = 200;
+  config.join_fanout = 8;
+  TypeJDataset d = GenerateTypeJDataset(config);
+  // Any two values from different groups must have disjoint supports.
+  for (const Tuple& r : d.r.tuples()) {
+    for (const Tuple& s : d.s.tuples()) {
+      const bool same_group =
+          r.ValueAt(2).Identical(s.ValueAt(1));
+      const bool overlap = SupportsIntersect(r.ValueAt(1).AsFuzzy(),
+                                             s.ValueAt(0).AsFuzzy());
+      if (!same_group) {
+        EXPECT_FALSE(overlap);
+      } else {
+        // Same group: positive equality degree by construction.
+        EXPECT_GT(r.ValueAt(1).Compare(CompareOp::kEq, s.ValueAt(0)), 0.0);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, FuzzyFractionRespected) {
+  WorkloadConfig config;
+  config.seed = 8;
+  config.num_s = 1000;
+  config.fuzzy_fraction = 0.3;
+  TypeJDataset d = GenerateTypeJDataset(config);
+  size_t fuzzy = 0;
+  for (const Tuple& s : d.s.tuples()) {
+    fuzzy += !s.ValueAt(0).AsFuzzy().IsCrisp();
+  }
+  EXPECT_NEAR(static_cast<double>(fuzzy) / config.num_s, 0.3, 0.05);
+}
+
+TEST(WorkloadTest, RandomRelationHasRequestedShape) {
+  Relation r = GenerateRandomRelation(4, "R", 3, 25);
+  EXPECT_EQ(r.schema().NumColumns(), 3u);
+  EXPECT_EQ(r.NumTuples(), 25u);
+  for (const Tuple& t : r.tuples()) {
+    EXPECT_GT(t.degree(), 0.0);
+    EXPECT_LE(t.degree(), 1.0);
+    for (size_t c = 0; c < t.NumValues(); ++c) {
+      EXPECT_TRUE(t.ValueAt(c).is_fuzzy());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzzydb

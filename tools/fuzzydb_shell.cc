@@ -1,0 +1,16 @@
+// The FuzzyDB interactive shell.
+//
+//   fuzzydb_shell              interactive session
+//   fuzzydb_shell < script.sql batch execution
+#include <iostream>
+
+#include <unistd.h>
+
+#include "shell/shell.h"
+
+int main() {
+  fuzzydb::Shell shell;
+  const bool interactive = isatty(STDIN_FILENO) != 0;
+  shell.Run(std::cin, std::cout, interactive);
+  return 0;
+}
