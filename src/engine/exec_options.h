@@ -1,0 +1,33 @@
+// Execution knobs shared by the evaluators and file-based runners.
+#ifndef FUZZYDB_ENGINE_EXEC_OPTIONS_H_
+#define FUZZYDB_ENGINE_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <thread>
+
+namespace fuzzydb {
+
+/// Options controlling how a query is executed. Every parallel path is
+/// deterministic: results and CpuStats are identical for every
+/// num_threads, so these knobs trade wall time only.
+struct ExecOptions {
+  /// Worker threads for the parallel operators; 0 means
+  /// hardware_concurrency(), 1 runs everything on the calling thread.
+  size_t num_threads = 0;
+
+  /// Tuples handed to a worker at a time (see parallel/morsel.h). The
+  /// default keeps per-morsel state L1/L2-resident while leaving enough
+  /// morsels for load balancing on the bench workloads; tests shrink it
+  /// to exercise many-morsel schedules on small relations.
+  size_t morsel_size = 2048;
+
+  size_t ResolvedThreads() const {
+    if (num_threads > 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ENGINE_EXEC_OPTIONS_H_

@@ -2,6 +2,8 @@
 #ifndef FUZZYDB_ENGINE_EXEC_STATS_H_
 #define FUZZYDB_ENGINE_EXEC_STATS_H_
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -12,22 +14,47 @@ namespace fuzzydb {
 /// CPU-side work counters. The paper's CPU cost is dominated by "calls to
 /// the fuzzy library functions and the number of comparisons for merge and
 /// join" (Section 9); we count both.
+///
+/// CpuStats is mergeable: parallel operators tally into one thread-local
+/// instance per worker and fold them with += at the barrier, which keeps
+/// the totals exact without atomics on the hot path.
 struct CpuStats {
   uint64_t tuple_pairs = 0;        // pairs examined by a join
   uint64_t degree_evaluations = 0; // fuzzy predicate evaluations
   uint64_t comparisons = 0;        // order comparisons (sort + merge)
   uint64_t subquery_evaluations = 0;  // inner-block evaluations (naive)
 
+  /// The counter fields, as one list so the arithmetic below cannot fall
+  /// out of sync when a counter is added.
+  static constexpr std::array<uint64_t CpuStats::*, 4> Counters() {
+    return {&CpuStats::tuple_pairs, &CpuStats::degree_evaluations,
+            &CpuStats::comparisons, &CpuStats::subquery_evaluations};
+  }
+
   void Reset() { *this = CpuStats{}; }
 
+  CpuStats& operator+=(const CpuStats& other) {
+    for (auto counter : Counters()) this->*counter += other.*counter;
+    return *this;
+  }
+
+  /// Counter-wise difference; `other` must be an earlier snapshot of the
+  /// same accumulator, so no counter may run backwards.
   CpuStats operator-(const CpuStats& other) const {
     CpuStats d;
-    d.tuple_pairs = tuple_pairs - other.tuple_pairs;
-    d.degree_evaluations = degree_evaluations - other.degree_evaluations;
-    d.comparisons = comparisons - other.comparisons;
-    d.subquery_evaluations = subquery_evaluations - other.subquery_evaluations;
+    for (auto counter : Counters()) {
+      assert(this->*counter >= other.*counter && "CpuStats underflow");
+      d.*counter = this->*counter - other.*counter;
+    }
     return d;
   }
+
+  friend CpuStats operator+(CpuStats lhs, const CpuStats& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  bool operator==(const CpuStats&) const = default;
 };
 
 /// Everything a measured query run reports.

@@ -6,6 +6,7 @@
 #include "engine/merge_join.h"
 #include "engine/nested_loop_join.h"
 #include "fuzzy/interval_order.h"
+#include "parallel/thread_pool.h"
 #include "sort/external_sort.h"
 
 namespace fuzzydb {
@@ -86,11 +87,24 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
                                     const TypeJQuerySpec& spec,
                                     size_t buffer_pages,
                                     const std::string& temp_prefix,
-                                    size_t min_record_size) {
+                                    size_t min_record_size,
+                                    const ExecOptions* options) {
   RunResult result;
   Stopwatch wall;
   CpuStopwatch cpu_clock;
   BufferPool pool(buffer_pages, &result.stats.io);
+
+  // Worker pool for the CPU-bound run sorts (nullptr options = serial).
+  std::unique_ptr<ThreadPool> workers;
+  ParallelContext parallel_ctx;
+  const ParallelContext* parallel = nullptr;
+  if (options != nullptr) {
+    const size_t threads = options->ResolvedThreads();
+    if (threads > 1) workers = std::make_unique<ThreadPool>(threads);
+    parallel_ctx.pool = workers.get();
+    parallel_ctx.morsel_size = options->morsel_size;
+    parallel = &parallel_ctx;
+  }
 
   // ---- Sort phase (charged to sort_seconds; Table 3) ----------------
   // With a WITH threshold the sort key is the threshold-cut interval
@@ -103,13 +117,13 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
       ExternalSort(r_file, &pool,
                    IntervalLessOnColumn(spec.r_y, nullptr, spec.threshold),
                    temp_prefix + ".R", temp_prefix + ".R.sorted",
-                   buffer_pages, min_record_size, &sort_stats));
+                   buffer_pages, min_record_size, &sort_stats, parallel));
   FUZZYDB_ASSIGN_OR_RETURN(
       std::unique_ptr<PageFile> s_sorted,
       ExternalSort(s_file, &pool,
                    IntervalLessOnColumn(spec.s_z, nullptr, spec.threshold),
                    temp_prefix + ".S", temp_prefix + ".S.sorted",
-                   buffer_pages, min_record_size, &sort_stats));
+                   buffer_pages, min_record_size, &sort_stats, parallel));
   result.stats.cpu.comparisons += sort_stats.comparisons;
   result.stats.sort_seconds = sort_watch.ElapsedSeconds();
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "engine/exec_options.h"
 #include "engine/exec_stats.h"
 #include "relational/relation.h"
 #include "storage/heap_file.h"
@@ -49,11 +50,17 @@ Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
 /// under `temp_prefix` and removed afterwards. `min_record_size` must
 /// match the padding used when the input files were written so that
 /// sorted files keep the same page counts.
+///
+/// `options` opts the CPU-bound phases into the worker pool (in-memory
+/// run sorts during the external sorts; see sort/external_sort.h). The
+/// default (nullptr) runs fully serially, preserving the measured shape
+/// of the paper-reproduction benches.
 Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
                                     const TypeJQuerySpec& spec,
                                     size_t buffer_pages,
                                     const std::string& temp_prefix,
-                                    size_t min_record_size = 0);
+                                    size_t min_record_size = 0,
+                                    const ExecOptions* options = nullptr);
 
 }  // namespace fuzzydb
 

@@ -35,13 +35,82 @@ size_t PartitionOf(const std::vector<double>& bounds, double x) {
       std::upper_bound(bounds.begin(), bounds.end(), x) - bounds.begin());
 }
 
+/// Reads every tuple of `file`. Must run on the calling thread (the
+/// BufferPool is not thread-safe).
+Result<std::vector<Tuple>> LoadPartition(PageFile* file, BufferPool* pool) {
+  std::vector<Tuple> tuples;
+  HeapFileScanner scan(file, pool);
+  Tuple t;
+  bool has = false;
+  while (true) {
+    FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
+    if (!has) break;
+    tuples.push_back(std::move(t));
+    t = Tuple();
+  }
+  return tuples;
+}
+
+/// In-memory sort of one partition side by the interval order of
+/// `key_col`, counting comparisons into *cpu. Safe on a worker thread.
+void SortPartition(std::vector<Tuple>* tuples, size_t key_col,
+                   CpuStats* cpu) {
+  std::sort(tuples->begin(), tuples->end(),
+            [key_col, cpu](const Tuple& a, const Tuple& b) {
+              if (cpu != nullptr) ++cpu->comparisons;
+              return IntervalOrderLess(a.ValueAt(key_col).AsFuzzy(),
+                                       b.ValueAt(key_col).AsFuzzy());
+            });
+}
+
+/// One joining pair found by the window scan of a partition: indexes into
+/// the partition's loaded outer/inner tuple vectors.
+struct MatchRef {
+  size_t outer_index = 0;
+  size_t inner_index = 0;
+  double degree = 0.0;
+};
+
+/// Window scan within one loaded, sorted partition pair (the in-memory
+/// extended merge-join of pass 3). Matches are appended to `matches`
+/// instead of emitted so partitions can be probed concurrently and still
+/// emit in partition order.
+void ProbePartition(const std::vector<Tuple>& outer_tuples,
+                    const std::vector<Tuple>& inner_tuples,
+                    const FuzzyJoinSpec& spec, CpuStats* cpu,
+                    std::vector<MatchRef>* matches) {
+  size_t window_start = 0;
+  for (size_t r = 0; r < outer_tuples.size(); ++r) {
+    const Trapezoid& rk = outer_tuples[r].ValueAt(spec.outer_key).AsFuzzy();
+    while (window_start < inner_tuples.size()) {
+      const Trapezoid& sk =
+          inner_tuples[window_start].ValueAt(spec.inner_key).AsFuzzy();
+      if (cpu != nullptr) ++cpu->comparisons;
+      if (sk.SupportEnd() < rk.SupportBegin()) {
+        ++window_start;
+      } else {
+        break;
+      }
+    }
+    for (size_t i = window_start; i < inner_tuples.size(); ++i) {
+      const Trapezoid& sk = inner_tuples[i].ValueAt(spec.inner_key).AsFuzzy();
+      if (cpu != nullptr) ++cpu->comparisons;
+      if (sk.SupportBegin() > rk.SupportEnd()) break;
+      if (cpu != nullptr) ++cpu->tuple_pairs;
+      const double d = PairDegree(outer_tuples[r], inner_tuples[i], spec, cpu);
+      if (d > 0.0) matches->push_back(MatchRef{r, i, d});
+    }
+  }
+}
+
 }  // namespace
 
 Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                            const FuzzyJoinSpec& spec, size_t num_partitions,
                            const std::string& temp_prefix, CpuStats* cpu,
                            const JoinEmit& emit,
-                           PartitionedJoinStats* stats) {
+                           PartitionedJoinStats* stats,
+                           const ParallelContext* parallel) {
   if (spec.key_op != CompareOp::kEq) {
     return Status::InvalidArgument("partitioned join requires an equijoin");
   }
@@ -146,66 +215,85 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
   }
 
   // ---- Pass 3: join partition pairs in memory ------------------------
+  // Every partition pair is sorted and probed independently; matches are
+  // buffered per partition and emitted in partition order, and CPU
+  // counters are tallied into per-partition slots folded in partition
+  // order, so serial and parallel runs produce the same emit sequence
+  // and the same totals.
+  const ParallelContext ctx =
+      parallel != nullptr ? *parallel : ParallelContext{};
+  const bool concurrent =
+      ctx.pool != nullptr && ctx.pool->size() > 1 && partitions > 1;
   Status status = Status::OK();
-  for (Partition& part : parts) {
-    if (!status.ok()) break;
-    // Load and sort both sides of the partition by the interval order.
-    auto load = [&](PageFile* file, size_t key_col) -> Result<std::vector<Tuple>> {
-      std::vector<Tuple> tuples;
-      HeapFileScanner scan(file, pool);
-      Tuple t;
-      bool has = false;
-      while (true) {
-        FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
-        if (!has) break;
-        tuples.push_back(std::move(t));
-        t = Tuple();
-      }
-      std::sort(tuples.begin(), tuples.end(),
-                [key_col, this_cpu = cpu](const Tuple& a, const Tuple& b) {
-                  if (this_cpu != nullptr) ++this_cpu->comparisons;
-                  return IntervalOrderLess(a.ValueAt(key_col).AsFuzzy(),
-                                           b.ValueAt(key_col).AsFuzzy());
-                });
-      return tuples;
-    };
-    auto outer_tuples = load(part.outer_file.get(), spec.outer_key);
-    auto inner_tuples = load(part.inner_file.get(), spec.inner_key);
-    if (!outer_tuples.ok() || !inner_tuples.ok()) {
-      status = outer_tuples.ok() ? inner_tuples.status()
-                                 : outer_tuples.status();
-      break;
+  std::vector<CpuStats> part_cpu(partitions);
+  auto slot = [&](size_t p) {
+    return cpu != nullptr ? &part_cpu[p] : nullptr;
+  };
+  auto emit_matches = [&](const std::vector<Tuple>& outer_tuples,
+                          const std::vector<Tuple>& inner_tuples,
+                          const std::vector<MatchRef>& matches) -> Status {
+    for (const MatchRef& m : matches) {
+      FUZZYDB_RETURN_IF_ERROR(emit(outer_tuples[m.outer_index],
+                                   inner_tuples[m.inner_index], m.degree));
     }
-
-    // Window scan within the partition.
-    size_t window_start = 0;
-    for (const Tuple& r : *outer_tuples) {
-      const Trapezoid& rk = r.ValueAt(spec.outer_key).AsFuzzy();
-      while (window_start < inner_tuples->size()) {
-        const Trapezoid& sk = (*inner_tuples)[window_start]
-                                  .ValueAt(spec.inner_key)
-                                  .AsFuzzy();
-        if (cpu != nullptr) ++cpu->comparisons;
-        if (sk.SupportEnd() < rk.SupportBegin()) {
-          ++window_start;
-        } else {
-          break;
-        }
+    return Status::OK();
+  };
+  if (!concurrent) {
+    // Streamed: one partition pair in memory at a time.
+    for (size_t p = 0; p < partitions && status.ok(); ++p) {
+      auto outer_tuples = LoadPartition(parts[p].outer_file.get(), pool);
+      if (!outer_tuples.ok()) {
+        status = outer_tuples.status();
+        break;
       }
-      for (size_t i = window_start; i < inner_tuples->size(); ++i) {
-        const Trapezoid& sk =
-            (*inner_tuples)[i].ValueAt(spec.inner_key).AsFuzzy();
-        if (cpu != nullptr) ++cpu->comparisons;
-        if (sk.SupportBegin() > rk.SupportEnd()) break;
-        if (cpu != nullptr) ++cpu->tuple_pairs;
-        const double d = PairDegree(r, (*inner_tuples)[i], spec, cpu);
-        if (d > 0.0) {
-          status = emit(r, (*inner_tuples)[i], d);
-          if (!status.ok()) break;
-        }
+      auto inner_tuples = LoadPartition(parts[p].inner_file.get(), pool);
+      if (!inner_tuples.ok()) {
+        status = inner_tuples.status();
+        break;
       }
-      if (!status.ok()) break;
+      SortPartition(&*outer_tuples, spec.outer_key, slot(p));
+      SortPartition(&*inner_tuples, spec.inner_key, slot(p));
+      std::vector<MatchRef> matches;
+      ProbePartition(*outer_tuples, *inner_tuples, spec, slot(p), &matches);
+      status = emit_matches(*outer_tuples, *inner_tuples, matches);
     }
+  } else {
+    // Concurrent: reads stay on this thread, then sort + probe run
+    // one-partition-per-morsel on the pool.
+    std::vector<std::vector<Tuple>> outer_tuples(partitions);
+    std::vector<std::vector<Tuple>> inner_tuples(partitions);
+    for (size_t p = 0; p < partitions && status.ok(); ++p) {
+      auto o = LoadPartition(parts[p].outer_file.get(), pool);
+      if (!o.ok()) {
+        status = o.status();
+        break;
+      }
+      auto i = LoadPartition(parts[p].inner_file.get(), pool);
+      if (!i.ok()) {
+        status = i.status();
+        break;
+      }
+      outer_tuples[p] = *std::move(o);
+      inner_tuples[p] = *std::move(i);
+    }
+    if (status.ok()) {
+      std::vector<std::vector<MatchRef>> matches(partitions);
+      ParallelFor(ctx, partitions, /*morsel_size=*/1,
+                  [&](size_t, size_t begin, size_t end) {
+                    for (size_t p = begin; p < end; ++p) {
+                      SortPartition(&outer_tuples[p], spec.outer_key, slot(p));
+                      SortPartition(&inner_tuples[p], spec.inner_key, slot(p));
+                      ProbePartition(outer_tuples[p], inner_tuples[p], spec,
+                                     slot(p), &matches[p]);
+                    }
+                  });
+      for (size_t p = 0; p < partitions && status.ok(); ++p) {
+        status = emit_matches(outer_tuples[p], inner_tuples[p], matches[p]);
+      }
+    }
+  }
+  if (cpu != nullptr) {
+    for (const CpuStats& s : part_cpu) *cpu += s;
   }
 
   // Cleanup.

@@ -28,6 +28,7 @@
 
 #include "common/status.h"
 #include "engine/merge_join.h"  // FuzzyJoinSpec, JoinEmit
+#include "parallel/parallel_for.h"
 
 namespace fuzzydb {
 
@@ -42,11 +43,21 @@ struct PartitionedJoinStats {
 /// columns must hold fuzzy values). Temporary partition files are
 /// created as `temp_prefix + ".p<i>.{inner,outer}"` and removed before
 /// returning. Page traffic flows through `pool`.
+///
+/// With `parallel` set, partition pairs are sorted and probed
+/// concurrently (one partition per morsel); partition loads stay on the
+/// calling thread because the BufferPool is not thread-safe. Emission
+/// order, emitted pairs, and `cpu` totals are identical to the serial
+/// run: each worker buffers its partition's matches and counts into a
+/// per-partition CpuStats, both folded in partition order at the
+/// barrier. The parallel probe materializes every partition pair in
+/// memory at once (the serial path holds one pair at a time).
 Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                            const FuzzyJoinSpec& spec, size_t num_partitions,
                            const std::string& temp_prefix, CpuStats* cpu,
                            const JoinEmit& emit,
-                           PartitionedJoinStats* stats = nullptr);
+                           PartitionedJoinStats* stats = nullptr,
+                           const ParallelContext* parallel = nullptr);
 
 }  // namespace fuzzydb
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <optional>
@@ -11,6 +12,8 @@
 #include "engine/naive_evaluator.h"
 #include "engine/semantics.h"
 #include "fuzzy/interval_order.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
 
 namespace fuzzydb {
 
@@ -44,11 +47,33 @@ double LocalDegree(const BoundQuery& block, const Tuple& t, CpuStats* cpu) {
 
 /// Filters a single-table block by its local predicates; this is the
 /// paper's "only those tuples that satisfy p positively should be sorted".
-std::vector<FT> FilterBlock(const BoundQuery& block, CpuStats* cpu) {
+/// Morsels are filtered in parallel into per-morsel vectors concatenated
+/// in morsel order, so the output (and, with per-worker stats folded at
+/// the barrier, the counters) match the serial scan exactly.
+std::vector<FT> FilterBlock(const BoundQuery& block,
+                            const ParallelContext& ctx, CpuStats* cpu) {
+  const std::vector<Tuple>& tuples = block.tables[0].relation->tuples();
+  const size_t n = tuples.size();
+  const size_t morsel = ctx.morsel_size == 0 ? 1 : ctx.morsel_size;
+  std::vector<std::vector<FT>> per_morsel((n + morsel - 1) / morsel);
+  std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
+  ParallelFor(ctx, n, [&](size_t worker, size_t begin, size_t end) {
+    CpuStats* slot = cpu == nullptr ? nullptr : &worker_cpu[worker];
+    std::vector<FT>& out = per_morsel[begin / morsel];
+    for (size_t i = begin; i < end; ++i) {
+      const double d = LocalDegree(block, tuples[i], slot);
+      if (d > 0.0) out.push_back(FT{&tuples[i], d});
+    }
+  });
+  size_t survivors = 0;
+  for (const auto& part : per_morsel) survivors += part.size();
   std::vector<FT> out;
-  for (const Tuple& t : block.tables[0].relation->tuples()) {
-    const double d = LocalDegree(block, t, cpu);
-    if (d > 0.0) out.push_back(FT{&t, d});
+  out.reserve(survivors);
+  for (const auto& part : per_morsel) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  if (cpu != nullptr) {
+    for (const CpuStats& slot : worker_cpu) *cpu += slot;
   }
   return out;
 }
@@ -62,43 +87,104 @@ bool ColumnIsFuzzy(const std::vector<FT>& tuples, size_t col) {
 }
 
 /// Sorts by the interval order (Definition 3.1) of fuzzy column `col`.
-void SortByIntervalOrder(std::vector<FT>* tuples, size_t col, CpuStats* cpu) {
-  std::sort(tuples->begin(), tuples->end(),
-            [col, cpu](const FT& x, const FT& y) {
-              if (cpu != nullptr) ++cpu->comparisons;
-              return IntervalOrderLess(x.tuple->ValueAt(col).AsFuzzy(),
-                                       y.tuple->ValueAt(col).AsFuzzy());
-            });
+/// Parallel per-run sorts + merge tree; order and comparison count are
+/// thread-count-invariant (see ParallelSort).
+void SortByIntervalOrder(std::vector<FT>* tuples, size_t col,
+                         const ParallelContext& ctx, CpuStats* cpu) {
+  uint64_t comparisons = 0;
+  ParallelSort(ctx, tuples, cpu == nullptr ? nullptr : &comparisons,
+               [col](uint64_t* count) {
+                 return [col, count](const FT& x, const FT& y) {
+                   ++*count;
+                   return IntervalOrderLess(x.tuple->ValueAt(col).AsFuzzy(),
+                                            y.tuple->ValueAt(col).AsFuzzy());
+                 };
+               });
+  if (cpu != nullptr) cpu->comparisons += comparisons;
+}
+
+/// The support interval of a sort-key value, hoisted out of the merge
+/// window's inner loop: the window scan examines every pair, and
+/// re-deriving ValueAt(col).AsFuzzy() bounds per pair dominated its cost.
+struct SupportBounds {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Precomputes the (SupportBegin, SupportEnd) array of `col`, once per
+/// join input.
+std::vector<SupportBounds> HoistSupportBounds(const std::vector<FT>& tuples,
+                                              size_t col) {
+  std::vector<SupportBounds> bounds(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const Trapezoid& k = tuples[i].tuple->ValueAt(col).AsFuzzy();
+    bounds[i] = SupportBounds{k.SupportBegin(), k.SupportEnd()};
+  }
+  return bounds;
 }
 
 /// The extended merge-join enumeration (Section 3): both inputs sorted on
 /// their key columns; for each outer tuple, emits exactly the inner tuples
 /// of Rng(r) (Definition 3.2).
+///
+/// Parallelization: the *outer* sorted input is cut into morsels; the
+/// window logic is read-only over the inner side, so morsels are
+/// independent and the enumeration is exactly degree-preserving. Each
+/// morsel replays the serial scan for its range after replaying the scan
+/// *state* at its entry: the serial window start before outer[begin] is
+/// min{i : e(inner[i]) >= b(outer[begin - 1])}, which an (uncounted)
+/// binary search finds on the monotone prefix-max of inner support ends
+/// (the raw ends are not monotone under the interval order). Counted
+/// comparisons therefore sum to the serial totals for every thread count.
+///
+/// `emit(worker, r, s)` may run concurrently for distinct workers; per-
+/// worker stats go to worker_cpu (null = don't count, the serial
+/// convention for cpu == nullptr).
 void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
                  const std::vector<FT>& inner, size_t inner_col,
-                 CpuStats* cpu,
-                 const std::function<void(const FT&, const FT&)>& emit) {
-  size_t window_start = 0;
-  for (const FT& r : outer) {
-    const Trapezoid& rk = r.tuple->ValueAt(outer_col).AsFuzzy();
-    while (window_start < inner.size()) {
-      const Trapezoid& sk =
-          inner[window_start].tuple->ValueAt(inner_col).AsFuzzy();
-      if (cpu != nullptr) ++cpu->comparisons;
-      if (sk.SupportEnd() < rk.SupportBegin()) {
-        ++window_start;
-      } else {
-        break;
+                 const ParallelContext& ctx,
+                 std::vector<CpuStats>* worker_cpu,
+                 const std::function<void(size_t, const FT&, const FT&)>&
+                     emit) {
+  const std::vector<SupportBounds> outer_bounds =
+      HoistSupportBounds(outer, outer_col);
+  const std::vector<SupportBounds> inner_bounds =
+      HoistSupportBounds(inner, inner_col);
+  std::vector<double> inner_end_max(inner_bounds.size());
+  double running = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < inner_bounds.size(); ++i) {
+    running = std::max(running, inner_bounds[i].end);
+    inner_end_max[i] = running;
+  }
+
+  ParallelFor(ctx, outer.size(), [&](size_t worker, size_t begin,
+                                     size_t end) {
+    CpuStats* cpu = worker_cpu == nullptr ? nullptr : &(*worker_cpu)[worker];
+    size_t window_start = 0;
+    if (begin > 0) {
+      window_start = static_cast<size_t>(
+          std::lower_bound(inner_end_max.begin(), inner_end_max.end(),
+                           outer_bounds[begin - 1].begin) -
+          inner_end_max.begin());
+    }
+    for (size_t r = begin; r < end; ++r) {
+      const SupportBounds& rk = outer_bounds[r];
+      while (window_start < inner.size()) {
+        if (cpu != nullptr) ++cpu->comparisons;
+        if (inner_bounds[window_start].end < rk.begin) {
+          ++window_start;
+        } else {
+          break;
+        }
+      }
+      for (size_t i = window_start; i < inner.size(); ++i) {
+        if (cpu != nullptr) ++cpu->comparisons;
+        if (inner_bounds[i].begin > rk.end) break;
+        if (cpu != nullptr) ++cpu->tuple_pairs;
+        emit(worker, outer[r], inner[i]);
       }
     }
-    for (size_t i = window_start; i < inner.size(); ++i) {
-      const Trapezoid& sk = inner[i].tuple->ValueAt(inner_col).AsFuzzy();
-      if (cpu != nullptr) ++cpu->comparisons;
-      if (sk.SupportBegin() > rk.SupportEnd()) break;
-      if (cpu != nullptr) ++cpu->tuple_pairs;
-      emit(r, inner[i]);
-    }
-  }
+  });
 }
 
 /// The decomposed shape of one subquery predicate and its inner block.
@@ -213,15 +299,18 @@ std::optional<std::pair<size_t, size_t>> FindEqualityCorrelationKey(
 /// IN / NOT IN / SOME / ALL / EXISTS / NOT EXISTS.
 Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
                                             const LinkShape& shape,
+                                            const ParallelContext& ctx,
                                             CpuStats* cpu) {
-  std::vector<FT> inner = FilterBlock(*shape.inner, cpu);
+  std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu);
   std::vector<double> m(outer.size(), 0.0);
 
-  auto pair_term = [&](const FT& r, const FT& s) -> double {
+  // `slot` is the caller's CpuStats in the serial branches and a
+  // per-worker slot inside the parallel merge window.
+  auto pair_term = [&](CpuStats* slot, const FT& r, const FT& s) -> double {
     double term =
-        std::min(s.degree, CorrelationDegree(shape, *r.tuple, *s.tuple, cpu));
+        std::min(s.degree, CorrelationDegree(shape, *r.tuple, *s.tuple, slot));
     if (term <= 0.0 || !shape.has_link_columns) return term;
-    if (cpu != nullptr) ++cpu->degree_evaluations;
+    if (slot != nullptr) ++slot->degree_evaluations;
     const double link =
         r.tuple->ValueAt(shape.outer_link_col)
             .Compare(shape.link_op, s.tuple->ValueAt(shape.inner_link_col));
@@ -246,23 +335,38 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     // degree vector's indexing) is untouched.
     std::vector<size_t> order(outer.size());
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (cpu != nullptr) ++cpu->comparisons;
-      return IntervalOrderLess(
-          outer[a].tuple->ValueAt(outer_key).AsFuzzy(),
-          outer[b].tuple->ValueAt(outer_key).AsFuzzy());
-    });
+    uint64_t order_comparisons = 0;
+    ParallelSort(ctx, &order,
+                 cpu == nullptr ? nullptr : &order_comparisons,
+                 [&outer, outer_key](uint64_t* count) {
+                   return [&outer, outer_key, count](size_t a, size_t b) {
+                     ++*count;
+                     return IntervalOrderLess(
+                         outer[a].tuple->ValueAt(outer_key).AsFuzzy(),
+                         outer[b].tuple->ValueAt(outer_key).AsFuzzy());
+                   };
+                 });
+    if (cpu != nullptr) cpu->comparisons += order_comparisons;
     std::vector<FT> sorted_outer(outer.size());
     for (size_t i = 0; i < order.size(); ++i) sorted_outer[i] = outer[order[i]];
-    SortByIntervalOrder(&inner, inner_key, cpu);
+    SortByIntervalOrder(&inner, inner_key, ctx, cpu);
 
+    // Each sorted position belongs to exactly one morsel and order[] is a
+    // permutation, so concurrent workers write disjoint m[idx] slots.
+    std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
     const FT* base = sorted_outer.data();
-    MergeWindow(sorted_outer, outer_key, inner, inner_key, cpu,
-                [&](const FT& r, const FT& s) {
+    MergeWindow(sorted_outer, outer_key, inner, inner_key, ctx,
+                cpu == nullptr ? nullptr : &worker_cpu,
+                [&](size_t worker, const FT& r, const FT& s) {
                   const size_t idx = order[static_cast<size_t>(&r - base)];
-                  const double term = pair_term(r, s);
+                  CpuStats* slot =
+                      cpu == nullptr ? nullptr : &worker_cpu[worker];
+                  const double term = pair_term(slot, r, s);
                   if (term > m[idx]) m[idx] = term;
                 });
+    if (cpu != nullptr) {
+      for (const CpuStats& slot : worker_cpu) *cpu += slot;
+    }
   } else if (shape.correlations.empty() && !shape.has_link_columns) {
     // Uncorrelated EXISTS: a constant -- the possibility that the inner
     // block is non-empty.
@@ -297,7 +401,7 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     for (size_t i = 0; i < outer.size(); ++i) {
       for (const FT& s : inner) {
         if (cpu != nullptr) ++cpu->tuple_pairs;
-        const double term = pair_term(outer[i], s);
+        const double term = pair_term(cpu, outer[i], s);
         if (term > m[i]) m[i] = term;
       }
     }
@@ -312,7 +416,8 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
 
 /// Aggregate subqueries (Section 6): types A and JA, COUNT included.
 Result<std::vector<double>> AggregateFamilyDegrees(
-    const std::vector<FT>& outer, const LinkShape& shape, CpuStats* cpu) {
+    const std::vector<FT>& outer, const LinkShape& shape,
+    const ParallelContext& ctx, CpuStats* cpu) {
   const sql::AggFunc agg = shape.inner->select[0].agg;
   std::vector<double> degrees(outer.size(), 0.0);
 
@@ -349,7 +454,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
   std::map<Value, char, ValueLess> t1;
   for (const FT& r : outer) t1.emplace(r.tuple->ValueAt(u_col), 0);
 
-  std::vector<FT> inner = FilterBlock(*shape.inner, cpu);
+  std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu);
 
   // T2: u -> A'(u) with degree D(A'(u)), built by grouping T1 |x| S on u
   // and applying AGG per group (pipelined in the paper).
@@ -378,7 +483,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
                 if (cpu != nullptr) ++cpu->comparisons;
                 return IntervalOrderLess(x.AsFuzzy(), y.AsFuzzy());
               });
-    SortByIntervalOrder(&inner, v_col, cpu);
+    SortByIntervalOrder(&inner, v_col, ctx, cpu);
     size_t window_start = 0;
     for (const Value& u : t1_sorted) {
       const Trapezoid& uk = u.AsFuzzy();
@@ -444,13 +549,14 @@ Result<std::vector<double>> AggregateFamilyDegrees(
 
 /// Degrees of one subquery predicate for every outer tuple.
 Result<std::vector<double>> SubqueryPredicateDegrees(
-    const std::vector<FT>& outer, const BoundPredicate& pred, CpuStats* cpu) {
+    const std::vector<FT>& outer, const BoundPredicate& pred,
+    const ParallelContext& ctx, CpuStats* cpu) {
   auto shape = DecomposeLink(pred);
   if (!shape.has_value()) {
     return Status::Unsupported("subquery shape outside the unnested plans");
   }
-  return shape->is_aggregate ? AggregateFamilyDegrees(outer, *shape, cpu)
-                             : InFamilyDegrees(outer, *shape, cpu);
+  return shape->is_aggregate ? AggregateFamilyDegrees(outer, *shape, ctx, cpu)
+                             : InFamilyDegrees(outer, *shape, ctx, cpu);
 }
 
 /// Projects the outer block's SELECT columns of tuple r with degree d.
@@ -468,11 +574,12 @@ Status EmitAnswer(const BoundQuery& query, const Tuple& r, double d,
 /// All 2-level types plus queries with several independent subquery
 /// predicates: filter the outer block once, evaluate each subquery
 /// predicate to a per-tuple degree vector, fold by min.
-Result<Relation> RunTwoLevel(const BoundQuery& query, CpuStats* cpu) {
+Result<Relation> RunTwoLevel(const BoundQuery& query,
+                             const ParallelContext& ctx, CpuStats* cpu) {
   if (query.tables.size() != 1 || !query.group_by.empty()) {
     return Status::Unsupported("outer block shape outside the unnested plan");
   }
-  std::vector<FT> outer = FilterBlock(query, cpu);
+  std::vector<FT> outer = FilterBlock(query, ctx, cpu);
   std::vector<double> combined(outer.size(), 1.0);
   for (const BoundPredicate& pred : query.predicates) {
     if (pred.subquery == nullptr) {
@@ -482,7 +589,7 @@ Result<Relation> RunTwoLevel(const BoundQuery& query, CpuStats* cpu) {
       continue;  // already folded by FilterBlock
     }
     FUZZYDB_ASSIGN_OR_RETURN(std::vector<double> degrees,
-                             SubqueryPredicateDegrees(outer, pred, cpu));
+                             SubqueryPredicateDegrees(outer, pred, ctx, cpu));
     for (size_t i = 0; i < outer.size(); ++i) {
       combined[i] = std::min(combined[i], degrees[i]);
     }
@@ -518,8 +625,8 @@ double ChainPredicateDegree(const BoundPredicate& pred, size_t block_of_pred,
 /// order chosen by the interval DP of join_order.h over sampled link
 /// selectivities (the paper's "optimal join order ... determined by a
 /// dynamic programming method").
-Result<Relation> RunChain(const BoundQuery& query, CpuStats* cpu,
-                          bool use_planner,
+Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
+                          CpuStats* cpu, bool use_planner,
                           std::vector<size_t>* chosen_order) {
   std::vector<const BoundQuery*> blocks;
   std::vector<const BoundPredicate*> links;  // links[k]: block k -> k+1
@@ -552,7 +659,7 @@ Result<Relation> RunChain(const BoundQuery& query, CpuStats* cpu,
   // Filtered inputs per level.
   std::vector<std::vector<FT>> filtered(k_levels);
   for (size_t k = 0; k < k_levels; ++k) {
-    filtered[k] = FilterBlock(*blocks[k], cpu);
+    filtered[k] = FilterBlock(*blocks[k], ctx, cpu);
     if (filtered[k].empty()) {
       // An empty level zeroes every chain of links below the outermost
       // block; the answer is empty.
@@ -705,7 +812,7 @@ Result<Relation> RunChain(const BoundQuery& query, CpuStats* cpu,
             x.tuples[row_level]->ValueAt(row_col).AsFuzzy(),
             y.tuples[row_level]->ValueAt(row_col).AsFuzzy());
       });
-      SortByIntervalOrder(&incoming, new_col, cpu);
+      SortByIntervalOrder(&incoming, new_col, ctx, cpu);
       size_t window_start = 0;
       for (const Row& row : rows) {
         const Trapezoid& rk =
@@ -752,6 +859,29 @@ Result<Relation> RunChain(const BoundQuery& query, CpuStats* cpu,
 
 }  // namespace
 
+UnnestingEvaluator::UnnestingEvaluator(CpuStats* cpu) : cpu_(cpu) {}
+
+UnnestingEvaluator::UnnestingEvaluator(const ExecOptions& options,
+                                       CpuStats* cpu)
+    : cpu_(cpu), options_(options) {}
+
+UnnestingEvaluator::~UnnestingEvaluator() = default;
+
+ParallelContext UnnestingEvaluator::MakeContext() {
+  ParallelContext ctx;
+  ctx.morsel_size = options_.morsel_size == 0 ? 1 : options_.morsel_size;
+  const size_t threads = options_.ResolvedThreads();
+  if (threads > 1) {
+    if (pool_ == nullptr || pool_->size() != threads) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    ctx.pool = pool_.get();
+  } else {
+    pool_.reset();
+  }
+  return ctx;
+}
+
 Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
   last_type_ = Classify(query);
   last_was_unnested_ = true;
@@ -786,10 +916,10 @@ Result<Relation> UnnestingEvaluator::EvaluateInType(
     case QueryType::kTypeA:
     case QueryType::kTypeJA:
     case QueryType::kTypeMulti:
-      return RunTwoLevel(query, cpu_);
+      return RunTwoLevel(query, MakeContext(), cpu_);
     case QueryType::kChain:
       last_chain_order_.clear();
-      return RunChain(query, cpu_, use_join_order_planner_,
+      return RunChain(query, MakeContext(), cpu_, use_join_order_planner_,
                       &last_chain_order_);
   }
   return Status::Internal("unhandled query type");

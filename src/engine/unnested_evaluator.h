@@ -27,18 +27,27 @@
 #ifndef FUZZYDB_ENGINE_UNNESTED_EVALUATOR_H_
 #define FUZZYDB_ENGINE_UNNESTED_EVALUATOR_H_
 
+#include <memory>
+
 #include "common/status.h"
 #include "engine/classifier.h"
+#include "engine/exec_options.h"
 #include "engine/exec_stats.h"
 #include "relational/relation.h"
 #include "sql/binder.h"
 
 namespace fuzzydb {
 
+class ThreadPool;
+struct ParallelContext;
+
 /// Evaluates bound queries by unnesting.
 class UnnestingEvaluator {
  public:
-  explicit UnnestingEvaluator(CpuStats* cpu = nullptr) : cpu_(cpu) {}
+  explicit UnnestingEvaluator(CpuStats* cpu = nullptr);
+  explicit UnnestingEvaluator(const ExecOptions& options,
+                              CpuStats* cpu = nullptr);
+  ~UnnestingEvaluator();
 
   /// Classifies `query` and runs the matching unnested plan. Falls back
   /// to the naive evaluator for kGeneral (and for shapes a handler cannot
@@ -60,11 +69,23 @@ class UnnestingEvaluator {
     return last_chain_order_;
   }
 
+  /// Parallelism knobs. Results and CpuStats are identical for every
+  /// thread count (the morsel decomposition is fixed; see
+  /// parallel/parallel_for.h); num_threads = 1 runs serially.
+  void set_exec_options(const ExecOptions& options) { options_ = options; }
+  const ExecOptions& exec_options() const { return options_; }
+
  private:
   Result<Relation> EvaluateInType(const sql::BoundQuery& query,
                                   QueryType type);
 
+  /// The ParallelContext for one evaluation; lazily builds the worker
+  /// pool when options_ asks for more than one thread.
+  ParallelContext MakeContext();
+
   CpuStats* cpu_;
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   bool use_join_order_planner_ = true;
   QueryType last_type_ = QueryType::kGeneral;
   bool last_was_unnested_ = false;

@@ -1,0 +1,15 @@
+#include "parallel/morsel.h"
+
+namespace fuzzydb {
+
+std::vector<std::pair<size_t, size_t>> MorselRanges(size_t total,
+                                                    size_t morsel_size) {
+  MorselCursor cursor(total, morsel_size);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(cursor.NumMorsels());
+  size_t begin = 0, end = 0;
+  while (cursor.Next(&begin, &end)) ranges.emplace_back(begin, end);
+  return ranges;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,64 @@
+// Morsel scheduling: a shared atomic cursor over tuple ranges.
+//
+// A "morsel" is a small contiguous range of tuple indices (~2048 tuples,
+// following the morsel-driven parallelism design of HyPer) that one
+// worker processes at a time. Workers pull morsels from a MorselCursor
+// until it is exhausted; the atomic fetch-add makes the handout lock-free
+// and naturally load-balanced.
+//
+// Crucially, the *decomposition* into morsels is a pure function of
+// (total, morsel_size) -- morsel k always covers
+// [k * morsel_size, min((k + 1) * morsel_size, total)) -- regardless of
+// how many workers pull from the cursor or in which order. Operators that
+// keep per-morsel outputs (merged in morsel order) and per-worker
+// statistics (summed at the barrier) are therefore bit-for-bit
+// deterministic across thread counts.
+#ifndef FUZZYDB_PARALLEL_MORSEL_H_
+#define FUZZYDB_PARALLEL_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fuzzydb {
+
+/// Hands out fixed-size index ranges [begin, end) from an atomic cursor.
+class MorselCursor {
+ public:
+  /// Ranges cover [0, total) in chunks of `morsel_size` (at least 1).
+  MorselCursor(size_t total, size_t morsel_size)
+      : total_(total), morsel_size_(morsel_size == 0 ? 1 : morsel_size) {}
+
+  /// Claims the next morsel. Returns false when the input is exhausted;
+  /// every call after exhaustion keeps returning false. Thread-safe.
+  bool Next(size_t* begin, size_t* end) {
+    const size_t b = next_.fetch_add(morsel_size_, std::memory_order_relaxed);
+    if (b >= total_) return false;
+    *begin = b;
+    *end = b + morsel_size_ < total_ ? b + morsel_size_ : total_;
+    return true;
+  }
+
+  /// Number of morsels the input decomposes into.
+  size_t NumMorsels() const {
+    return (total_ + morsel_size_ - 1) / morsel_size_;
+  }
+
+  size_t total() const { return total_; }
+  size_t morsel_size() const { return morsel_size_; }
+
+ private:
+  const size_t total_;
+  const size_t morsel_size_;
+  std::atomic<size_t> next_{0};
+};
+
+/// The fixed decomposition a MorselCursor hands out, materialized in
+/// order: morsel k is [k * morsel_size, min((k + 1) * morsel_size, total)).
+std::vector<std::pair<size_t, size_t>> MorselRanges(size_t total,
+                                                    size_t morsel_size);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_PARALLEL_MORSEL_H_

@@ -1,0 +1,57 @@
+// A fixed-size thread pool for morsel-driven operator parallelism.
+//
+// The pool is deliberately minimal: a fixed set of workers, a FIFO task
+// queue, and future-based completion/exception propagation. Operators do
+// not submit fine-grained tasks here directly -- they go through
+// ParallelFor (parallel_for.h), which submits one long-running task per
+// worker and lets the workers pull tuple-range morsels from a shared
+// atomic cursor (morsel.h). That keeps queue traffic independent of the
+// input size.
+#ifndef FUZZYDB_PARALLEL_THREAD_POOL_H_
+#define FUZZYDB_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fuzzydb {
+
+/// Fixed-size pool of worker threads executing submitted tasks in FIFO
+/// order. Destruction drains every task already submitted (their futures
+/// become ready) before joining the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Completes all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues `fn`. The returned future becomes ready when the task has
+  /// run; if the task threw, the exception is rethrown by `get()`.
+  /// Must not be called after (or concurrently with) destruction.
+  std::future<void> Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
+  bool shutting_down_ = false;                    // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_PARALLEL_THREAD_POOL_H_

@@ -40,7 +40,8 @@ class CountingLess {
 Result<std::unique_ptr<PageFile>> ExternalSort(
     PageFile* input, BufferPool* pool, const TupleLess& less,
     const std::string& temp_prefix, const std::string& output_path,
-    size_t buffer_pages, size_t min_record_size, SortStats* stats) {
+    size_t buffer_pages, size_t min_record_size, SortStats* stats,
+    const ParallelContext* parallel) {
   if (buffer_pages < 3) {
     return Status::InvalidArgument("external sort needs >= 3 buffer pages");
   }
@@ -60,7 +61,17 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
 
     auto flush_batch = [&]() -> Status {
       if (batch.empty()) return Status::OK();
-      std::sort(batch.begin(), batch.end(), counting_less);
+      if (parallel != nullptr) {
+        ParallelSort(*parallel, &batch, &stats->comparisons,
+                     [&less](uint64_t* count) {
+                       return [&less, count](const Tuple& a, const Tuple& b) {
+                         ++*count;
+                         return less(a, b);
+                       };
+                     });
+      } else {
+        std::sort(batch.begin(), batch.end(), counting_less);
+      }
       const std::string path =
           temp_prefix + ".run" + std::to_string(run_paths.size());
       FUZZYDB_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> run,

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "parallel/parallel_for.h"
 #include "relational/tuple.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -38,11 +39,19 @@ struct SortStats {
 ///
 /// `min_record_size` pads records as in HeapFileWriter so that sorted
 /// files keep the same page counts as their inputs.
+///
+/// With `parallel` set, each in-memory run is sorted with ParallelSort
+/// (per-morsel runs + fixed merge tree) instead of one std::sort; run
+/// contents, run boundaries, and all I/O are unchanged, and the
+/// comparison count is identical for every thread count (though it may
+/// differ from the plain-std::sort count of the serial default). Merge
+/// passes stay on the calling thread: they are I/O-bound through the
+/// BufferPool, which is not thread-safe.
 Result<std::unique_ptr<PageFile>> ExternalSort(
     PageFile* input, BufferPool* pool, const TupleLess& less,
     const std::string& temp_prefix, const std::string& output_path,
     size_t buffer_pages, size_t min_record_size = 0,
-    SortStats* stats = nullptr);
+    SortStats* stats = nullptr, const ParallelContext* parallel = nullptr);
 
 }  // namespace fuzzydb
 
