@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 namespace fuzzydb {
 namespace bench {
@@ -44,17 +47,77 @@ Result<DatasetFiles> MakeDatasetFiles(const WorkloadConfig& config,
   return files;
 }
 
-Result<RunResult> RunNested(DatasetFiles* files) {
-  TypeJQuerySpec spec;
-  return RunTypeJNestedLoop(files->r.get(), files->s.get(), spec,
-                            kBufferPages);
+bool SmokeMode() {
+  const char* env = std::getenv("FUZZYDB_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
 }
 
-Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag) {
+size_t SmokeRows(size_t n, size_t smoke_n) {
+  return SmokeMode() ? std::min(n, smoke_n) : n;
+}
+
+Result<RunResult> RunNested(DatasetFiles* files, ExecTrace* trace) {
   TypeJQuerySpec spec;
+  ExecOptions options;
+  options.num_threads = 1;
+  options.trace = trace;
+  return RunTypeJNestedLoop(files->r.get(), files->s.get(), spec,
+                            kBufferPages, trace == nullptr ? nullptr
+                                                           : &options);
+}
+
+Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag,
+                           ExecTrace* trace) {
+  TypeJQuerySpec spec;
+  // num_threads = 1 keeps the serial comparison counts (see executor.h),
+  // so traced and untraced runs measure the same plan.
+  ExecOptions options;
+  options.num_threads = 1;
+  options.trace = trace;
   return RunTypeJMergeJoin(files->r.get(), files->s.get(), spec, kBufferPages,
                            BenchDir() + "/fuzzydb_bench_" + tag + ".tmp",
-                           files->tuple_bytes);
+                           files->tuple_bytes,
+                           trace == nullptr ? nullptr : &options);
+}
+
+void EmitOperatorJson(const std::string& bench, const ExecTrace& trace) {
+  // One JSON line per span so downstream tooling can grep/parse rows
+  // without a JSON stream parser.
+  struct Walk {
+    const ExecTrace& trace;
+    const std::string& bench;
+    void Visit(size_t id, int depth) {
+      const TraceNode& node = trace.nodes()[id];
+      std::printf(
+          "{\"bench\":\"%s\",\"op\":\"%s\",\"detail\":\"%s\",\"depth\":%d,"
+          "\"wall_ms\":%.4f,\"pairs\":%llu,\"degree_evals\":%llu,"
+          "\"comparisons\":%llu,\"page_reads\":%llu,\"page_writes\":%llu}\n",
+          bench.c_str(), node.name.c_str(), node.detail.c_str(), depth,
+          node.wall_seconds * 1000.0,
+          static_cast<unsigned long long>(node.cpu.tuple_pairs),
+          static_cast<unsigned long long>(node.cpu.degree_evaluations),
+          static_cast<unsigned long long>(node.cpu.comparisons),
+          static_cast<unsigned long long>(node.io.page_reads),
+          static_cast<unsigned long long>(node.io.page_writes));
+      for (size_t child : node.children) Visit(child, depth + 1);
+    }
+  };
+  Walk walk{trace, bench};
+  for (size_t root : trace.roots()) walk.Visit(root, 0);
+}
+
+bool MaybeWriteChromeTrace(const ExecTrace& trace, const std::string& name) {
+  const char* dir = std::getenv("FUZZYDB_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".trace.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << trace.ToChromeTraceJson();
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {

@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
 #include "storage/heap_file.h"
 #include "workload/generator.h"
 
@@ -56,11 +57,29 @@ Result<DatasetFiles> MakeDatasetFiles(const WorkloadConfig& config,
                                       size_t tuple_bytes,
                                       const std::string& tag);
 
+/// True when $FUZZYDB_BENCH_SMOKE is set (non-empty, not "0"): the CI
+/// smoke mode, where benches shrink row counts to finish in seconds.
+bool SmokeMode();
+
+/// `n` normally, `smoke_n` (capped at n) under SmokeMode().
+size_t SmokeRows(size_t n, size_t smoke_n = 64);
+
 /// Runs the nested-loop execution of the experimental type J query.
-Result<RunResult> RunNested(DatasetFiles* files);
+/// With `trace` set, operator spans are recorded (see obs/trace.h).
+Result<RunResult> RunNested(DatasetFiles* files, ExecTrace* trace = nullptr);
 
 /// Runs the sort + extended-merge-join execution.
-Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag);
+Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag,
+                           ExecTrace* trace = nullptr);
+
+/// Prints the per-operator summary of a traced run as single-line JSON
+/// records: {"bench":<bench>,"op":...} per span, machine-readable.
+void EmitOperatorJson(const std::string& bench, const ExecTrace& trace);
+
+/// Writes `trace` as Chrome trace_event JSON to
+/// $FUZZYDB_TRACE_DIR/<name>.trace.json when that env var is set.
+/// Returns true when a file was written.
+bool MaybeWriteChromeTrace(const ExecTrace& trace, const std::string& name);
 
 /// Prints a standard header naming the experiment and the scaling.
 void PrintHeader(const std::string& title, const std::string& paper_ref);

@@ -36,8 +36,8 @@ int main() {
 
   WorkloadConfig config;
   config.seed = 9100;
-  config.num_r = 32768 / kScaleDown;
-  config.num_s = 32768 / kScaleDown;
+  config.num_r = SmokeRows(32768 / kScaleDown, 512);
+  config.num_s = SmokeRows(32768 / kScaleDown, 512);
   config.join_fanout = 7;
   config.partial_membership_fraction = 0.4;
   TypeJDataset dataset = GenerateTypeJDataset(config);
@@ -97,6 +97,19 @@ int main() {
         "{\"bench\":\"parallel_scaling\",\"threads\":%zu,"
         "\"seconds\":%.6f,\"speedup\":%.3f}\n",
         threads, best, speedup);
+
+    // One extra traced run, outside the timing loop, for the
+    // per-operator breakdown (tracing is thread-count-invariant, so the
+    // counters are the same ones the timed runs incurred).
+    ExecTrace trace;
+    ExecOptions traced_options = options;
+    traced_options.trace = &trace;
+    CpuStats cpu;
+    UnnestingEvaluator traced(traced_options, &cpu);
+    if (!traced.Evaluate(**bound).ok()) return 1;
+    EmitOperatorJson("parallel_scaling_t" + std::to_string(threads), trace);
+    MaybeWriteChromeTrace(trace,
+                          "parallel_scaling_t" + std::to_string(threads));
     std::fflush(stdout);
     if (!equal) return 1;
   }

@@ -7,6 +7,8 @@
 
 namespace fuzzydb {
 
+class ExecTrace;
+
 /// Options controlling how a query is executed. Every parallel path is
 /// deterministic: results and CpuStats are identical for every
 /// num_threads, so these knobs trade wall time only.
@@ -14,6 +16,12 @@ struct ExecOptions {
   /// Worker threads for the parallel operators; 0 means
   /// hardware_concurrency(), 1 runs everything on the calling thread.
   size_t num_threads = 0;
+
+  /// When set, operators append per-operator spans (wall time, counter
+  /// deltas, cardinalities) to this trace (see obs/trace.h). Null (the
+  /// default) disables tracing; the disabled path costs one pointer
+  /// test per span. Trace counters are thread-count-invariant.
+  ExecTrace* trace = nullptr;
 
   /// Tuples handed to a worker at a time (see parallel/morsel.h). The
   /// default keeps per-morsel state L1/L2-resident while leaving enough

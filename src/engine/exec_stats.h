@@ -49,6 +49,25 @@ struct CpuStats {
     return d;
   }
 
+  /// Counter-wise difference that clamps instead of wrapping. operator-
+  /// is underflow-checked only by a debug assert; in a Release build a
+  /// violated snapshot discipline would wrap to ~2^64. Trace deltas (and
+  /// any subtraction whose snapshot ordering cannot be proven locally)
+  /// use this helper: a counter that would go negative yields 0 and sets
+  /// *clamped (may be null) so the consumer can flag the span.
+  CpuStats CheckedDelta(const CpuStats& earlier,
+                        bool* clamped = nullptr) const {
+    CpuStats d;
+    for (auto counter : Counters()) {
+      if (this->*counter >= earlier.*counter) {
+        d.*counter = this->*counter - earlier.*counter;
+      } else if (clamped != nullptr) {
+        *clamped = true;
+      }
+    }
+    return d;
+  }
+
   friend CpuStats operator+(CpuStats lhs, const CpuStats& rhs) {
     lhs += rhs;
     return lhs;

@@ -6,6 +6,7 @@
 #include "engine/merge_join.h"
 #include "engine/nested_loop_join.h"
 #include "fuzzy/interval_order.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "sort/external_sort.h"
 
@@ -56,10 +57,14 @@ TupleLess IntervalLessOnColumn(size_t col, CpuStats* cpu, double alpha = 0) {
 
 Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
                                      const TypeJQuerySpec& spec,
-                                     size_t buffer_pages) {
+                                     size_t buffer_pages,
+                                     const ExecOptions* options) {
   RunResult result;
   Stopwatch wall;
   CpuStopwatch cpu_clock;
+  ExecTrace* trace = options == nullptr ? nullptr : options->trace;
+  TraceScope span(trace, "query", &result.stats.cpu, &result.stats.io,
+                  "typeJ nested-loop");
 
   FuzzyJoinSpec join;
   join.outer_key = spec.r_y;
@@ -74,9 +79,10 @@ Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
         (void)s;
         acc.Add(r.ValueAt(spec.r_x), d);
         return Status::OK();
-      }));
+      }, trace));
 
   result.answer = acc.Finish(spec.threshold);
+  span.SetOutputRows(result.answer.NumTuples());
   result.stats.join_seconds = wall.ElapsedSeconds();
   result.stats.total_seconds = wall.ElapsedSeconds();
   result.stats.cpu_seconds = cpu_clock.ElapsedSeconds();
@@ -93,14 +99,18 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   Stopwatch wall;
   CpuStopwatch cpu_clock;
   BufferPool pool(buffer_pages, &result.stats.io);
+  ExecTrace* trace = options == nullptr ? nullptr : options->trace;
+  TraceScope span(trace, "query", &result.stats.cpu, &result.stats.io,
+                  "typeJ merge");
 
-  // Worker pool for the CPU-bound run sorts (nullptr options = serial).
+  // Worker pool for the CPU-bound run sorts. Only engaged with > 1
+  // thread: the parallel run-sort path's comparison count differs from
+  // std::sort's, so single-threaded options must match nullptr exactly.
   std::unique_ptr<ThreadPool> workers;
   ParallelContext parallel_ctx;
   const ParallelContext* parallel = nullptr;
-  if (options != nullptr) {
-    const size_t threads = options->ResolvedThreads();
-    if (threads > 1) workers = std::make_unique<ThreadPool>(threads);
+  if (options != nullptr && options->ResolvedThreads() > 1) {
+    workers = std::make_unique<ThreadPool>(options->ResolvedThreads());
     parallel_ctx.pool = workers.get();
     parallel_ctx.morsel_size = options->morsel_size;
     parallel = &parallel_ctx;
@@ -117,13 +127,15 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
       ExternalSort(r_file, &pool,
                    IntervalLessOnColumn(spec.r_y, nullptr, spec.threshold),
                    temp_prefix + ".R", temp_prefix + ".R.sorted",
-                   buffer_pages, min_record_size, &sort_stats, parallel));
+                   buffer_pages, min_record_size, &sort_stats, parallel,
+                   trace));
   FUZZYDB_ASSIGN_OR_RETURN(
       std::unique_ptr<PageFile> s_sorted,
       ExternalSort(s_file, &pool,
                    IntervalLessOnColumn(spec.s_z, nullptr, spec.threshold),
                    temp_prefix + ".S", temp_prefix + ".S.sorted",
-                   buffer_pages, min_record_size, &sort_stats, parallel));
+                   buffer_pages, min_record_size, &sort_stats, parallel,
+                   trace));
   result.stats.cpu.comparisons += sort_stats.comparisons;
   result.stats.sort_seconds = sort_watch.ElapsedSeconds();
 
@@ -145,9 +157,10 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
         (void)s;
         acc.Add(r.ValueAt(spec.r_x), d);
         return Status::OK();
-      }));
+      }, trace));
 
   result.answer = acc.Finish(spec.threshold);
+  span.SetOutputRows(result.answer.NumTuples());
   result.stats.join_seconds = join_watch.ElapsedSeconds();
   result.stats.total_seconds = wall.ElapsedSeconds();
   result.stats.cpu_seconds = cpu_clock.ElapsedSeconds();

@@ -40,9 +40,11 @@ struct RunResult {
 
 /// Naive evaluation: block nested loop (1 buffer page for S, the rest for
 /// R), computing each answer degree by the nested semantics of Section 4.
+/// `options` is only consulted for its trace (the join itself is serial).
 Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
                                      const TypeJQuerySpec& spec,
-                                     size_t buffer_pages);
+                                     size_t buffer_pages,
+                                     const ExecOptions* options = nullptr);
 
 /// Unnested evaluation: external sort of R on Y and S on Z by the
 /// interval order, then the extended merge-join with the correlation
@@ -52,9 +54,12 @@ Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
 /// sorted files keep the same page counts.
 ///
 /// `options` opts the CPU-bound phases into the worker pool (in-memory
-/// run sorts during the external sorts; see sort/external_sort.h). The
-/// default (nullptr) runs fully serially, preserving the measured shape
-/// of the paper-reproduction benches.
+/// run sorts during the external sorts; see sort/external_sort.h) and
+/// supplies the trace sink. The default (nullptr) runs fully serially,
+/// preserving the measured shape of the paper-reproduction benches;
+/// options with ResolvedThreads() == 1 behave identically to nullptr
+/// apart from tracing (the parallel run-sort path, whose comparison
+/// count differs from std::sort's, only engages with > 1 thread).
 Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
                                     const TypeJQuerySpec& spec,
                                     size_t buffer_pages,

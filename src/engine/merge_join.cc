@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/trace.h"
+
 namespace fuzzydb {
 
 namespace {
@@ -28,7 +30,11 @@ double PairDegree(const Tuple& r, const Tuple& s, const FuzzyJoinSpec& spec,
 
 Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                      BufferPool* pool, const FuzzyJoinSpec& spec,
-                     CpuStats* cpu, const JoinEmit& emit) {
+                     CpuStats* cpu, const JoinEmit& emit, ExecTrace* trace) {
+  TraceScope span(trace, "merge-join", cpu,
+                  pool == nullptr ? nullptr : &pool->stats());
+  uint64_t outer_rows = 0;
+  uint64_t emitted = 0;
   HeapFileScanner outer_scan(sorted_outer, pool);
   HeapFileScanner inner_scan(sorted_inner, pool);
 
@@ -44,6 +50,7 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
   while (true) {
     FUZZYDB_RETURN_IF_ERROR(outer_scan.Next(&r, &has_r));
     if (!has_r) break;
+    ++outer_rows;
     const Value& rv = r.ValueAt(spec.outer_key);
     if (!rv.is_fuzzy()) {
       return Status::InvalidArgument("merge-join key must be fuzzy");
@@ -106,10 +113,13 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
       if (cpu != nullptr) ++cpu->tuple_pairs;
       const double d = PairDegree(r, s, spec, cpu);
       if (d > 0.0 && d >= spec.threshold) {
+        ++emitted;
         FUZZYDB_RETURN_IF_ERROR(emit(r, s, d));
       }
     }
   }
+  span.SetInputRows(outer_rows);
+  span.SetOutputRows(emitted);
   return Status::OK();
 }
 

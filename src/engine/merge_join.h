@@ -19,6 +19,8 @@
 
 namespace fuzzydb {
 
+class ExecTrace;
+
 /// Describes the fuzzy join R |x| S.
 struct FuzzyJoinSpec {
   /// Key columns (must hold fuzzy values): the window and the primary
@@ -51,10 +53,12 @@ using JoinEmit =
     std::function<Status(const Tuple& outer, const Tuple& inner, double d)>;
 
 /// Runs the extended merge-join over two interval-order-sorted heap
-/// files. CPU work is tallied in `cpu` (may be null).
+/// files. CPU work is tallied in `cpu` (may be null). With `trace` set,
+/// records a "merge-join" span (counter deltas, scanned/emitted rows).
 Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                      BufferPool* pool, const FuzzyJoinSpec& spec,
-                     CpuStats* cpu, const JoinEmit& emit);
+                     CpuStats* cpu, const JoinEmit& emit,
+                     ExecTrace* trace = nullptr);
 
 }  // namespace fuzzydb
 

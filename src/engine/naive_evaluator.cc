@@ -5,6 +5,7 @@
 #include <map>
 
 #include "engine/aggregate.h"
+#include "obs/trace.h"
 
 namespace fuzzydb {
 
@@ -33,9 +34,13 @@ struct TupleValueLess {
 }  // namespace
 
 Result<Relation> NaiveEvaluator::Evaluate(const sql::BoundQuery& query) {
+  TraceScope span(trace_, "naive-evaluate", cpu_, nullptr,
+                  query.tables.empty() ? std::string()
+                                       : query.tables[0].relation->name());
   Frames frames;
   FUZZYDB_ASSIGN_OR_RETURN(Relation answer, EvaluateBlock(query, &frames));
   ApplyOrderBy(query.order_by, &answer);
+  span.SetOutputRows(answer.NumTuples());
   return answer;
 }
 

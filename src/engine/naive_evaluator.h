@@ -21,10 +21,13 @@
 
 namespace fuzzydb {
 
+class ExecTrace;
+
 /// Evaluates bound queries by their literal semantics.
 class NaiveEvaluator {
  public:
-  explicit NaiveEvaluator(CpuStats* cpu = nullptr) : cpu_(cpu) {}
+  explicit NaiveEvaluator(CpuStats* cpu = nullptr, ExecTrace* trace = nullptr)
+      : cpu_(cpu), trace_(trace) {}
 
   /// Evaluates a bound query; the result relation is duplicate-free and
   /// respects the query's WITH threshold.
@@ -48,6 +51,7 @@ class NaiveEvaluator {
                                  Frames* frames);
 
   CpuStats* cpu_;
+  ExecTrace* trace_;
 };
 
 }  // namespace fuzzydb

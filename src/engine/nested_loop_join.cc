@@ -2,14 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace fuzzydb {
 
 Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
                           size_t buffer_pages, const FuzzyJoinSpec& spec,
-                          CpuStats* cpu, const JoinEmit& emit) {
+                          CpuStats* cpu, const JoinEmit& emit,
+                          ExecTrace* trace) {
   if (buffer_pages < 2) {
     return Status::InvalidArgument("nested-loop join needs >= 2 buffer pages");
   }
+  TraceScope span(trace, "nested-loop-join", cpu, io,
+                  "block=" + std::to_string(buffer_pages - 1) + "p");
+  uint64_t outer_rows = 0;
+  uint64_t emitted = 0;
   // Dedicated pools so the inner relation really only gets one page of
   // buffer, as in the paper's setup.
   BufferPool outer_pool(buffer_pages - 1, io);
@@ -34,6 +41,7 @@ Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
       while (scan.current_page() < block_end) {
         FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
         if (!has) break;
+        ++outer_rows;
         block.push_back(std::move(t));
         t = Tuple();
       }
@@ -61,11 +69,14 @@ Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
                            .Compare(residual.op, s.ValueAt(residual.inner_col)));
         }
         if (d > 0.0) {
+          ++emitted;
           FUZZYDB_RETURN_IF_ERROR(emit(r, s, d));
         }
       }
     }
   }
+  span.SetInputRows(outer_rows);
+  span.SetOutputRows(emitted);
   return Status::OK();
 }
 

@@ -15,10 +15,12 @@ namespace fuzzydb {
 
 /// Runs the block nested-loop join of `spec` with `buffer_pages` total
 /// buffer pages (>= 2). Emits every pair with positive combined degree.
-/// Page traffic is charged to `io`.
+/// Page traffic is charged to `io`. With `trace` set, records a
+/// "nested-loop-join" span.
 Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
                           size_t buffer_pages, const FuzzyJoinSpec& spec,
-                          CpuStats* cpu, const JoinEmit& emit);
+                          CpuStats* cpu, const JoinEmit& emit,
+                          ExecTrace* trace = nullptr);
 
 }  // namespace fuzzydb
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fuzzy/interval_order.h"
+#include "obs/trace.h"
 #include "storage/heap_file.h"
 
 namespace fuzzydb {
@@ -110,13 +111,18 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                            const std::string& temp_prefix, CpuStats* cpu,
                            const JoinEmit& emit,
                            PartitionedJoinStats* stats,
-                           const ParallelContext* parallel) {
+                           const ParallelContext* parallel,
+                           ExecTrace* trace) {
   if (spec.key_op != CompareOp::kEq) {
     return Status::InvalidArgument("partitioned join requires an equijoin");
   }
   if (num_partitions == 0) num_partitions = 1;
   PartitionedJoinStats local;
   if (stats == nullptr) stats = &local;
+  TraceScope span(trace, "partitioned-join", cpu,
+                  pool == nullptr ? nullptr : &pool->stats());
+  if (parallel != nullptr) span.SetThreads(WorkerSlots(*parallel));
+  uint64_t emitted = 0;
 
   // ---- Pass 0: sample inner key supports ----------------------------
   std::vector<double> begins;
@@ -233,6 +239,7 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                           const std::vector<Tuple>& inner_tuples,
                           const std::vector<MatchRef>& matches) -> Status {
     for (const MatchRef& m : matches) {
+      ++emitted;
       FUZZYDB_RETURN_IF_ERROR(emit(outer_tuples[m.outer_index],
                                    inner_tuples[m.inner_index], m.degree));
     }
@@ -295,6 +302,10 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
   if (cpu != nullptr) {
     for (const CpuStats& s : part_cpu) *cpu += s;
   }
+  span.SetDetail("partitions=" + std::to_string(partitions) + " replicas=" +
+                 std::to_string(stats->outer_replicas));
+  span.SetInputRows(stats->outer_replicas);
+  span.SetOutputRows(emitted);
 
   // Cleanup.
   for (Partition& part : parts) {

@@ -57,7 +57,8 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                            const std::string& temp_prefix, CpuStats* cpu,
                            const JoinEmit& emit,
                            PartitionedJoinStats* stats = nullptr,
-                           const ParallelContext* parallel = nullptr);
+                           const ParallelContext* parallel = nullptr,
+                           ExecTrace* trace = nullptr);
 
 }  // namespace fuzzydb
 

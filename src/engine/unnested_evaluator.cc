@@ -12,6 +12,7 @@
 #include "engine/naive_evaluator.h"
 #include "engine/semantics.h"
 #include "fuzzy/interval_order.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
@@ -51,7 +52,11 @@ double LocalDegree(const BoundQuery& block, const Tuple& t, CpuStats* cpu) {
 /// in morsel order, so the output (and, with per-worker stats folded at
 /// the barrier, the counters) match the serial scan exactly.
 std::vector<FT> FilterBlock(const BoundQuery& block,
-                            const ParallelContext& ctx, CpuStats* cpu) {
+                            const ParallelContext& ctx, CpuStats* cpu,
+                            ExecTrace* trace) {
+  TraceScope span(trace, "filter", cpu, nullptr,
+                  block.tables[0].relation->name());
+  span.SetThreads(WorkerSlots(ctx));
   const std::vector<Tuple>& tuples = block.tables[0].relation->tuples();
   const size_t n = tuples.size();
   const size_t morsel = ctx.morsel_size == 0 ? 1 : ctx.morsel_size;
@@ -75,6 +80,8 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   if (cpu != nullptr) {
     for (const CpuStats& slot : worker_cpu) *cpu += slot;
   }
+  span.SetInputRows(n);
+  span.SetOutputRows(out.size());
   return out;
 }
 
@@ -90,7 +97,12 @@ bool ColumnIsFuzzy(const std::vector<FT>& tuples, size_t col) {
 /// Parallel per-run sorts + merge tree; order and comparison count are
 /// thread-count-invariant (see ParallelSort).
 void SortByIntervalOrder(std::vector<FT>* tuples, size_t col,
-                         const ParallelContext& ctx, CpuStats* cpu) {
+                         const ParallelContext& ctx, CpuStats* cpu,
+                         ExecTrace* trace) {
+  TraceScope span(trace, "interval-sort", cpu, nullptr,
+                  "col" + std::to_string(col));
+  span.SetInputRows(tuples->size());
+  span.SetThreads(WorkerSlots(ctx));
   uint64_t comparisons = 0;
   ParallelSort(ctx, tuples, cpu == nullptr ? nullptr : &comparisons,
                [col](uint64_t* count) {
@@ -139,13 +151,20 @@ std::vector<SupportBounds> HoistSupportBounds(const std::vector<FT>& tuples,
 ///
 /// `emit(worker, r, s)` may run concurrently for distinct workers; per-
 /// worker stats go to worker_cpu (null = don't count, the serial
-/// convention for cpu == nullptr).
+/// convention for cpu == nullptr). The worker slots -- including
+/// whatever the emit callback tallied into them -- are folded into
+/// `total_cpu` at the barrier, inside this operator's trace span.
 void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
                  const std::vector<FT>& inner, size_t inner_col,
                  const ParallelContext& ctx,
-                 std::vector<CpuStats>* worker_cpu,
+                 std::vector<CpuStats>* worker_cpu, CpuStats* total_cpu,
+                 ExecTrace* trace,
                  const std::function<void(size_t, const FT&, const FT&)>&
                      emit) {
+  TraceScope span(trace, "merge-window", total_cpu, nullptr,
+                  "inner=" + std::to_string(inner.size()));
+  span.SetInputRows(outer.size());
+  span.SetThreads(WorkerSlots(ctx));
   const std::vector<SupportBounds> outer_bounds =
       HoistSupportBounds(outer, outer_col);
   const std::vector<SupportBounds> inner_bounds =
@@ -185,6 +204,9 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
       }
     }
   });
+  if (total_cpu != nullptr && worker_cpu != nullptr) {
+    for (const CpuStats& slot : *worker_cpu) *total_cpu += slot;
+  }
 }
 
 /// The decomposed shape of one subquery predicate and its inner block.
@@ -296,12 +318,34 @@ std::optional<std::pair<size_t, size_t>> FindEqualityCorrelationKey(
 // For the aggregate family (Section 6) it is the T1/T2 pipeline.
 // ---------------------------------------------------------------------
 
+/// The human-readable kind of a decomposed subquery predicate, for
+/// trace span annotations.
+std::string LinkDetail(const LinkShape& shape) {
+  const BoundPredicate& pred = *shape.pred;
+  switch (pred.kind) {
+    case Predicate::Kind::kIn:
+      return pred.negated ? "NOT IN" : "IN";
+    case Predicate::Kind::kQuantified:
+      return pred.quantifier == Predicate::Quantifier::kAll ? "ALL" : "SOME";
+    case Predicate::Kind::kExists:
+      return pred.negated ? "NOT EXISTS" : "EXISTS";
+    case Predicate::Kind::kAggCompare:
+      return "AGG";
+    case Predicate::Kind::kCompare:
+      break;
+  }
+  return "compare";
+}
+
 /// IN / NOT IN / SOME / ALL / EXISTS / NOT EXISTS.
 Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
                                             const LinkShape& shape,
                                             const ParallelContext& ctx,
-                                            CpuStats* cpu) {
-  std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu);
+                                            CpuStats* cpu,
+                                            ExecTrace* trace) {
+  TraceScope span(trace, "subquery", cpu, nullptr, LinkDetail(shape));
+  span.SetInputRows(outer.size());
+  std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu, trace);
   std::vector<double> m(outer.size(), 0.0);
 
   // `slot` is the caller's CpuStats in the serial branches and a
@@ -335,28 +379,34 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     // degree vector's indexing) is untouched.
     std::vector<size_t> order(outer.size());
     std::iota(order.begin(), order.end(), 0);
-    uint64_t order_comparisons = 0;
-    ParallelSort(ctx, &order,
-                 cpu == nullptr ? nullptr : &order_comparisons,
-                 [&outer, outer_key](uint64_t* count) {
-                   return [&outer, outer_key, count](size_t a, size_t b) {
-                     ++*count;
-                     return IntervalOrderLess(
-                         outer[a].tuple->ValueAt(outer_key).AsFuzzy(),
-                         outer[b].tuple->ValueAt(outer_key).AsFuzzy());
-                   };
-                 });
-    if (cpu != nullptr) cpu->comparisons += order_comparisons;
+    {
+      TraceScope sort_span(trace, "interval-sort", cpu, nullptr,
+                           "outer-view col" + std::to_string(outer_key));
+      sort_span.SetInputRows(outer.size());
+      sort_span.SetThreads(WorkerSlots(ctx));
+      uint64_t order_comparisons = 0;
+      ParallelSort(ctx, &order,
+                   cpu == nullptr ? nullptr : &order_comparisons,
+                   [&outer, outer_key](uint64_t* count) {
+                     return [&outer, outer_key, count](size_t a, size_t b) {
+                       ++*count;
+                       return IntervalOrderLess(
+                           outer[a].tuple->ValueAt(outer_key).AsFuzzy(),
+                           outer[b].tuple->ValueAt(outer_key).AsFuzzy());
+                     };
+                   });
+      if (cpu != nullptr) cpu->comparisons += order_comparisons;
+    }
     std::vector<FT> sorted_outer(outer.size());
     for (size_t i = 0; i < order.size(); ++i) sorted_outer[i] = outer[order[i]];
-    SortByIntervalOrder(&inner, inner_key, ctx, cpu);
+    SortByIntervalOrder(&inner, inner_key, ctx, cpu, trace);
 
     // Each sorted position belongs to exactly one morsel and order[] is a
     // permutation, so concurrent workers write disjoint m[idx] slots.
     std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
     const FT* base = sorted_outer.data();
     MergeWindow(sorted_outer, outer_key, inner, inner_key, ctx,
-                cpu == nullptr ? nullptr : &worker_cpu,
+                cpu == nullptr ? nullptr : &worker_cpu, cpu, trace,
                 [&](size_t worker, const FT& r, const FT& s) {
                   const size_t idx = order[static_cast<size_t>(&r - base)];
                   CpuStats* slot =
@@ -364,9 +414,6 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
                   const double term = pair_term(slot, r, s);
                   if (term > m[idx]) m[idx] = term;
                 });
-    if (cpu != nullptr) {
-      for (const CpuStats& slot : worker_cpu) *cpu += slot;
-    }
   } else if (shape.correlations.empty() && !shape.has_link_columns) {
     // Uncorrelated EXISTS: a constant -- the possibility that the inner
     // block is non-empty.
@@ -377,6 +424,8 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     // Uncorrelated, non-mergeable link (e.g. op ALL without correlation):
     // materialize the inner fuzzy set once -- the paper's intermediate
     // relation optimization for type N -- and probe it per outer tuple.
+    TraceScope probe_span(trace, "probe-materialized", cpu, nullptr);
+    probe_span.SetInputRows(outer.size());
     Relation t("", shape.inner->output_schema);
     for (const FT& s : inner) {
       FUZZYDB_RETURN_IF_ERROR(t.AppendOrMax(
@@ -398,6 +447,9 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     }
   } else {
     // Correlated but no usable merge key: unnested full pairing.
+    TraceScope pairing_span(trace, "nested-pairing", cpu, nullptr,
+                            "inner=" + std::to_string(inner.size()));
+    pairing_span.SetInputRows(outer.size());
     for (size_t i = 0; i < outer.size(); ++i) {
       for (const FT& s : inner) {
         if (cpu != nullptr) ++cpu->tuple_pairs;
@@ -417,13 +469,16 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
 /// Aggregate subqueries (Section 6): types A and JA, COUNT included.
 Result<std::vector<double>> AggregateFamilyDegrees(
     const std::vector<FT>& outer, const LinkShape& shape,
-    const ParallelContext& ctx, CpuStats* cpu) {
+    const ParallelContext& ctx, CpuStats* cpu, ExecTrace* trace) {
   const sql::AggFunc agg = shape.inner->select[0].agg;
+  TraceScope span(trace, "subquery", cpu, nullptr,
+                  std::string("AGG ") + sql::AggFuncName(agg));
+  span.SetInputRows(outer.size());
   std::vector<double> degrees(outer.size(), 0.0);
 
   if (shape.correlations.empty()) {
     // Type A: the inner block is a constant scalar; evaluate it once.
-    NaiveEvaluator naive(cpu);
+    NaiveEvaluator naive(cpu, trace);
     FUZZYDB_ASSIGN_OR_RETURN(Relation t2, naive.Evaluate(*shape.inner));
     for (size_t i = 0; i < outer.size(); ++i) {
       if (t2.Empty()) continue;
@@ -454,7 +509,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
   std::map<Value, char, ValueLess> t1;
   for (const FT& r : outer) t1.emplace(r.tuple->ValueAt(u_col), 0);
 
-  std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu);
+  std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu, trace);
 
   // T2: u -> A'(u) with degree D(A'(u)), built by grouping T1 |x| S on u
   // and applying AGG per group (pipelined in the paper).
@@ -475,6 +530,9 @@ Result<std::vector<double>> AggregateFamilyDegrees(
   };
 
   if (mergeable) {
+    TraceScope group_span(trace, "group-aggregate", cpu, nullptr,
+                          "merge t1=" + std::to_string(t1.size()));
+    group_span.SetInputRows(inner.size());
     std::vector<Value> t1_sorted;
     t1_sorted.reserve(t1.size());
     for (const auto& [u, unused] : t1) t1_sorted.push_back(u);
@@ -483,7 +541,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
                 if (cpu != nullptr) ++cpu->comparisons;
                 return IntervalOrderLess(x.AsFuzzy(), y.AsFuzzy());
               });
-    SortByIntervalOrder(&inner, v_col, ctx, cpu);
+    SortByIntervalOrder(&inner, v_col, ctx, cpu, trace);
     size_t window_start = 0;
     for (const Value& u : t1_sorted) {
       const Trapezoid& uk = u.AsFuzzy();
@@ -512,7 +570,11 @@ Result<std::vector<double>> AggregateFamilyDegrees(
       }
       FUZZYDB_RETURN_IF_ERROR(aggregate_group(u, group));
     }
+    group_span.SetOutputRows(t2.size());
   } else {
+    TraceScope group_span(trace, "group-aggregate", cpu, nullptr,
+                          "nested t1=" + std::to_string(t1.size()));
+    group_span.SetInputRows(inner.size());
     for (const auto& [u, unused] : t1) {
       Relation group("", Schema{Column{"Z", ValueType::kFuzzy}});
       for (const FT& s : inner) {
@@ -550,13 +612,14 @@ Result<std::vector<double>> AggregateFamilyDegrees(
 /// Degrees of one subquery predicate for every outer tuple.
 Result<std::vector<double>> SubqueryPredicateDegrees(
     const std::vector<FT>& outer, const BoundPredicate& pred,
-    const ParallelContext& ctx, CpuStats* cpu) {
+    const ParallelContext& ctx, CpuStats* cpu, ExecTrace* trace) {
   auto shape = DecomposeLink(pred);
   if (!shape.has_value()) {
     return Status::Unsupported("subquery shape outside the unnested plans");
   }
-  return shape->is_aggregate ? AggregateFamilyDegrees(outer, *shape, ctx, cpu)
-                             : InFamilyDegrees(outer, *shape, ctx, cpu);
+  return shape->is_aggregate
+             ? AggregateFamilyDegrees(outer, *shape, ctx, cpu, trace)
+             : InFamilyDegrees(outer, *shape, ctx, cpu, trace);
 }
 
 /// Projects the outer block's SELECT columns of tuple r with degree d.
@@ -575,11 +638,12 @@ Status EmitAnswer(const BoundQuery& query, const Tuple& r, double d,
 /// predicates: filter the outer block once, evaluate each subquery
 /// predicate to a per-tuple degree vector, fold by min.
 Result<Relation> RunTwoLevel(const BoundQuery& query,
-                             const ParallelContext& ctx, CpuStats* cpu) {
+                             const ParallelContext& ctx, CpuStats* cpu,
+                             ExecTrace* trace) {
   if (query.tables.size() != 1 || !query.group_by.empty()) {
     return Status::Unsupported("outer block shape outside the unnested plan");
   }
-  std::vector<FT> outer = FilterBlock(query, ctx, cpu);
+  std::vector<FT> outer = FilterBlock(query, ctx, cpu, trace);
   std::vector<double> combined(outer.size(), 1.0);
   for (const BoundPredicate& pred : query.predicates) {
     if (pred.subquery == nullptr) {
@@ -588,13 +652,16 @@ Result<Relation> RunTwoLevel(const BoundQuery& query,
       }
       continue;  // already folded by FilterBlock
     }
-    FUZZYDB_ASSIGN_OR_RETURN(std::vector<double> degrees,
-                             SubqueryPredicateDegrees(outer, pred, ctx, cpu));
+    FUZZYDB_ASSIGN_OR_RETURN(
+        std::vector<double> degrees,
+        SubqueryPredicateDegrees(outer, pred, ctx, cpu, trace));
     for (size_t i = 0; i < outer.size(); ++i) {
       combined[i] = std::min(combined[i], degrees[i]);
     }
   }
 
+  TraceScope emit_span(trace, "emit", cpu, nullptr);
+  emit_span.SetInputRows(outer.size());
   Relation answer("", query.output_schema);
   for (size_t i = 0; i < outer.size(); ++i) {
     FUZZYDB_RETURN_IF_ERROR(
@@ -602,6 +669,7 @@ Result<Relation> RunTwoLevel(const BoundQuery& query,
                    std::min(outer[i].degree, combined[i]), &answer));
   }
   answer.EliminateDuplicates(query.with_threshold);
+  emit_span.SetOutputRows(answer.NumTuples());
   return answer;
 }
 
@@ -626,7 +694,7 @@ double ChainPredicateDegree(const BoundPredicate& pred, size_t block_of_pred,
 /// selectivities (the paper's "optimal join order ... determined by a
 /// dynamic programming method").
 Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
-                          CpuStats* cpu, bool use_planner,
+                          CpuStats* cpu, ExecTrace* trace, bool use_planner,
                           std::vector<size_t>* chosen_order) {
   std::vector<const BoundQuery*> blocks;
   std::vector<const BoundPredicate*> links;  // links[k]: block k -> k+1
@@ -659,7 +727,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
   // Filtered inputs per level.
   std::vector<std::vector<FT>> filtered(k_levels);
   for (size_t k = 0; k < k_levels; ++k) {
-    filtered[k] = FilterBlock(*blocks[k], ctx, cpu);
+    filtered[k] = FilterBlock(*blocks[k], ctx, cpu, trace);
     if (filtered[k].empty()) {
       // An empty level zeroes every chain of links below the outermost
       // block; the answer is empty.
@@ -688,6 +756,8 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
   std::vector<size_t> order(k_levels);
   std::iota(order.begin(), order.end(), 0);
   if (use_planner && k_levels > 2) {
+    TraceScope plan_span(trace, "plan-join-order", cpu, nullptr,
+                         "levels=" + std::to_string(k_levels));
     ChainStats stats;
     for (size_t k = 0; k < k_levels; ++k) {
       stats.cardinality.push_back(static_cast<double>(filtered[k].size()));
@@ -745,6 +815,9 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
 
   for (size_t step = 1; step < k_levels; ++step) {
     const size_t level = order[step];
+    TraceScope step_span(trace, "chain-join", cpu, nullptr,
+                         "level=" + std::to_string(level));
+    step_span.SetInputRows(rows.size());
     const bool extend_left = level + 1 == joined_lo;
     if (!extend_left && level != joined_hi + 1) {
       return Status::Internal("non-contiguous chain join order");
@@ -812,7 +885,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
             x.tuples[row_level]->ValueAt(row_col).AsFuzzy(),
             y.tuples[row_level]->ValueAt(row_col).AsFuzzy());
       });
-      SortByIntervalOrder(&incoming, new_col, ctx, cpu);
+      SortByIntervalOrder(&incoming, new_col, ctx, cpu, trace);
       size_t window_start = 0;
       for (const Row& row : rows) {
         const Trapezoid& rk =
@@ -844,16 +917,20 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
       }
     }
     rows = std::move(joined);
+    step_span.SetOutputRows(rows.size());
     joined_lo = std::min(joined_lo, level);
     joined_hi = std::max(joined_hi, level);
   }
 
+  TraceScope emit_span(trace, "emit", cpu, nullptr);
+  emit_span.SetInputRows(rows.size());
   Relation answer("", query.output_schema);
   for (const Row& row : rows) {
     FUZZYDB_RETURN_IF_ERROR(
         EmitAnswer(query, *row.tuples[0], row.degree, &answer));
   }
   answer.EliminateDuplicates(query.with_threshold);
+  emit_span.SetOutputRows(answer.NumTuples());
   return answer;
 }
 
@@ -885,14 +962,19 @@ ParallelContext UnnestingEvaluator::MakeContext() {
 Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
   last_type_ = Classify(query);
   last_was_unnested_ = true;
+  TraceScope span(options_.trace, "evaluate", cpu_, nullptr,
+                  QueryTypeName(last_type_));
   Result<Relation> result = EvaluateInType(query, last_type_);
   if (!result.ok() && result.status().code() == StatusCode::kUnsupported) {
     last_was_unnested_ = false;
-    NaiveEvaluator naive(cpu_);
-    return naive.Evaluate(query);  // applies ORDER BY itself
+    NaiveEvaluator naive(cpu_, options_.trace);
+    Result<Relation> fallback = naive.Evaluate(query);  // applies ORDER BY
+    if (fallback.ok()) span.SetOutputRows(fallback.value().NumTuples());
+    return fallback;
   }
   if (result.ok()) {
     ApplyOrderBy(query.order_by, &result.value());
+    span.SetOutputRows(result.value().NumTuples());
   }
   return result;
 }
@@ -916,11 +998,11 @@ Result<Relation> UnnestingEvaluator::EvaluateInType(
     case QueryType::kTypeA:
     case QueryType::kTypeJA:
     case QueryType::kTypeMulti:
-      return RunTwoLevel(query, MakeContext(), cpu_);
+      return RunTwoLevel(query, MakeContext(), cpu_, options_.trace);
     case QueryType::kChain:
       last_chain_order_.clear();
-      return RunChain(query, MakeContext(), cpu_, use_join_order_planner_,
-                      &last_chain_order_);
+      return RunChain(query, MakeContext(), cpu_, options_.trace,
+                      use_join_order_planner_, &last_chain_order_);
   }
   return Status::Internal("unhandled query type");
 }

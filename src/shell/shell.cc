@@ -1,5 +1,6 @@
 #include "shell/shell.h"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "engine/explain.h"
 #include "engine/naive_evaluator.h"
 #include "engine/unnested_evaluator.h"
+#include "obs/trace.h"
 #include "sql/binder.h"
 #include "sql/statement.h"
 #include "storage/database.h"
@@ -86,6 +88,7 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
     out << "statements (end with ';'):\n"
            "  SELECT ... FROM ... [WHERE ...] [GROUPBY ... [HAVING ...]]\n"
            "         [ORDER BY col|D [DESC]] [WITH D >= z];\n"
+           "  EXPLAIN [ANALYZE] SELECT ...;  (plan; ANALYZE also runs it)\n"
            "  CREATE TABLE name (col STRING|FUZZY, ...);\n"
            "  INSERT INTO name VALUES (v, ...) [DEGREE d];\n"
            "  DEFINE TERM \"name\" AS TRAP(a,b,c,d);\n"
@@ -170,6 +173,46 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
   sql::Statement& statement = *parsed;
 
   switch (statement.kind) {
+    case sql::Statement::Kind::kExplain: {
+      auto bound = sql::Bind(*statement.select, catalog_);
+      if (!bound.ok()) {
+        out << bound.status().ToString() << "\n";
+        return;
+      }
+      out << "-- type " << QueryTypeName(Classify(**bound)) << "\n"
+          << DescribePlan(**bound);
+      if (!statement.analyze) return;
+      ExecTrace trace;
+      CpuStats cpu;
+      Result<Relation> answer = Status::Internal("unset");
+      if (use_naive_) {
+        NaiveEvaluator naive(&cpu, &trace);
+        answer = naive.Evaluate(**bound);
+      } else {
+        ExecOptions options;
+        options.trace = &trace;
+        UnnestingEvaluator engine(options, &cpu);
+        answer = engine.Evaluate(**bound);
+      }
+      if (!answer.ok()) {
+        out << answer.status().ToString() << "\n";
+        return;
+      }
+      out << "execution trace:\n"
+          << trace.ToString()
+          << "-- " << answer->NumTuples() << " answer tuple"
+          << (answer->NumTuples() == 1 ? "" : "s") << "\n";
+      if (!trace_json_path_.empty()) {
+        std::ofstream file(trace_json_path_);
+        if (file) {
+          file << trace.ToChromeTraceJson();
+          out << "-- wrote " << trace_json_path_ << "\n";
+        } else {
+          out << "-- cannot write " << trace_json_path_ << "\n";
+        }
+      }
+      return;
+    }
     case sql::Statement::Kind::kSelect: {
       auto bound = sql::Bind(*statement.select, catalog_);
       if (!bound.ok()) {

@@ -42,12 +42,20 @@ class Shell {
 
   Catalog& catalog() { return catalog_; }
 
+  /// When set, every EXPLAIN ANALYZE additionally writes its trace as
+  /// Chrome trace_event JSON (chrome://tracing, Perfetto) to this path,
+  /// overwriting the previous dump.
+  void set_trace_json_path(std::string path) {
+    trace_json_path_ = std::move(path);
+  }
+
  private:
   void ExecuteDotCommand(const std::string& line, std::ostream& out);
   void ExecuteStatement(const std::string& text, std::ostream& out);
 
   Catalog catalog_;
   std::string pending_;   // partial statement across lines
+  std::string trace_json_path_;
   bool explain_ = false;
   bool use_naive_ = false;
   bool done_ = false;

@@ -4,6 +4,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace fuzzydb {
 
 namespace {
@@ -41,13 +43,31 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
     PageFile* input, BufferPool* pool, const TupleLess& less,
     const std::string& temp_prefix, const std::string& output_path,
     size_t buffer_pages, size_t min_record_size, SortStats* stats,
-    const ParallelContext* parallel) {
+    const ParallelContext* parallel, ExecTrace* trace) {
   if (buffer_pages < 3) {
     return Status::InvalidArgument("external sort needs >= 3 buffer pages");
   }
   SortStats local;
   if (stats == nullptr) stats = &local;
   const CountingLess counting_less(less, stats);
+
+  // The span's comparison count mirrors SortStats::comparisons (the
+  // caller may fold it into a CpuStats later; see executor.cc). `stats`
+  // may be shared across sorts, so record deltas against entry.
+  CpuStats span_cpu;
+  TraceScope span(trace, "external-sort", &span_cpu,
+                  pool == nullptr ? nullptr : &pool->stats());
+  if (parallel != nullptr) span.SetThreads(WorkerSlots(*parallel));
+  const SortStats entry = *stats;
+  auto finish_span = [&] {
+    if (!span.enabled()) return;
+    span_cpu.comparisons = stats->comparisons - entry.comparisons;
+    span.SetInputRows(stats->input_tuples - entry.input_tuples);
+    span.SetDetail(
+        "runs=" + std::to_string(stats->runs_created - entry.runs_created) +
+        " passes=" +
+        std::to_string(stats->merge_passes - entry.merge_passes));
+  };
 
   // ---- Phase 1: run generation -------------------------------------
   const size_t memory_budget = buffer_pages * kPageSize;
@@ -105,6 +125,7 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
 
   if (run_paths.empty()) {
     // Empty input: produce an empty output file.
+    finish_span();
     return PageFile::Create(output_path);
   }
 
@@ -177,6 +198,7 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
                              "'");
     }
   }
+  finish_span();
   return PageFile::Open(output_path);
 }
 

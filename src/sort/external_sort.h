@@ -21,6 +21,8 @@
 
 namespace fuzzydb {
 
+class ExecTrace;
+
 /// Strict weak ordering over tuples.
 using TupleLess = std::function<bool(const Tuple&, const Tuple&)>;
 
@@ -47,11 +49,16 @@ struct SortStats {
 /// differ from the plain-std::sort count of the serial default). Merge
 /// passes stay on the calling thread: they are I/O-bound through the
 /// BufferPool, which is not thread-safe.
+///
+/// With `trace` set, records an "external-sort" span whose comparison
+/// count mirrors SortStats::comparisons and whose I/O delta is read from
+/// the pool's local counters.
 Result<std::unique_ptr<PageFile>> ExternalSort(
     PageFile* input, BufferPool* pool, const TupleLess& less,
     const std::string& temp_prefix, const std::string& output_path,
     size_t buffer_pages, size_t min_record_size = 0,
-    SortStats* stats = nullptr, const ParallelContext* parallel = nullptr);
+    SortStats* stats = nullptr, const ParallelContext* parallel = nullptr,
+    ExecTrace* trace = nullptr);
 
 }  // namespace fuzzydb
 

@@ -17,7 +17,7 @@ bool IsKeyword(const std::string& ident) {
       "sum",    "avg",  "min",    "max",  "trap", "about", "distinct",
       "exists", "create", "table", "insert", "into", "values", "degree",
       "define", "term", "as", "drop", "null", "order", "asc", "desc",
-      "within",
+      "within", "explain", "analyze",
   };
   const std::string lower = ToLower(ident);
   for (const char* kw : kKeywords) {
@@ -42,6 +42,13 @@ class Parser {
     Statement statement;
     if (PeekIsKeyword("select")) {
       statement.kind = Statement::Kind::kSelect;
+      FUZZYDB_ASSIGN_OR_RETURN(statement.select, ParseSelect());
+    } else if (MatchKeyword("explain")) {
+      statement.kind = Statement::Kind::kExplain;
+      statement.analyze = MatchKeyword("analyze");
+      if (!PeekIsKeyword("select")) {
+        return Error("expected SELECT after EXPLAIN");
+      }
       FUZZYDB_ASSIGN_OR_RETURN(statement.select, ParseSelect());
     } else if (PeekIsKeyword("create")) {
       statement.kind = Statement::Kind::kCreateTable;

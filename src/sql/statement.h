@@ -2,6 +2,7 @@
 // and by applications that build databases textually.
 //
 //   SELECT ...                                   (ast.h)
+//   EXPLAIN [ANALYZE] SELECT ...                 plan / executed trace
 //   CREATE TABLE name (col TYPE, ...)            TYPE: STRING | FUZZY
 //   INSERT INTO name VALUES (v, ...) [DEGREE d]  d in (0, 1], default 1
 //   DEFINE TERM "name" AS TRAP(a,b,c,d)          (or ABOUT(v, spread))
@@ -47,8 +48,16 @@ struct DropTableStatement {
 
 /// One parsed statement; exactly one member is active per `kind`.
 struct Statement {
-  enum class Kind { kSelect, kCreateTable, kInsert, kDefineTerm, kDropTable };
+  enum class Kind {
+    kSelect,
+    kExplain,  // EXPLAIN [ANALYZE] SELECT ...; `select` holds the query
+    kCreateTable,
+    kInsert,
+    kDefineTerm,
+    kDropTable
+  };
   Kind kind = Kind::kSelect;
+  bool analyze = false;  // kExplain only: EXPLAIN ANALYZE executes
   std::unique_ptr<Query> select;
   CreateTableStatement create_table;
   InsertStatement insert;

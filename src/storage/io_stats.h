@@ -28,6 +28,33 @@ struct IoStats {
     d.buffer_hits = buffer_hits - other.buffer_hits;
     return d;
   }
+
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    buffer_hits += other.buffer_hits;
+    return *this;
+  }
+
+  /// Difference against an earlier snapshot that clamps at zero instead
+  /// of wrapping when the snapshot discipline was violated; sets
+  /// *clamped (may be null) when any counter would have gone negative.
+  /// See CpuStats::CheckedDelta.
+  IoStats CheckedDelta(const IoStats& earlier,
+                       bool* clamped = nullptr) const {
+    IoStats d;
+    auto sub = [&](uint64_t now, uint64_t before) -> uint64_t {
+      if (now >= before) return now - before;
+      if (clamped != nullptr) *clamped = true;
+      return 0;
+    };
+    d.page_reads = sub(page_reads, earlier.page_reads);
+    d.page_writes = sub(page_writes, earlier.page_writes);
+    d.buffer_hits = sub(buffer_hits, earlier.buffer_hits);
+    return d;
+  }
+
+  bool operator==(const IoStats&) const = default;
 };
 
 }  // namespace fuzzydb

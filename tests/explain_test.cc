@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <sstream>
+
+#include "shell/shell.h"
 #include "test_util.h"
 
 namespace fuzzydb {
@@ -73,6 +77,103 @@ TEST_F(ExplainTest, WithThresholdShown) {
   EXPECT_NE(Plan("SELECT F.NAME FROM F WITH D >= 0.5")
                 .find("threshold: WITH D >= 0.5"),
             std::string::npos);
+}
+
+// ----------------------- EXPLAIN [ANALYZE] -----------------------------
+
+std::string RunShell(const std::string& script) {
+  Shell shell;
+  std::istringstream in(script);
+  std::ostringstream out;
+  shell.Run(in, out, /*interactive=*/false);
+  return out.str();
+}
+
+// Strips the fields a golden comparison may not depend on: wall-clock
+// times and the worker-slot annotation (machine-dependent).
+std::string Normalize(const std::string& text) {
+  std::string out =
+      std::regex_replace(text, std::regex("wall=[0-9]+\\.[0-9]+ms"),
+                         "wall=<t>");
+  return std::regex_replace(out, std::regex("threads=[0-9]+"), "threads=<n>");
+}
+
+constexpr const char* kExplainSetup = R"(
+CREATE TABLE R (C0 FUZZY, C1 FUZZY, C2 FUZZY);
+CREATE TABLE S (C0 FUZZY, C1 FUZZY);
+INSERT INTO R VALUES (1, 10, 3);
+INSERT INTO R VALUES (2, 1, 3);
+INSERT INTO R VALUES (3, 6, 4);
+INSERT INTO S VALUES (5, 3);
+INSERT INTO S VALUES (7, 3);
+INSERT INTO S VALUES (2, 4);
+)";
+
+TEST(ExplainAnalyzeTest, PlainExplainShowsThePlanOnly) {
+  const std::string out = RunShell(
+      std::string(kExplainSetup) +
+      "EXPLAIN SELECT R.C0 FROM R WHERE R.C1 IN (SELECT S.C0 FROM S);\n");
+  EXPECT_NE(out.find("-- type N"), std::string::npos);
+  EXPECT_NE(out.find("plan:"), std::string::npos);
+  // No execution happened.
+  EXPECT_EQ(out.find("execution trace:"), std::string::npos);
+  EXPECT_EQ(out.find("answer tuple"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, TypeJaGolden) {
+  const std::string out = RunShell(
+      std::string(kExplainSetup) +
+      "EXPLAIN ANALYZE SELECT R.C0 FROM R WHERE R.C1 > "
+      "(SELECT MAX(S.C0) FROM S WHERE S.C1 = R.C2);\n");
+
+  // The golden tail: classification, plan, per-operator trace with
+  // cardinalities and exact counter deltas, and the answer count. Wall
+  // times and worker counts are normalized away; every counter is
+  // thread-count-invariant (see parallel_test.cc), so this text is
+  // stable across machines.
+  const std::string kGolden =
+      "-- type JA\n"
+      "plan: type JA (Theorem 6.1)\n"
+      "  scan R (3 tuples)\n"
+      "  aggregate pipeline (T1/T2) on R.C1\n"
+      "    scan S (3 tuples)\n"
+      "    correlation: S.C1 = outer(1)\n"
+      "execution trace:\n"
+      "evaluate [JA] wall=<t> rows=->2 "
+      "cpu={pairs=3 degrees=6 cmp=14 subq=0}\n"
+      "  filter [R] wall=<t> rows=3->3 "
+      "cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
+      "  subquery [AGG MAX] wall=<t> rows=3 "
+      "cpu={pairs=3 degrees=6 cmp=14 subq=0}\n"
+      "    filter [S] wall=<t> rows=3->3 "
+      "cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
+      "    group-aggregate [merge t1=2] wall=<t> rows=3->2 "
+      "cpu={pairs=3 degrees=3 cmp=14 subq=0}\n"
+      "      interval-sort [col1] wall=<t> rows=3 "
+      "cpu={pairs=0 degrees=0 cmp=4 subq=0}\n"
+      "  emit wall=<t> rows=3->2 cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
+      "-- 2 answer tuples\n";
+
+  const std::string normalized = Normalize(out);
+  const size_t start = normalized.find("-- type JA");
+  ASSERT_NE(start, std::string::npos) << out;
+  EXPECT_EQ(normalized.substr(start), kGolden);
+}
+
+TEST(ExplainAnalyzeTest, NaiveEngineTracesToo) {
+  const std::string out = RunShell(
+      std::string(kExplainSetup) +
+      ".engine naive\n"
+      "EXPLAIN ANALYZE SELECT R.C0 FROM R WHERE R.C1 > "
+      "(SELECT MAX(S.C0) FROM S WHERE S.C1 = R.C2);\n");
+  EXPECT_NE(out.find("naive-evaluate [R]"), std::string::npos);
+  EXPECT_NE(out.find("-- 2 answer tuples"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, RejectsNonSelect) {
+  const std::string out =
+      RunShell("EXPLAIN CREATE TABLE T (A FUZZY);\n");
+  EXPECT_NE(out.find("expected SELECT after EXPLAIN"), std::string::npos);
 }
 
 }  // namespace

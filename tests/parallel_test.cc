@@ -22,6 +22,7 @@
 #include "engine/partitioned_join.h"
 #include "engine/unnested_evaluator.h"
 #include "fuzzy/interval_order.h"
+#include "obs/trace.h"
 #include "parallel/morsel.h"
 #include "parallel/thread_pool.h"
 #include "sort/external_sort.h"
@@ -252,6 +253,43 @@ struct DeterminismCase {
   const char* query;
 };
 
+// Everything about a trace that must be thread-count-invariant: tree
+// shape, operator names/details, cardinalities, and every counter
+// delta. Wall times and the threads= annotation are the only fields
+// allowed to differ, so they are the only fields left out.
+void AppendTraceSignature(const ExecTrace& trace, size_t id, int depth,
+                          std::string* out) {
+  const TraceNode& node = trace.nodes()[id];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name;
+  if (!node.detail.empty()) *out += " [" + node.detail + "]";
+  if (node.input_rows != TraceNode::kNoCount) {
+    *out += " in=" + std::to_string(node.input_rows);
+  }
+  if (node.output_rows != TraceNode::kNoCount) {
+    *out += " out=" + std::to_string(node.output_rows);
+  }
+  *out += " pairs=" + std::to_string(node.cpu.tuple_pairs);
+  *out += " degrees=" + std::to_string(node.cpu.degree_evaluations);
+  *out += " cmp=" + std::to_string(node.cpu.comparisons);
+  *out += " subq=" + std::to_string(node.cpu.subquery_evaluations);
+  *out += " reads=" + std::to_string(node.io.page_reads);
+  *out += " writes=" + std::to_string(node.io.page_writes);
+  if (node.clamped) *out += " CLAMPED";
+  *out += "\n";
+  for (size_t child : node.children) {
+    AppendTraceSignature(trace, child, depth + 1, out);
+  }
+}
+
+std::string TraceSignature(const ExecTrace& trace) {
+  std::string out;
+  for (size_t root : trace.roots()) {
+    AppendTraceSignature(trace, root, 0, &out);
+  }
+  return out;
+}
+
 const DeterminismCase kDeterminismCases[] = {
     {"TypeN",
      "SELECT R.C0 FROM R WHERE R.C1 IN (SELECT S.C0 FROM S WHERE S.C1 >= 5)"},
@@ -312,14 +350,20 @@ TEST_P(DeterminismTest, IdenticalAnswerAndStatsForEveryThreadCount) {
   ExecOptions options;
   options.morsel_size = 16;
   options.num_threads = 1;
+  ExecTrace reference_trace;
+  options.trace = &reference_trace;
   CpuStats reference_cpu;
   UnnestingEvaluator reference(options, &reference_cpu);
   ASSERT_OK_AND_ASSIGN(Relation expected, reference.Evaluate(*bound));
   EXPECT_TRUE(reference.last_was_unnested()) << test_case.query;
   EXPECT_TRUE(oracle.EquivalentTo(expected, 1e-12)) << test_case.name;
+  const std::string reference_signature = TraceSignature(reference_trace);
+  ASSERT_FALSE(reference_signature.empty());
 
   for (size_t threads : {2u, 4u, 8u}) {
     options.num_threads = threads;
+    ExecTrace trace;
+    options.trace = &trace;
     CpuStats cpu;
     UnnestingEvaluator parallel(options, &cpu);
     ASSERT_OK_AND_ASSIGN(Relation actual, parallel.Evaluate(*bound));
@@ -335,6 +379,10 @@ TEST_P(DeterminismTest, IdenticalAnswerAndStatsForEveryThreadCount) {
     EXPECT_EQ(cpu.comparisons, reference_cpu.comparisons) << threads;
     EXPECT_EQ(cpu.subquery_evaluations, reference_cpu.subquery_evaluations)
         << threads;
+    // The execution trace -- operator tree, cardinalities, and every
+    // per-span counter delta -- is thread-count-invariant too.
+    EXPECT_EQ(TraceSignature(trace), reference_signature)
+        << test_case.name << " with " << threads << " threads";
   }
 }
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Formats the C++ sources with the repo's .clang-format.
+#
+#   tools/format.sh            rewrite files in place
+#   tools/format.sh --check    fail (with a diff) if anything would change
+#
+# CI runs the --check mode; see .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "error: clang-format not found on PATH" >&2
+  echo "       (apt-get install clang-format, or skip formatting locally" >&2
+  echo "       and let CI report the diff)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "no C++ sources found" >&2
+  exit 1
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  clang-format --style=file --dry-run --Werror "${files[@]}"
+  echo "formatting clean (${#files[@]} files)"
+else
+  clang-format --style=file -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

@@ -1,15 +1,29 @@
 // The FuzzyDB interactive shell.
 //
-//   fuzzydb_shell              interactive session
-//   fuzzydb_shell < script.sql batch execution
+//   fuzzydb_shell                        interactive session
+//   fuzzydb_shell < script.sql           batch execution
+//   fuzzydb_shell --trace-json=PATH      EXPLAIN ANALYZE also dumps a
+//                                        Chrome trace_event JSON to PATH
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include <unistd.h>
 
 #include "shell/shell.h"
 
-int main() {
+int main(int argc, char** argv) {
   fuzzydb::Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kTraceFlag = "--trace-json=";
+    if (arg.rfind(kTraceFlag, 0) == 0) {
+      shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
+    } else {
+      std::cerr << "usage: fuzzydb_shell [--trace-json=PATH]\n";
+      return 2;
+    }
+  }
   const bool interactive = isatty(STDIN_FILENO) != 0;
   shell.Run(std::cin, std::cout, interactive);
   return 0;
