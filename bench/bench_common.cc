@@ -4,6 +4,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+#ifndef FUZZYDB_GIT_SHA
+#define FUZZYDB_GIT_SHA "unknown"
+#endif
 
 namespace fuzzydb {
 namespace bench {
@@ -80,19 +87,25 @@ Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag,
                            trace == nullptr ? nullptr : &options);
 }
 
-void EmitOperatorJson(const std::string& bench, const ExecTrace& trace) {
+void EmitOperatorJson(const std::string& bench, const ExecTrace& trace,
+                      int threads) {
   // One JSON line per span so downstream tooling can grep/parse rows
-  // without a JSON stream parser.
+  // without a JSON stream parser. The schema/sha/threads prefix makes
+  // stored lines comparable across commits.
   struct Walk {
     const ExecTrace& trace;
     const std::string& bench;
+    const std::string& sha;
+    int threads;
     void Visit(size_t id, int depth) {
       const TraceNode& node = trace.nodes()[id];
       std::printf(
-          "{\"bench\":\"%s\",\"op\":\"%s\",\"detail\":\"%s\",\"depth\":%d,"
+          "{\"schema_version\":%d,\"git_sha\":\"%s\",\"threads\":%d,"
+          "\"bench\":\"%s\",\"op\":\"%s\",\"detail\":\"%s\",\"depth\":%d,"
           "\"wall_ms\":%.4f,\"pairs\":%llu,\"degree_evals\":%llu,"
           "\"comparisons\":%llu,\"page_reads\":%llu,\"page_writes\":%llu}\n",
-          bench.c_str(), node.name.c_str(), node.detail.c_str(), depth,
+          kBenchSchemaVersion, sha.c_str(), threads, bench.c_str(),
+          node.name.c_str(), node.detail.c_str(), depth,
           node.wall_seconds * 1000.0,
           static_cast<unsigned long long>(node.cpu.tuple_pairs),
           static_cast<unsigned long long>(node.cpu.degree_evaluations),
@@ -102,8 +115,101 @@ void EmitOperatorJson(const std::string& bench, const ExecTrace& trace) {
       for (size_t child : node.children) Visit(child, depth + 1);
     }
   };
-  Walk walk{trace, bench};
+  const std::string sha = GitSha();
+  Walk walk{trace, bench, sha, threads};
   for (size_t root : trace.roots()) walk.Visit(root, 0);
+}
+
+std::string GitSha() {
+  if (const char* env = std::getenv("FUZZYDB_GIT_SHA")) {
+    if (*env != '\0') return env;
+  }
+  return FUZZYDB_GIT_SHA;
+}
+
+std::string JsonOutPath(int argc, char** argv) {
+  const std::string kFlag = "--json-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0) return arg.substr(kFlag.size());
+  }
+  if (const char* env = std::getenv("FUZZYDB_BENCH_JSON_OUT")) return env;
+  return "";
+}
+
+BenchReport::BenchReport(std::string suite, int threads)
+    : suite_(std::move(suite)), threads_(threads) {
+  // Start each suite from a clean registry so the first entry's peak
+  // memory and window quantiles describe only its own run.
+  MetricsRegistry::Global().ResetAll();
+}
+
+void BenchReport::Add(const std::string& name, const ExecStats& stats) {
+  BenchReportEntry entry;
+  entry.name = name;
+  entry.wall_seconds = stats.total_seconds;
+  entry.cpu_seconds = stats.cpu_seconds;
+  entry.ios = stats.io.TotalIos();
+  entry.tuple_pairs = stats.cpu.tuple_pairs;
+  entry.degree_evaluations = stats.cpu.degree_evaluations;
+  if (EngineMetrics* metrics = EngineMetrics::IfEnabled()) {
+    entry.peak_mem_bytes = static_cast<uint64_t>(
+        metrics->sort_memory->Peak() + metrics->join_memory->Peak());
+    const HistogramSnapshot window = metrics->merge_window_length->Snapshot();
+    entry.window_p50 = window.Quantile(0.50);
+    entry.window_p90 = window.Quantile(0.90);
+    entry.window_p99 = window.Quantile(0.99);
+    entry.window_max = static_cast<double>(window.max);
+    MetricsRegistry::Global().ResetAll();
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
+      << "  \"git_sha\": \"" << GitSha() << "\",\n"
+      << "  \"suite\": \"" << suite_ << "\",\n"
+      << "  \"threads\": " << threads_ << ",\n"
+      << "  \"smoke\": " << (SmokeMode() ? "true" : "false") << ",\n"
+      << "  \"benches\": [";
+  char buf[512];
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const BenchReportEntry& e = entries_[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"cpu_seconds\": %.6f, \"ios\": %llu, \"tuple_pairs\": %llu, "
+        "\"degree_evaluations\": %llu, \"peak_mem_bytes\": %llu, "
+        "\"window_p50\": %.3f, \"window_p90\": %.3f, "
+        "\"window_p99\": %.3f, \"window_max\": %.0f}",
+        i == 0 ? "" : ",", e.name.c_str(), e.wall_seconds, e.cpu_seconds,
+        static_cast<unsigned long long>(e.ios),
+        static_cast<unsigned long long>(e.tuple_pairs),
+        static_cast<unsigned long long>(e.degree_evaluations),
+        static_cast<unsigned long long>(e.peak_mem_bytes), e.window_p50,
+        e.window_p90, e.window_p99, e.window_max);
+    out << buf;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool BenchReport::Write(const std::string& path) const {
+  const std::string json = ToJson();
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << json;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 bool MaybeWriteChromeTrace(const ExecTrace& trace, const std::string& name) {

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/executor.h"
@@ -73,8 +74,70 @@ Result<RunResult> RunMerge(DatasetFiles* files, const std::string& tag,
                            ExecTrace* trace = nullptr);
 
 /// Prints the per-operator summary of a traced run as single-line JSON
-/// records: {"bench":<bench>,"op":...} per span, machine-readable.
-void EmitOperatorJson(const std::string& bench, const ExecTrace& trace);
+/// records: {"schema_version":...,"git_sha":...,"threads":...,
+/// "bench":<bench>,"op":...} per span, machine-readable and comparable
+/// across commits. `threads` is the run's ExecOptions::num_threads.
+void EmitOperatorJson(const std::string& bench, const ExecTrace& trace,
+                      int threads = 1);
+
+/// Version of the BENCH_<suite>.json report schema; bump whenever a
+/// field changes name or meaning so tools/bench_check.py can refuse to
+/// compare incompatible files.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// The git revision the report describes: $FUZZYDB_GIT_SHA when set
+/// (CI exports it from the checkout), else the configure-time value
+/// baked into bench_common, else "unknown".
+std::string GitSha();
+
+/// Extracts PATH from a `--json-out=PATH` argument, else from
+/// $FUZZYDB_BENCH_JSON_OUT, else "". Other arguments are ignored so
+/// benches keep running under older invocations.
+std::string JsonOutPath(int argc, char** argv);
+
+/// One measured configuration inside a BenchReport. The counter fields
+/// (ios, tuple_pairs, degree_evaluations) are deterministic for a
+/// seeded workload at num_threads = 1, so the regression checker holds
+/// them exactly; the time and memory fields get ratio tolerances.
+struct BenchReportEntry {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  uint64_t ios = 0;
+  uint64_t tuple_pairs = 0;
+  uint64_t degree_evaluations = 0;
+  uint64_t peak_mem_bytes = 0;  // external sort + partitioned join peaks
+  // Merge-window length distribution (Rng(r) from the paper) for the
+  // entry's run, from the engine histogram.
+  double window_p50 = 0.0;
+  double window_p90 = 0.0;
+  double window_p99 = 0.0;
+  double window_max = 0.0;
+};
+
+/// Accumulates per-configuration results and writes the machine-read
+/// BENCH_<suite>.json consumed by tools/bench_check.py.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string suite, int threads = 1);
+
+  /// Records one configuration: the run's own stats plus the engine
+  /// metrics accumulated since the previous Add (peak memory, merge
+  /// window quantiles), then resets the registry so entries don't
+  /// bleed into each other.
+  void Add(const std::string& name, const ExecStats& stats);
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` ("-" = stdout). Returns false (after a
+  /// message to stderr) when the file cannot be written.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string suite_;
+  int threads_;
+  std::vector<BenchReportEntry> entries_;
+};
 
 /// Writes `trace` as Chrome trace_event JSON to
 /// $FUZZYDB_TRACE_DIR/<name>.trace.json when that env var is set.

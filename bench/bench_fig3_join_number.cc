@@ -5,13 +5,15 @@
 // time up with it.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fuzzydb;
   using namespace fuzzydb::bench;
 
   BufferPool::SetDefaultSimulatedLatencyUs(SimulatedLatencyUs());
   PrintHeader("Fig. 3 -- response time / CPU time / #IOs vs join fan-out C",
               "Yang et al., Section 9 Fig. 3");
+  const std::string json_out = JsonOutPath(argc, argv);
+  BenchReport report("fig3_join_number");
 
   // Smoke mode (CI) shrinks the relations and the fan-out sweep so the
   // bench exercises the full path in seconds.
@@ -44,11 +46,13 @@ int main() {
                 static_cast<unsigned long long>(stats.cpu.tuple_pairs),
                 static_cast<unsigned long long>(
                     stats.cpu.degree_evaluations));
+    report.Add("c=" + std::to_string(static_cast<int>(c)), stats);
     EmitOperatorJson("fig3_join_number", trace);
     MaybeWriteChromeTrace(trace,
                           "fig3_c" + std::to_string(static_cast<int>(c)));
     std::fflush(stdout);
   }
+  if (!json_out.empty() && !report.Write(json_out)) return 1;
 
   std::printf(
       "\nPaper reference (Fig. 3): as C goes 1 -> 128 the number of IOs\n"

@@ -4,25 +4,32 @@
 // speedups 12.5 -> 36.2 and growing.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fuzzydb;
   using namespace fuzzydb::bench;
 
   BufferPool::SetDefaultSimulatedLatencyUs(SimulatedLatencyUs());
   PrintHeader("Table 1 -- response time, equal-size relations, C = 7",
               "Yang et al., TKDE 13(6) 2001 (ICDE'95), Section 9 Table 1");
+  const std::string json_out = JsonOutPath(argc, argv);
+  BenchReport report("table1_scaling");
 
-  // Paper sizes 1..32 MB, scaled 16x: 64 KB .. 2 MB.
-  const size_t paper_mb[] = {1, 2, 4, 8, 16, 32};
+  // Paper sizes 1..32 MB, scaled 16x: 64 KB .. 2 MB. Smoke mode keeps
+  // only the smallest sizes so CI finishes in seconds.
+  const size_t paper_mb_full[] = {1, 2, 4, 8, 16, 32};
+  const size_t paper_mb_smoke[] = {1, 2};
+  const size_t* paper_mb = SmokeMode() ? paper_mb_smoke : paper_mb_full;
+  const size_t num_mb = SmokeMode() ? 2 : 6;
   // The paper aborted nested loop beyond 8 MB.
   const size_t last_nested_mb = 8;
 
   std::printf("\n%10s %8s %6s | %12s %12s %8s | %10s %10s\n", "paper-size",
               "scaled", "tuples", "nested(s)", "merge(s)", "speedup",
               "NL-IOs", "MJ-IOs");
-  for (size_t mb : paper_mb) {
+  for (size_t mi = 0; mi < num_mb; ++mi) {
+    const size_t mb = paper_mb[mi];
     const size_t bytes = mb * 1024 * 1024 / kScaleDown;
-    const size_t tuples = bytes / 128;
+    const size_t tuples = SmokeRows(bytes / 128, 512);
 
     WorkloadConfig config;
     config.seed = 1000 + mb;
@@ -55,6 +62,7 @@ int main() {
                    merged.status().ToString().c_str());
       return 1;
     }
+    report.Add("mb=" + std::to_string(mb), merged->stats);
 
     char size_label[32], scaled_label[32];
     std::snprintf(size_label, sizeof(size_label), "%zuMB", mb);
@@ -77,6 +85,7 @@ int main() {
     }
     std::fflush(stdout);
   }
+  if (!json_out.empty() && !report.Write(json_out)) return 1;
 
   std::printf(
       "\nPaper reference (SPARC/IPC seconds): NL 501/1965/7754/30879/--/--;\n"

@@ -3,6 +3,7 @@
 #define FUZZYDB_ENGINE_EXEC_OPTIONS_H_
 
 #include <cstddef>
+#include <string>
 #include <thread>
 
 namespace fuzzydb {
@@ -28,6 +29,17 @@ struct ExecOptions {
   /// morsels for load balancing on the bench workloads; tests shrink it
   /// to exercise many-morsel schedules on small relations.
   size_t morsel_size = 2048;
+
+  /// When > 0, a query whose wall time reaches this many milliseconds is
+  /// recorded in SlowQueryLog::Global() together with its rendered
+  /// EXPLAIN ANALYZE tree. If `trace` is null the evaluator attaches a
+  /// private trace for the duration of the query so the tree is still
+  /// captured; with the threshold at 0 (the default) nothing changes.
+  double slow_query_ms = 0.0;
+
+  /// The SQL text of the statement being executed, for the slow-query
+  /// log. Optional; empty means the log entry has no query text.
+  std::string query_text;
 
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "storage/io_stats.h"
 
@@ -74,6 +75,33 @@ struct CpuStats {
   }
 
   bool operator==(const CpuStats&) const = default;
+};
+
+/// RAII fold of per-worker CpuStats slots into a total accumulator.
+/// Parallel operators used to fold with a plain loop after the barrier,
+/// which a throwing morsel body skipped — leaving the enclosing trace
+/// span with zero deltas. Declare a folder *after* the operator's
+/// TraceScope (and before launching workers): during unwinding it runs
+/// first, so the fold lands before the span snapshots its delta whether
+/// the operator returns or throws. Fold() folds early and disarms (the
+/// success path, so totals are available before scope exit).
+class CpuStatsFolder {
+ public:
+  CpuStatsFolder(const std::vector<CpuStats>* slots, CpuStats* total)
+      : slots_(slots), total_(total) {}
+  ~CpuStatsFolder() { Fold(); }
+  CpuStatsFolder(const CpuStatsFolder&) = delete;
+  CpuStatsFolder& operator=(const CpuStatsFolder&) = delete;
+
+  void Fold() {
+    if (slots_ == nullptr || total_ == nullptr) return;
+    for (const CpuStats& slot : *slots_) *total_ += slot;
+    slots_ = nullptr;  // fold exactly once
+  }
+
+ private:
+  const std::vector<CpuStats>* slots_;
+  CpuStats* total_;
 };
 
 /// Everything a measured query run reports.

@@ -6,6 +6,7 @@
 #include "engine/merge_join.h"
 #include "engine/nested_loop_join.h"
 #include "fuzzy/interval_order.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "sort/external_sort.h"
@@ -86,6 +87,10 @@ Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
   result.stats.join_seconds = wall.ElapsedSeconds();
   result.stats.total_seconds = wall.ElapsedSeconds();
   result.stats.cpu_seconds = cpu_clock.ElapsedSeconds();
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->join_stage_us->Record(
+        static_cast<uint64_t>(result.stats.join_seconds * 1e6));
+  }
   return result;
 }
 
@@ -138,6 +143,10 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
                    trace));
   result.stats.cpu.comparisons += sort_stats.comparisons;
   result.stats.sort_seconds = sort_watch.ElapsedSeconds();
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->sort_stage_us->Record(
+        static_cast<uint64_t>(result.stats.sort_seconds * 1e6));
+  }
 
   // ---- Join phase ----------------------------------------------------
   Stopwatch join_watch;
@@ -164,6 +173,10 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   result.stats.join_seconds = join_watch.ElapsedSeconds();
   result.stats.total_seconds = wall.ElapsedSeconds();
   result.stats.cpu_seconds = cpu_clock.ElapsedSeconds();
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->join_stage_us->Record(
+        static_cast<uint64_t>(result.stats.join_seconds * 1e6));
+  }
 
   // Clean up the sorted temporaries.
   pool.Invalidate(r_sorted.get());

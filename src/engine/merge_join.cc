@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fuzzydb {
@@ -35,6 +36,9 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                   pool == nullptr ? nullptr : &pool->stats());
   uint64_t outer_rows = 0;
   uint64_t emitted = 0;
+  EngineMetrics* metrics = EngineMetrics::IfEnabled();
+  Histogram* window_hist =
+      metrics == nullptr ? nullptr : metrics->merge_window_length;
   HeapFileScanner outer_scan(sorted_outer, pool);
   HeapFileScanner inner_scan(sorted_inner, pool);
 
@@ -109,6 +113,7 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
     }
 
     // Join r against its window Rng(r).
+    if (window_hist != nullptr) window_hist->Record(window.size());
     for (const Tuple& s : window) {
       if (cpu != nullptr) ++cpu->tuple_pairs;
       const double d = PairDegree(r, s, spec, cpu);
@@ -117,6 +122,10 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
         FUZZYDB_RETURN_IF_ERROR(emit(r, s, d));
       }
     }
+  }
+  if (metrics != nullptr) {
+    metrics->merge_join_rows_in->Add(outer_rows);
+    metrics->merge_join_rows_out->Add(emitted);
   }
   span.SetInputRows(outer_rows);
   span.SetOutputRows(emitted);

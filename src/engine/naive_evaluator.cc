@@ -5,6 +5,7 @@
 #include <map>
 
 #include "engine/aggregate.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fuzzydb {
@@ -41,11 +42,15 @@ Result<Relation> NaiveEvaluator::Evaluate(const sql::BoundQuery& query) {
   FUZZYDB_ASSIGN_OR_RETURN(Relation answer, EvaluateBlock(query, &frames));
   ApplyOrderBy(query.order_by, &answer);
   span.SetOutputRows(answer.NumTuples());
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->naive_rows_out->Add(answer.NumTuples());
+  }
   return answer;
 }
 
 Result<Relation> NaiveEvaluator::EvaluateBlock(const sql::BoundQuery& query,
                                                Frames* frames) {
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) m->naive_blocks->Add();
   if (!query.group_by.empty()) {
     return EvaluateGroupedBlock(query, frames);
   }

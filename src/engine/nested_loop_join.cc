@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fuzzydb {
@@ -74,6 +75,10 @@ Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
         }
       }
     }
+  }
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->nested_loop_rows_in->Add(outer_rows);
+    m->nested_loop_rows_out->Add(emitted);
   }
   span.SetInputRows(outer_rows);
   span.SetOutputRows(emitted);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fuzzy/interval_order.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/heap_file.h"
 
@@ -215,9 +216,16 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
       }
     }
   }
+  EngineMetrics* metrics = EngineMetrics::IfEnabled();
+  uint64_t partition_pages = 0;
   for (Partition& part : parts) {
     FUZZYDB_RETURN_IF_ERROR(part.inner_writer->Finish());
     FUZZYDB_RETURN_IF_ERROR(part.outer_writer->Finish());
+    partition_pages +=
+        part.inner_file->NumPages() + part.outer_file->NumPages();
+  }
+  if (metrics != nullptr) {
+    metrics->partition_spill_bytes->Add(partition_pages * kPageSize);
   }
 
   // ---- Pass 3: join partition pairs in memory ------------------------
@@ -232,6 +240,13 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
       ctx.pool != nullptr && ctx.pool->size() > 1 && partitions > 1;
   Status status = Status::OK();
   std::vector<CpuStats> part_cpu(partitions);
+  // Declared after `span`: a throwing sort/probe still folds the
+  // per-partition tallies into *cpu before the span closes.
+  CpuStatsFolder folder(cpu == nullptr ? nullptr : &part_cpu, cpu);
+  // Concurrent pass 3 materializes every partition pair at once; the
+  // tracker's peak is what a served workload would size join memory by.
+  ScopedMemoryCharge memory(metrics == nullptr ? nullptr
+                                               : metrics->join_memory);
   auto slot = [&](size_t p) {
     return cpu != nullptr ? &part_cpu[p] : nullptr;
   };
@@ -258,6 +273,13 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
         status = inner_tuples.status();
         break;
       }
+      // Streamed: only one partition pair is live at a time, so the
+      // charge is released at the end of each iteration.
+      ScopedMemoryCharge pair_memory(
+          metrics == nullptr ? nullptr : metrics->join_memory);
+      pair_memory.Charge((parts[p].outer_file->NumPages() +
+                          parts[p].inner_file->NumPages()) *
+                         kPageSize);
       SortPartition(&*outer_tuples, spec.outer_key, slot(p));
       SortPartition(&*inner_tuples, spec.inner_key, slot(p));
       std::vector<MatchRef> matches;
@@ -282,6 +304,9 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
       }
       outer_tuples[p] = *std::move(o);
       inner_tuples[p] = *std::move(i);
+      memory.Charge((parts[p].outer_file->NumPages() +
+                     parts[p].inner_file->NumPages()) *
+                    kPageSize);
     }
     if (status.ok()) {
       std::vector<std::vector<MatchRef>> matches(partitions);
@@ -299,8 +324,10 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
       }
     }
   }
-  if (cpu != nullptr) {
-    for (const CpuStats& s : part_cpu) *cpu += s;
+  folder.Fold();
+  if (metrics != nullptr) {
+    metrics->partitioned_join_rows_in->Add(stats->outer_replicas);
+    metrics->partitioned_join_rows_out->Add(emitted);
   }
   span.SetDetail("partitions=" + std::to_string(partitions) + " replicas=" +
                  std::to_string(stats->outer_replicas));

@@ -11,7 +11,9 @@
 #include "engine/join_order.h"
 #include "engine/naive_evaluator.h"
 #include "engine/semantics.h"
+#include "common/stopwatch.h"
 #include "fuzzy/interval_order.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -62,6 +64,10 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   const size_t morsel = ctx.morsel_size == 0 ? 1 : ctx.morsel_size;
   std::vector<std::vector<FT>> per_morsel((n + morsel - 1) / morsel);
   std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
+  // Declared after `span`: if a morsel body throws, the folder's
+  // destructor runs first during unwinding, so whatever the workers
+  // tallied still lands in *cpu before the span snapshots its delta.
+  CpuStatsFolder folder(cpu == nullptr ? nullptr : &worker_cpu, cpu);
   ParallelFor(ctx, n, [&](size_t worker, size_t begin, size_t end) {
     CpuStats* slot = cpu == nullptr ? nullptr : &worker_cpu[worker];
     std::vector<FT>& out = per_morsel[begin / morsel];
@@ -77,8 +83,10 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   for (const auto& part : per_morsel) {
     out.insert(out.end(), part.begin(), part.end());
   }
-  if (cpu != nullptr) {
-    for (const CpuStats& slot : worker_cpu) *cpu += slot;
+  folder.Fold();
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->filter_rows_in->Add(n);
+    m->filter_rows_out->Add(out.size());
   }
   span.SetInputRows(n);
   span.SetOutputRows(out.size());
@@ -113,6 +121,9 @@ void SortByIntervalOrder(std::vector<FT>* tuples, size_t col,
                  };
                });
   if (cpu != nullptr) cpu->comparisons += comparisons;
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->sort_rows->Add(tuples->size());
+  }
 }
 
 /// The support interval of a sort-key value, hoisted out of the merge
@@ -165,6 +176,14 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
                   "inner=" + std::to_string(inner.size()));
   span.SetInputRows(outer.size());
   span.SetThreads(WorkerSlots(ctx));
+  // Declared after `span` so a throwing emit callback still folds the
+  // worker tallies before the span records its delta (see CpuStatsFolder).
+  CpuStatsFolder folder(worker_cpu, total_cpu);
+  // Hoisted out of the scan: the enabled path per outer tuple is one
+  // relaxed-atomic Record of |Rng(r)|, the disabled path one null test.
+  EngineMetrics* metrics = EngineMetrics::IfEnabled();
+  Histogram* window_hist =
+      metrics == nullptr ? nullptr : metrics->merge_window_length;
   const std::vector<SupportBounds> outer_bounds =
       HoistSupportBounds(outer, outer_col);
   const std::vector<SupportBounds> inner_bounds =
@@ -196,17 +215,18 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
           break;
         }
       }
+      uint64_t window_len = 0;
       for (size_t i = window_start; i < inner.size(); ++i) {
         if (cpu != nullptr) ++cpu->comparisons;
         if (inner_bounds[i].begin > rk.end) break;
         if (cpu != nullptr) ++cpu->tuple_pairs;
+        ++window_len;
         emit(worker, outer[r], inner[i]);
       }
+      if (window_hist != nullptr) window_hist->Record(window_len);
     }
   });
-  if (total_cpu != nullptr && worker_cpu != nullptr) {
-    for (const CpuStats& slot : *worker_cpu) *total_cpu += slot;
-  }
+  folder.Fold();
 }
 
 /// The decomposed shape of one subquery predicate and its inner block.
@@ -960,6 +980,43 @@ ParallelContext UnnestingEvaluator::MakeContext() {
 }
 
 Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
+  // When the slow-query log is armed but the caller didn't ask for a
+  // trace, attach a private one for the duration of the query so an
+  // over-threshold query still yields its EXPLAIN ANALYZE tree.
+  ExecTrace local_trace;
+  ExecTrace* const saved_trace = options_.trace;
+  const bool slow_log_armed = options_.slow_query_ms > 0.0;
+  if (slow_log_armed && options_.trace == nullptr) {
+    options_.trace = &local_trace;
+  }
+  Stopwatch watch;
+  Result<Relation> result = EvaluateTraced(query);
+  const double elapsed_ms = watch.ElapsedSeconds() * 1e3;
+
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->queries_total->Add();
+    m->query_latency_us->Record(static_cast<uint64_t>(elapsed_ms * 1e3));
+    if (!last_was_unnested_) m->queries_naive_fallback->Add();
+    if (!result.ok()) m->queries_failed->Add();
+  }
+  if (slow_log_armed && elapsed_ms >= options_.slow_query_ms) {
+    if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+      m->slow_queries->Add();
+    }
+    SlowQueryLog::Entry entry;
+    entry.query_text = options_.query_text;
+    entry.elapsed_ms = elapsed_ms;
+    // All spans are closed here (EvaluateTraced returned), so the
+    // rendered tree is complete even for failed queries.
+    entry.trace_text = options_.trace->ToString();
+    SlowQueryLog::Global().Add(std::move(entry));
+  }
+  options_.trace = saved_trace;
+  return result;
+}
+
+Result<Relation> UnnestingEvaluator::EvaluateTraced(
+    const sql::BoundQuery& query) {
   last_type_ = Classify(query);
   last_was_unnested_ = true;
   TraceScope span(options_.trace, "evaluate", cpu_, nullptr,

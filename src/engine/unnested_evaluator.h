@@ -76,6 +76,10 @@ class UnnestingEvaluator {
   const ExecOptions& exec_options() const { return options_; }
 
  private:
+  /// Evaluate() minus the cross-query accounting: runs under the
+  /// "evaluate" trace span; Evaluate() wraps it with the metrics-registry
+  /// counters, the latency histogram, and the slow-query log.
+  Result<Relation> EvaluateTraced(const sql::BoundQuery& query);
   Result<Relation> EvaluateInType(const sql::BoundQuery& query,
                                   QueryType type);
 

@@ -1,0 +1,101 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <thread>
+
+namespace fuzzydb {
+namespace {
+
+int BucketFor(uint64_t value) { return std::bit_width(value); }
+
+// Lower/upper value bounds of bucket i: [2^(i-1), 2^i - 1] for i >= 1,
+// {0} for i == 0.
+uint64_t BucketLow(int i) {
+  return i <= 1 ? 0 : (uint64_t{1} << (i - 1));
+}
+uint64_t BucketHigh(int i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the sample we want, 1-based; q=1 asks for the last sample.
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total_count - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < static_cast<int>(counts.size()); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      // Interpolate linearly through the bucket's value range.
+      const double into = counts[i] == 1
+                              ? 1.0
+                              : static_cast<double>(rank - seen) /
+                                    static_cast<double>(counts[i]);
+      const double low = static_cast<double>(BucketLow(i));
+      const double high = static_cast<double>(BucketHigh(i));
+      double v = low + (high - low) * into;
+      // The top occupied bucket can't exceed the tracked max.
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(max);
+}
+
+double HistogramSnapshot::Mean() const {
+  if (total_count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(total_count);
+}
+
+size_t Histogram::ShardIndex() {
+  // Cheap per-thread shard choice; collisions are harmless (still atomic),
+  // they just share a cache line.
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot % kShards;
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = shards_[ShardIndex()];
+  shard.counts[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.total_count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = shard.max.load(std::memory_order_relaxed);
+  while (prev < value && !shard.max.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.total_count += shard.total_count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    const uint64_t m = shard.max.load(std::memory_order_relaxed);
+    if (m > snap.max) snap.max = m;
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+    shard.total_count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fuzzydb

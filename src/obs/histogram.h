@@ -1,0 +1,74 @@
+// Log-bucketed latency/size histogram with per-thread sharding.
+//
+// Record() is a pair of relaxed atomic adds (count + sum) plus a CAS loop
+// for the max, on a shard picked by thread id — no locks, no false sharing
+// between shards. Snapshot() folds the shards on the reader's side, so the
+// hot path never pays for aggregation. Buckets are powers of two
+// (bucket i holds values v with bit_width(v) == i), which keeps quantile
+// estimates within a factor of two everywhere and exact at the tracked max.
+#ifndef FUZZYDB_OBS_HISTOGRAM_H_
+#define FUZZYDB_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fuzzydb {
+
+// Folded, immutable view of a Histogram at one point in time.
+struct HistogramSnapshot {
+  // counts[i] holds samples v with std::bit_width(v) == i; counts[0] is
+  // the zero-value bucket. 64-bit values need bit_width <= 64.
+  std::array<uint64_t, 65> counts{};
+  uint64_t total_count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  // Quantile estimate for q in [0, 1]. Interpolates within the winning
+  // bucket and clamps to the tracked max, so Quantile(1.0) is exact and a
+  // single-sample histogram reports that sample at every quantile.
+  // Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+  double Mean() const;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Hot path: two relaxed adds and a relaxed CAS-max on this thread's shard.
+  void Record(uint64_t value);
+
+  // Folds all shards. Safe to call concurrently with Record(); the result
+  // is a consistent-enough view for monitoring (counts may trail sums by
+  // in-flight samples, never by more).
+  HistogramSnapshot Snapshot() const;
+
+  // Zeroes all shards. Intended for quiescent moments (SHOW METRICS RESET,
+  // test setup); concurrent Record() calls are not lost, they just land
+  // before or after the reset.
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 65;
+  static constexpr int kShards = 16;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> counts{};
+    std::atomic<uint64_t> total_count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_OBS_HISTOGRAM_H_

@@ -1,0 +1,275 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace fuzzydb {
+namespace {
+
+// Formats a double the way both the text dump and sys.metrics should see
+// it: integers without a fraction, everything else with enough digits to
+// round-trip query latencies.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+void AppendHistogramSeries(
+    const std::string& name, const HistogramSnapshot& snap,
+    std::vector<std::pair<std::string, double>>* out) {
+  out->emplace_back(name + "_count", static_cast<double>(snap.total_count));
+  out->emplace_back(name + "_sum", static_cast<double>(snap.sum));
+  out->emplace_back(name + "_p50", snap.Quantile(0.50));
+  out->emplace_back(name + "_p90", snap.Quantile(0.90));
+  out->emplace_back(name + "_p99", snap.Quantile(0.99));
+  out->emplace_back(name + "_max", static_cast<double>(snap.max));
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot % kShards;
+}
+
+void MemoryTracker::Charge(uint64_t bytes) {
+  const int64_t now = current_.fetch_add(static_cast<int64_t>(bytes),
+                                         std::memory_order_relaxed) +
+                      static_cast<int64_t>(bytes);
+  int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now && !peak_.compare_exchange_weak(
+                           prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Reset() {
+  // Live charges (if any) stay; the high-water mark restarts from them.
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  Counter* c = &counter_storage_.emplace_back();
+  counters_.emplace(name, c);
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  Gauge* g = &gauge_storage_.emplace_back();
+  gauges_.emplace(name, g);
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  Histogram* h = &histogram_storage_.emplace_back();
+  histograms_.emplace(name, h);
+  return h;
+}
+
+MemoryTracker* MetricsRegistry::GetMemoryTracker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = trackers_.find(name);
+  if (it != trackers_.end()) return it->second;
+  MemoryTracker* t = &tracker_storage_.emplace_back();
+  trackers_.emplace(name, t);
+  return t;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, t] : trackers_) t->Reset();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::FoldSeries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> series;
+  for (const auto& [name, c] : counters_) {
+    series.emplace_back(name, static_cast<double>(c->Value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    series.emplace_back(name, static_cast<double>(g->Value()));
+  }
+  for (const auto& [name, t] : trackers_) {
+    series.emplace_back(name + "_bytes", static_cast<double>(t->Current()));
+    series.emplace_back(name + "_peak_bytes",
+                        static_cast<double>(t->Peak()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    AppendHistogramSeries(name, h->Snapshot(), &series);
+  }
+  // maps iterate sorted per kind; merge-sort the kinds by name so the
+  // rendering is alphabetical overall.
+  std::sort(series.begin(), series.end());
+  return series;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : FoldSeries()) {
+    out << name << " " << FormatValue(value) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      out << "# TYPE " << name << " counter\n"
+          << name << " " << c->Value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << "# TYPE " << name << " gauge\n"
+          << name << " " << g->Value() << "\n";
+    }
+    for (const auto& [name, t] : trackers_) {
+      out << "# TYPE " << name << "_bytes gauge\n"
+          << name << "_bytes " << t->Current() << "\n";
+      out << "# TYPE " << name << "_peak_bytes gauge\n"
+          << name << "_peak_bytes " << t->Peak() << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      const HistogramSnapshot snap = h->Snapshot();
+      out << "# TYPE " << name << " summary\n";
+      out << name << "{quantile=\"0.5\"} "
+          << FormatValue(snap.Quantile(0.5)) << "\n";
+      out << name << "{quantile=\"0.9\"} "
+          << FormatValue(snap.Quantile(0.9)) << "\n";
+      out << name << "{quantile=\"0.99\"} "
+          << FormatValue(snap.Quantile(0.99)) << "\n";
+      out << name << "_sum " << snap.sum << "\n";
+      out << name << "_count " << snap.total_count << "\n";
+      out << name << "_max " << snap.max << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : FoldSeries()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << FormatValue(value);
+  }
+  out << "}";
+  return out.str();
+}
+
+Relation MetricsRegistry::ToRelation() const {
+  Relation rel("sys.metrics", Schema{{"name", ValueType::kString},
+                                     {"value", ValueType::kFuzzy}});
+  for (const auto& [name, value] : FoldSeries()) {
+    // Round-trip through the text formatting so SHOW METRICS and
+    // SELECT ... FROM sys.metrics agree digit-for-digit.
+    const double v = std::stod(FormatValue(value));
+    (void)rel.Append(
+        Tuple({Value::String(name), Value::Number(v)}, /*degree=*/1.0));
+  }
+  return rel;
+}
+
+EngineMetrics* EngineMetrics::Instance() {
+  static EngineMetrics* metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* m = new EngineMetrics();
+    m->queries_total = reg.GetCounter("fuzzydb_queries_total");
+    m->queries_naive_fallback =
+        reg.GetCounter("fuzzydb_queries_naive_fallback_total");
+    m->queries_failed = reg.GetCounter("fuzzydb_queries_failed_total");
+    m->slow_queries = reg.GetCounter("fuzzydb_slow_queries_total");
+    m->query_latency_us = reg.GetHistogram("fuzzydb_query_latency_us");
+    m->naive_blocks = reg.GetCounter("fuzzydb_naive_blocks_total");
+    m->naive_rows_out = reg.GetCounter("fuzzydb_naive_rows_out_total");
+    m->filter_rows_in = reg.GetCounter("fuzzydb_filter_rows_in_total");
+    m->filter_rows_out = reg.GetCounter("fuzzydb_filter_rows_out_total");
+    m->sort_rows = reg.GetCounter("fuzzydb_sort_rows_total");
+    m->merge_join_rows_in =
+        reg.GetCounter("fuzzydb_merge_join_rows_in_total");
+    m->merge_join_rows_out =
+        reg.GetCounter("fuzzydb_merge_join_rows_out_total");
+    m->nested_loop_rows_in =
+        reg.GetCounter("fuzzydb_nested_loop_rows_in_total");
+    m->nested_loop_rows_out =
+        reg.GetCounter("fuzzydb_nested_loop_rows_out_total");
+    m->partitioned_join_rows_in =
+        reg.GetCounter("fuzzydb_partitioned_join_rows_in_total");
+    m->partitioned_join_rows_out =
+        reg.GetCounter("fuzzydb_partitioned_join_rows_out_total");
+    m->merge_window_length =
+        reg.GetHistogram("fuzzydb_merge_window_length");
+    m->sort_spill_bytes = reg.GetCounter("fuzzydb_sort_spill_bytes_total");
+    m->partition_spill_bytes =
+        reg.GetCounter("fuzzydb_partition_spill_bytes_total");
+    m->sort_memory = reg.GetMemoryTracker("fuzzydb_sort_memory");
+    m->join_memory = reg.GetMemoryTracker("fuzzydb_join_memory");
+    m->morsel_queue_wait_us =
+        reg.GetHistogram("fuzzydb_morsel_queue_wait_us");
+    m->sort_stage_us = reg.GetHistogram("fuzzydb_sort_stage_us");
+    m->join_stage_us = reg.GetHistogram("fuzzydb_join_stage_us");
+    return m;
+  }();
+  return metrics;
+}
+
+EngineMetrics* EngineMetrics::IfEnabled() {
+  if (!MetricsRegistry::Global().enabled()) return nullptr;
+  return Instance();
+}
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+void SlowQueryLog::Add(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > kCapacity) entries_.pop_front();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t SlowQueryLog::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace fuzzydb

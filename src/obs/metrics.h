@@ -1,0 +1,261 @@
+// Process-wide metrics registry: cumulative counters, gauges, memory
+// trackers, and latency histograms aggregated across queries.
+//
+// Design goals, in order:
+//  1. The hot path is a relaxed atomic add on a per-thread shard — no
+//     locks, no fences, no allocation. When metrics are disabled the
+//     cost is a single branch (EngineMetrics::IfEnabled() == nullptr).
+//  2. Readers fold shards on demand; SHOW METRICS, sys.metrics, and the
+//     Prometheus/JSON dumps all render the same folded snapshot.
+//  3. Metric identity is a registry name, so the set of exported series
+//     is fixed at startup and stable across runs (bench comparability).
+//
+// Per-query detail (span trees) lives in obs/trace.h; this file is the
+// cross-query, server-lifetime view. The SlowQueryLog bridges the two by
+// retaining the rendered trace of queries over ExecOptions::slow_query_ms.
+#ifndef FUZZYDB_OBS_METRICS_H_
+#define FUZZYDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "relational/relation.h"
+
+namespace fuzzydb {
+
+// Monotonic event counter, sharded per thread like Histogram.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ShardIndex();
+  std::array<Shard, kShards> shards_;
+};
+
+// Instantaneous signed level (e.g. live bytes). Single atomic: gauges are
+// updated at operator granularity, not per tuple, so contention is nil.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A gauge of live bytes that also tracks the high-water mark. Charge and
+// Release are called by memory-hungry operators (external sort run
+// buffers, partitioned-join build sides) around their allocations.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  void Charge(uint64_t bytes);
+  void Release(uint64_t bytes) {
+    current_.fetch_sub(static_cast<int64_t>(bytes),
+                       std::memory_order_relaxed);
+  }
+  int64_t Current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t Peak() const { return peak_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// RAII charge against a MemoryTracker; tolerates a null tracker so call
+// sites don't have to branch on whether metrics are enabled.
+class ScopedMemoryCharge {
+ public:
+  explicit ScopedMemoryCharge(MemoryTracker* tracker) : tracker_(tracker) {}
+  ~ScopedMemoryCharge() {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+  }
+  ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
+
+  void Charge(uint64_t bytes) {
+    if (tracker_ == nullptr) return;
+    tracker_->Charge(bytes);
+    bytes_ += bytes;
+  }
+
+ private:
+  MemoryTracker* tracker_;
+  uint64_t bytes_ = 0;
+};
+
+// Owns every metric in the process. Get* registers on first use (under a
+// mutex) and returns a stable pointer; the returned objects are lock-free
+// to update. Rendering folds everything under the same mutex, which only
+// excludes concurrent *registration*, never updates.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  MemoryTracker* GetMemoryTracker(const std::string& name);
+
+  // When disabled, EngineMetrics::IfEnabled() returns nullptr and no
+  // engine call site records anything. Direct holders of metric pointers
+  // may still record; disabling is a tap for the engine wiring, not a
+  // freeze of the objects.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Zeroes every registered metric (SHOW METRICS RESET).
+  void ResetAll();
+
+  // One "name value" line per series, histograms expanded to
+  // _count/_sum/_p50/_p90/_p99/_max, sorted by name. This is the text of
+  // SHOW METRICS and the exact value set mirrored into sys.metrics.
+  std::string ToText() const;
+
+  // Prometheus exposition format (counters, gauges, histogram summaries).
+  std::string ToPrometheusText() const;
+
+  // Single JSON object {"name": value, ...} over the same series as
+  // ToText().
+  std::string ToJson() const;
+
+  // The sys.metrics system relation: schema (name STRING, value FUZZY),
+  // one row per ToText() series, every row with degree 1.
+  Relation ToRelation() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  // Flattened (name, value) view shared by all renderers.
+  std::vector<std::pair<std::string, double>> FoldSeries() const;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{true};
+  // std::map for deterministic iteration; deques keep pointers stable.
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  std::map<std::string, MemoryTracker*> trackers_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+  std::deque<MemoryTracker> tracker_storage_;
+};
+
+// The engine's fixed metric set, resolved once from the global registry.
+// Call sites do:
+//   if (EngineMetrics* m = EngineMetrics::IfEnabled()) m->foo->Add(n);
+// so the disabled path is one branch and the enabled path is one relaxed
+// add. Hot loops should hoist the IfEnabled() call out of the loop.
+struct EngineMetrics {
+  // Query lifecycle.
+  Counter* queries_total;
+  Counter* queries_naive_fallback;
+  Counter* queries_failed;
+  Counter* slow_queries;
+  Histogram* query_latency_us;
+
+  // Naive (nested-loop) evaluator activity: query blocks evaluated
+  // (subquery re-evaluations included) and answer rows produced.
+  Counter* naive_blocks;
+  Counter* naive_rows_out;
+
+  // Rows in/out per operator class.
+  Counter* filter_rows_in;
+  Counter* filter_rows_out;
+  Counter* sort_rows;
+  Counter* merge_join_rows_in;
+  Counter* merge_join_rows_out;
+  Counter* nested_loop_rows_in;
+  Counter* nested_loop_rows_out;
+  Counter* partitioned_join_rows_in;
+  Counter* partitioned_join_rows_out;
+
+  // Paper-specific distribution: |Rng(r)| per outer tuple (Def. 3.2).
+  Histogram* merge_window_length;
+
+  // Spill + memory accounting.
+  Counter* sort_spill_bytes;
+  Counter* partition_spill_bytes;
+  MemoryTracker* sort_memory;
+  MemoryTracker* join_memory;
+
+  // Scheduling + stage latency.
+  Histogram* morsel_queue_wait_us;
+  Histogram* sort_stage_us;
+  Histogram* join_stage_us;
+
+  // Null when MetricsRegistry::Global() is disabled.
+  static EngineMetrics* IfEnabled();
+  // Always non-null; for tests and renderers that bypass the tap.
+  static EngineMetrics* Instance();
+};
+
+// Fixed-capacity ring of the most recent over-threshold queries, each
+// retaining its rendered EXPLAIN ANALYZE tree.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::string query_text;
+    double elapsed_ms = 0.0;
+    std::string trace_text;  // rendered span tree, may be empty
+  };
+
+  static SlowQueryLog& Global();
+
+  void Add(Entry entry);
+  std::vector<Entry> Entries() const;  // oldest first
+  void Clear();
+  size_t Size() const;
+
+ private:
+  static constexpr size_t kCapacity = 32;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_OBS_METRICS_H_

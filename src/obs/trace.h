@@ -76,6 +76,11 @@ class ExecTrace {
   const std::vector<size_t>& roots() const { return roots_; }
   bool empty() const { return nodes_.empty(); }
 
+  /// Number of spans still open. A well-formed trace — including one cut
+  /// short by a throwing operator — ends at zero: TraceScope destructors
+  /// close their spans during unwinding.
+  size_t open_span_count() const { return open_.size(); }
+
   /// Seconds since this trace was constructed (the span clock).
   double ElapsedSeconds() const { return epoch_.ElapsedSeconds(); }
 

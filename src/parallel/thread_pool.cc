@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace fuzzydb {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -26,7 +28,8 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::future<void> future = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
   }
   cv_.notify_one();
   return future;
@@ -35,12 +38,20 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutting down and drained
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().task);
+      enqueued = queue_.front().enqueued;
       queue_.pop_front();
+    }
+    if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+      const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - enqueued);
+      m->morsel_queue_wait_us->Record(
+          static_cast<uint64_t>(waited.count()));
     }
     task();  // exceptions land in the task's future
   }

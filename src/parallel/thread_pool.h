@@ -10,6 +10,7 @@
 #ifndef FUZZYDB_PARALLEL_THREAD_POOL_H_
 #define FUZZYDB_PARALLEL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -45,10 +46,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue time, so the dequeuing worker can
+  /// report scheduling delay (fuzzydb_morsel_queue_wait_us).
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
-  bool shutting_down_ = false;                    // guarded by mu_
+  std::deque<QueuedTask> queue_;  // guarded by mu_
+  bool shutting_down_ = false;    // guarded by mu_
   std::vector<std::thread> threads_;
 };
 

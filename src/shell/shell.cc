@@ -11,6 +11,7 @@
 #include "engine/explain.h"
 #include "engine/naive_evaluator.h"
 #include "engine/unnested_evaluator.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/binder.h"
 #include "sql/statement.h"
@@ -31,15 +32,21 @@ std::vector<std::string> Words(const std::string& line) {
 
 }  // namespace
 
-Shell::Shell() = default;
+Shell::Shell() {
+  // Materialize the engine metric families up front so SHOW METRICS and
+  // sys.metrics list every series (at zero) even before the first query.
+  EngineMetrics::Instance();
+}
 
 void Shell::Run(std::istream& in, std::ostream& out, bool interactive) {
   std::string line;
-  if (interactive) {
+  if (interactive && !quiet_) {
     out << "FuzzyDB shell -- .help for help, .quit to exit\n";
   }
   while (!done_) {
-    if (interactive) out << (pending_.empty() ? "fuzzydb> " : "    ...> ");
+    if (interactive && !quiet_) {
+      out << (pending_.empty() ? "fuzzydb> " : "    ...> ");
+    }
     if (!std::getline(in, line)) break;
     if (!FeedLine(line, out)) break;
   }
@@ -93,9 +100,26 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
            "  INSERT INTO name VALUES (v, ...) [DEGREE d];\n"
            "  DEFINE TERM \"name\" AS TRAP(a,b,c,d);\n"
            "  DROP TABLE name;\n"
+           "  SHOW METRICS [RESET];  (also queryable as sys.metrics)\n"
            "commands:\n"
            "  .tables .schema <t> .terms .explain on|off\n"
-           "  .engine naive|unnested .save <dir> .open <dir> .quit\n";
+           "  .engine naive|unnested .slowlog .save <dir> .open <dir>\n"
+           "  .quit\n";
+    return;
+  }
+  if (command == ".slowlog") {
+    const auto entries = SlowQueryLog::Global().Entries();
+    if (entries.empty()) {
+      out << "slow-query log is empty\n";
+      return;
+    }
+    for (const auto& entry : entries) {
+      out << "-- " << FormatDouble(entry.elapsed_ms, 3) << " ms: "
+          << (entry.query_text.empty() ? "<no query text>"
+                                       : entry.query_text)
+          << "\n";
+      if (!entry.trace_text.empty()) out << entry.trace_text;
+    }
     return;
   }
   if (command == ".tables") {
@@ -164,6 +188,16 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
   out << "unknown command '" << command << "' (.help for help)\n";
 }
 
+void Shell::RefreshSystemRelations(const std::string& statement_text) {
+  // Case-insensitive scan for "sys.metrics"; materializing the registry
+  // only on reference keeps .tables / .save free of system relations
+  // unless the session actually queried them.
+  const std::string lowered = ToLower(statement_text);
+  if (lowered.find("sys.metrics") != std::string::npos) {
+    catalog_.PutRelation(MetricsRegistry::Global().ToRelation());
+  }
+}
+
 void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
   auto parsed = sql::ParseStatement(text);
   if (!parsed.ok()) {
@@ -171,8 +205,18 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     return;
   }
   sql::Statement& statement = *parsed;
+  RefreshSystemRelations(text);
 
   switch (statement.kind) {
+    case sql::Statement::Kind::kShowMetrics: {
+      out << MetricsRegistry::Global().ToText();
+      if (statement.metrics_reset) {
+        MetricsRegistry::Global().ResetAll();
+        SlowQueryLog::Global().Clear();
+        out << "-- metrics reset\n";
+      }
+      return;
+    }
     case sql::Statement::Kind::kExplain: {
       auto bound = sql::Bind(*statement.select, catalog_);
       if (!bound.ok()) {
@@ -191,6 +235,8 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       } else {
         ExecOptions options;
         options.trace = &trace;
+        options.slow_query_ms = slow_query_ms_;
+        options.query_text = text;
         UnnestingEvaluator engine(options, &cpu);
         answer = engine.Evaluate(**bound);
       }
@@ -227,7 +273,10 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         NaiveEvaluator naive;
         answer = naive.Evaluate(**bound);
       } else {
-        UnnestingEvaluator engine;
+        ExecOptions options;
+        options.slow_query_ms = slow_query_ms_;
+        options.query_text = text;
+        UnnestingEvaluator engine(options);
         answer = engine.Evaluate(**bound);
         unnested = engine.last_was_unnested();
       }

@@ -10,8 +10,13 @@
 //   .terms               list linguistic terms with their shapes
 //   .explain on|off      print classification/plan info with answers
 //   .engine naive|unnested   choose the evaluator (default unnested)
+//   .slowlog             show the slow-query log (see set_slow_query_ms)
 //   .save <dir> / .open <dir>   persist / load the whole database
 //   .quit
+//
+// SHOW METRICS renders the process-wide metrics registry, and the
+// system relation sys.metrics (refreshed on reference) exposes the same
+// values to Fuzzy SQL itself.
 //
 // The shell is a library class (driven by the fuzzydb_shell tool and by
 // the test suite); statements end at ';' and may span lines.
@@ -49,9 +54,22 @@ class Shell {
     trace_json_path_ = std::move(path);
   }
 
+  /// Suppresses the interactive banner and prompts so piped sessions
+  /// (fuzzydb_shell --quiet -c "SHOW METRICS") emit only results.
+  void set_quiet(bool quiet) { quiet_ = quiet; }
+
+  /// Queries at or over this wall-time threshold (milliseconds) are
+  /// recorded in the process-wide slow-query log with their EXPLAIN
+  /// ANALYZE tree; 0 (the default) disables the log. See .slowlog.
+  void set_slow_query_ms(double ms) { slow_query_ms_ = ms; }
+
  private:
   void ExecuteDotCommand(const std::string& line, std::ostream& out);
   void ExecuteStatement(const std::string& text, std::ostream& out);
+
+  /// Re-materializes the sys.metrics relation from the registry when the
+  /// statement text references it, so queries read current values.
+  void RefreshSystemRelations(const std::string& statement_text);
 
   Catalog catalog_;
   std::string pending_;   // partial statement across lines
@@ -59,6 +77,8 @@ class Shell {
   bool explain_ = false;
   bool use_naive_ = false;
   bool done_ = false;
+  bool quiet_ = false;
+  double slow_query_ms_ = 0.0;
 };
 
 }  // namespace fuzzydb

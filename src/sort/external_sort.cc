@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fuzzydb {
@@ -59,15 +60,26 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
                   pool == nullptr ? nullptr : &pool->stats());
   if (parallel != nullptr) span.SetThreads(WorkerSlots(*parallel));
   const SortStats entry = *stats;
-  auto finish_span = [&] {
-    if (!span.enabled()) return;
-    span_cpu.comparisons = stats->comparisons - entry.comparisons;
-    span.SetInputRows(stats->input_tuples - entry.input_tuples);
-    span.SetDetail(
-        "runs=" + std::to_string(stats->runs_created - entry.runs_created) +
-        " passes=" +
-        std::to_string(stats->merge_passes - entry.merge_passes));
-  };
+  // RAII rather than explicit calls on the success paths: an early error
+  // return (or a throwing comparator) must still publish the counter
+  // deltas before `span` closes. Declared after `span`, so it runs first
+  // during unwinding.
+  struct SpanFinisher {
+    TraceScope* span;
+    CpuStats* span_cpu;
+    const SortStats* stats;
+    const SortStats* entry;
+    ~SpanFinisher() {
+      if (!span->enabled()) return;
+      span_cpu->comparisons = stats->comparisons - entry->comparisons;
+      span->SetInputRows(stats->input_tuples - entry->input_tuples);
+      span->SetDetail(
+          "runs=" + std::to_string(stats->runs_created - entry->runs_created) +
+          " passes=" +
+          std::to_string(stats->merge_passes - entry->merge_passes));
+    }
+  } finisher{&span, &span_cpu, stats, &entry};
+  EngineMetrics* metrics = EngineMetrics::IfEnabled();
 
   // ---- Phase 1: run generation -------------------------------------
   const size_t memory_budget = buffer_pages * kPageSize;
@@ -81,6 +93,15 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
 
     auto flush_batch = [&]() -> Status {
       if (batch.empty()) return Status::OK();
+      // The sort buffer is the operator's peak memory; charged for the
+      // duration of the sort + write, released when the run is on disk.
+      ScopedMemoryCharge batch_memory(
+          metrics == nullptr ? nullptr : metrics->sort_memory);
+      batch_memory.Charge(batch_bytes);
+      if (metrics != nullptr) {
+        metrics->sort_spill_bytes->Add(batch_bytes);
+        metrics->sort_rows->Add(batch.size());
+      }
       if (parallel != nullptr) {
         ParallelSort(*parallel, &batch, &stats->comparisons,
                      [&less](uint64_t* count) {
@@ -125,7 +146,6 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
 
   if (run_paths.empty()) {
     // Empty input: produce an empty output file.
-    finish_span();
     return PageFile::Create(output_path);
   }
 
@@ -173,6 +193,9 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
         FUZZYDB_RETURN_IF_ERROR(best->Advance());
       }
       FUZZYDB_RETURN_IF_ERROR(writer.Finish());
+      if (metrics != nullptr && !final_round) {
+        metrics->sort_spill_bytes->Add(out->NumPages() * kPageSize);
+      }
 
       // Drop the merged runs.
       for (size_t i = group; i < group_end; ++i) {
@@ -198,7 +221,6 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
                              "'");
     }
   }
-  finish_span();
   return PageFile::Open(output_path);
 }
 

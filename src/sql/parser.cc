@@ -62,8 +62,15 @@ class Parser {
     } else if (PeekIsKeyword("drop")) {
       statement.kind = Statement::Kind::kDropTable;
       FUZZYDB_ASSIGN_OR_RETURN(statement.drop_table, ParseDropTable());
+    } else if (MatchKeyword("show")) {
+      // SHOW and METRICS are contextual (non-reserved) words: they only
+      // act as keywords at statement position, so relations or columns
+      // named "show" keep working.
+      FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("metrics"));
+      statement.kind = Statement::Kind::kShowMetrics;
+      statement.metrics_reset = MatchKeyword("reset");
     } else {
-      return Error("expected SELECT, CREATE, INSERT, DEFINE, or DROP");
+      return Error("expected SELECT, CREATE, INSERT, DEFINE, DROP, or SHOW");
     }
     if (Peek().type != TokenType::kEnd) {
       return Error("trailing input after statement");
@@ -443,7 +450,18 @@ class Parser {
       }
       TableRef table;
       table.name = Advance().text;
+      // Dotted relation names (system relations like sys.metrics). The
+      // dot joins the parts into one catalog name; the default alias is
+      // the last part so columns bind as `metrics.name`.
       table.alias = table.name;
+      while (Peek().type == TokenType::kDot) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier || IsKeyword(Peek().text)) {
+          return Error("expected name after '.' in relation name");
+        }
+        table.alias = Peek().text;
+        table.name += "." + Advance().text;
+      }
       if (Peek().type == TokenType::kIdentifier && !IsKeyword(Peek().text)) {
         table.alias = Advance().text;
       }

@@ -7,6 +7,7 @@
 //   INSERT INTO name VALUES (v, ...) [DEGREE d]  d in (0, 1], default 1
 //   DEFINE TERM "name" AS TRAP(a,b,c,d)          (or ABOUT(v, spread))
 //   DROP TABLE name
+//   SHOW METRICS [RESET]                         metrics registry dump
 //
 // INSERT values are literals: numbers, 'strings', "linguistic terms"
 // (resolved against the catalog at execution time), TRAP(a,b,c,d),
@@ -54,10 +55,12 @@ struct Statement {
     kCreateTable,
     kInsert,
     kDefineTerm,
-    kDropTable
+    kDropTable,
+    kShowMetrics  // SHOW METRICS [RESET]
   };
   Kind kind = Kind::kSelect;
   bool analyze = false;  // kExplain only: EXPLAIN ANALYZE executes
+  bool metrics_reset = false;  // kShowMetrics only: RESET after rendering
   std::unique_ptr<Query> select;
   CreateTableStatement create_table;
   InsertStatement insert;

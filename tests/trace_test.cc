@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,32 @@ TEST(ExecTraceTest, NullTraceScopeIsInert) {
   scope.SetThreads(3);
   scope.SetDetail("x");
   scope.Close();  // idempotent no-op
+}
+
+TEST(ExecTraceTest, ThrowingOperatorClosesSpansAndFoldsWorkers) {
+  // An operator that throws mid-span must still close the span (so
+  // partial traces of failed queries are well-formed trees) and fold its
+  // per-worker stats first, so the span's delta includes worker activity.
+  // The ordering comes from declaration order: the CpuStatsFolder is
+  // declared after the TraceScope, so it destructs (folds) first.
+  ExecTrace trace;
+  CpuStats total;
+  std::vector<CpuStats> workers(2);
+  try {
+    TraceScope span(&trace, "throwing-op", &total);
+    CpuStatsFolder folder(&workers, &total);
+    workers[0].comparisons = 3;
+    workers[1].comparisons = 4;
+    throw std::runtime_error("operator failed");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(trace.open_span_count(), 0u);
+  ASSERT_EQ(trace.nodes().size(), 1u);
+  EXPECT_EQ(trace.nodes()[0].name, "throwing-op");
+  // The worker fold landed inside the span's counter delta.
+  EXPECT_EQ(trace.nodes()[0].cpu.comparisons, 7u);
+  EXPECT_EQ(total.comparisons, 7u);
+  EXPECT_GE(trace.nodes()[0].wall_seconds, 0.0);
 }
 
 TEST(ExecTraceTest, CloseIsIdempotent) {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a stored baseline.
+
+Usage:
+  tools/bench_check.py RUN.json BASELINE.json [--warn-only]
+  tools/bench_check.py --self-test BASELINE.json
+
+Reports are the BENCH_<suite>.json files written by bench binaries via
+`--json-out=PATH` (see bench/bench_common.h, BenchReport). Counter
+metrics (ios, tuple_pairs, degree_evaluations) are deterministic for a
+seeded workload at num_threads = 1 and must match the baseline exactly;
+wall/cpu time and peak memory get ratio tolerances because CI machines
+vary. A regression prints one line per violation and exits 1 (or 0 with
+--warn-only, the pull-request mode). --self-test injects a synthetic 2x
+regression into a copy of the baseline and verifies the comparison
+catches it -- a guard against the checker itself rotting into a no-op.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# Metrics that must match the baseline exactly (deterministic counters;
+# only enforced when both reports ran single-threaded).
+EXACT_METRICS = ("ios", "tuple_pairs", "degree_evaluations")
+
+# metric -> max allowed run/baseline ratio. Values are generous because
+# shared CI runners are noisy; the exact counters above are the precise
+# tripwire, these catch order-of-magnitude rot.
+RATIO_TOLERANCES = {
+    "wall_seconds": 3.0,
+    "cpu_seconds": 3.0,
+    "peak_mem_bytes": 1.25,
+}
+
+# Below this absolute value a ratio check is skipped: a 2 ms wall time
+# tripling to 6 ms is scheduler noise, not a regression.
+RATIO_FLOORS = {
+    "wall_seconds": 0.05,
+    "cpu_seconds": 0.05,
+    "peak_mem_bytes": 64 * 1024,
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare(run, baseline):
+    """Returns a list of human-readable problem strings (empty = pass)."""
+    problems = []
+    for field in ("schema_version", "suite", "smoke", "threads"):
+        if run.get(field) != baseline.get(field):
+            problems.append(
+                f"{field} mismatch: run={run.get(field)!r} "
+                f"baseline={baseline.get(field)!r}"
+            )
+    if any("schema_version" in p or "suite" in p for p in problems):
+        # Incomparable files; per-bench checks would just add noise.
+        return problems
+
+    exact_ok = run.get("threads") == 1 and baseline.get("threads") == 1
+    base_by_name = {b["name"]: b for b in baseline.get("benches", [])}
+    run_by_name = {b["name"]: b for b in run.get("benches", [])}
+
+    for name in base_by_name:
+        if name not in run_by_name:
+            problems.append(f"bench '{name}' missing from run")
+    for name, bench in run_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            # New configurations are fine; they become baseline on reseed.
+            continue
+        if exact_ok:
+            for metric in EXACT_METRICS:
+                if bench.get(metric) != base.get(metric):
+                    problems.append(
+                        f"{name}: {metric} changed "
+                        f"{base.get(metric)} -> {bench.get(metric)} "
+                        f"(deterministic counter, must match exactly)"
+                    )
+        for metric, tolerance in RATIO_TOLERANCES.items():
+            base_value = base.get(metric, 0)
+            run_value = bench.get(metric, 0)
+            if max(base_value, run_value) < RATIO_FLOORS[metric]:
+                continue
+            if base_value == 0:
+                problems.append(
+                    f"{name}: {metric} appeared ({run_value}) with a zero "
+                    f"baseline; reseed the baseline"
+                )
+            elif run_value > base_value * tolerance:
+                problems.append(
+                    f"{name}: {metric} regressed {base_value} -> "
+                    f"{run_value} ({run_value / base_value:.2f}x > "
+                    f"{tolerance}x tolerance)"
+                )
+    return problems
+
+
+def self_test(baseline):
+    """Doubles every metric in a copy of the baseline; the comparison
+    must flag it, or the checker has rotted into a no-op."""
+    injected = copy.deepcopy(baseline)
+    for bench in injected.get("benches", []):
+        for metric in EXACT_METRICS + tuple(RATIO_TOLERANCES):
+            if metric in bench:
+                bench[metric] *= 2
+    problems = compare(injected, baseline)
+    if not problems:
+        print("self-test FAILED: 2x regression was not detected")
+        return 1
+    print(f"self-test passed: 2x regression detected ({len(problems)} "
+          f"violations, e.g. '{problems[0]}')")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a bench JSON report against a baseline."
+    )
+    parser.add_argument("run", help="BENCH_<suite>.json from this run "
+                        "(or the baseline itself with --self-test)")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline to compare against")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report violations but exit 0 (PR mode)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker flags an injected 2x "
+                        "regression against RUN itself")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(load(args.run))
+    if args.baseline is None:
+        parser.error("BASELINE is required unless --self-test")
+
+    run, baseline = load(args.run), load(args.baseline)
+    problems = compare(run, baseline)
+    if not problems:
+        print(f"bench_check: {len(run.get('benches', []))} benches within "
+              f"tolerance of {args.baseline}")
+        return 0
+    for problem in problems:
+        print(f"bench_check: {problem}")
+    if args.warn_only:
+        print("bench_check: violations found (warn-only mode, exiting 0)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

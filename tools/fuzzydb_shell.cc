@@ -2,29 +2,106 @@
 //
 //   fuzzydb_shell                        interactive session
 //   fuzzydb_shell < script.sql           batch execution
+//   fuzzydb_shell -c "STMT; ..."         run statements, then exit
+//   fuzzydb_shell --quiet                no banner/prompts (scripting)
 //   fuzzydb_shell --trace-json=PATH      EXPLAIN ANALYZE also dumps a
 //                                        Chrome trace_event JSON to PATH
+//   fuzzydb_shell --metrics-json=PATH    dump the metrics registry as
+//                                        JSON on exit ("-" = stdout)
+//   fuzzydb_shell --metrics-prom=PATH    same, Prometheus text format
+//   fuzzydb_shell --slow-query-ms=N      log queries >= N ms (.slowlog)
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "shell/shell.h"
+
+namespace {
+
+// Writes `text` to `path`, with "-" meaning stdout. Returns false (after
+// printing to stderr) when the file cannot be opened.
+bool WriteDump(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  file << text;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   fuzzydb::Shell shell;
+  std::string command;
+  bool have_command = false;
+  bool quiet = false;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string kTraceFlag = "--trace-json=";
+    const std::string kMetricsJsonFlag = "--metrics-json=";
+    const std::string kMetricsPromFlag = "--metrics-prom=";
+    const std::string kSlowFlag = "--slow-query-ms=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
+    } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
+      metrics_json_path = arg.substr(kMetricsJsonFlag.size());
+    } else if (arg.rfind(kMetricsPromFlag, 0) == 0) {
+      metrics_prom_path = arg.substr(kMetricsPromFlag.size());
+    } else if (arg.rfind(kSlowFlag, 0) == 0) {
+      shell.set_slow_query_ms(std::atof(arg.c_str() + kSlowFlag.size()));
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "-c") {
+      if (i + 1 >= argc) {
+        std::cerr << "-c requires an argument\n";
+        return 2;
+      }
+      command = argv[++i];
+      have_command = true;
     } else {
-      std::cerr << "usage: fuzzydb_shell [--trace-json=PATH]\n";
+      std::cerr << "usage: fuzzydb_shell [-c \"STMT;\"] [--quiet]\n"
+                   "    [--trace-json=PATH] [--metrics-json=PATH|-]\n"
+                   "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n";
       return 2;
     }
   }
-  const bool interactive = isatty(STDIN_FILENO) != 0;
-  shell.Run(std::cin, std::cout, interactive);
-  return 0;
+  shell.set_quiet(quiet);
+
+  if (have_command) {
+    // Statements passed with -c run as a non-interactive session; a
+    // missing final ';' is forgiven.
+    if (command.find(';') == std::string::npos) command += ';';
+    std::istringstream in(command);
+    shell.Run(in, std::cout, /*interactive=*/false);
+  } else {
+    const bool interactive = isatty(STDIN_FILENO) != 0;
+    shell.Run(std::cin, std::cout, interactive);
+  }
+
+  int exit_code = 0;
+  if (!metrics_json_path.empty() &&
+      !WriteDump(metrics_json_path,
+                 fuzzydb::MetricsRegistry::Global().ToJson() + "\n")) {
+    exit_code = 1;
+  }
+  if (!metrics_prom_path.empty() &&
+      !WriteDump(metrics_prom_path,
+                 fuzzydb::MetricsRegistry::Global().ToPrometheusText())) {
+    exit_code = 1;
+  }
+  return exit_code;
 }
