@@ -1,0 +1,158 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace fuzzydb {
+
+namespace {
+
+struct PointState {
+  int64_t skip = 0;       // hits to let pass before failing
+  int64_t failures = 0;   // remaining injected failures; -1 = unlimited
+  uint64_t hits = 0;      // hits observed while armed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+  size_t armed = 0;  // points with failures != 0 or skip pending
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// The hot-path tap: number of points currently armed. Check() returns
+// immediately when zero, so un-instrumented runs never take the lock.
+std::atomic<size_t> g_armed_count{0};
+
+std::once_flag g_env_once;
+
+}  // namespace
+
+void FailPoints::ArmFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("FUZZYDB_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') ArmFromSpec(spec);
+  });
+}
+
+Status FailPoints::Check(const char* name) {
+  ArmFromEnvOnce();
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return Status::OK();
+  PointState& state = it->second;
+  if (state.failures == 0) return Status::OK();  // already spent
+  ++state.hits;
+  if (state.skip > 0) {
+    --state.skip;
+    return Status::OK();
+  }
+  if (state.failures > 0 && --state.failures == 0) {
+    --reg.armed;
+    g_armed_count.store(reg.armed, std::memory_order_relaxed);
+  }
+  return Status::IoError(std::string("injected failure at failpoint '") +
+                         name + "'");
+}
+
+void FailPoints::Arm(const std::string& name, int64_t failures,
+                     int64_t skip) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState& state = reg.points[name];
+  const bool was_armed = state.failures != 0;
+  state.skip = skip;
+  state.failures = failures;
+  state.hits = 0;
+  const bool now_armed = state.failures != 0;
+  if (now_armed && !was_armed) ++reg.armed;
+  if (!now_armed && was_armed) --reg.armed;
+  g_armed_count.store(reg.armed, std::memory_order_relaxed);
+}
+
+void FailPoints::Disarm(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return;
+  if (it->second.failures != 0) {
+    --reg.armed;
+    g_armed_count.store(reg.armed, std::memory_order_relaxed);
+  }
+  it->second.failures = 0;
+  it->second.skip = 0;
+}
+
+void FailPoints::DisarmAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, state] : reg.points) {
+    state.failures = 0;
+    state.skip = 0;
+  }
+  reg.armed = 0;
+  g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FailPoints::Hits(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailPoints::ArmedNames() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, state] : reg.points) {
+    if (state.failures != 0) names.push_back(name);
+  }
+  return names;
+}
+
+bool FailPoints::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    std::string name = entry;
+    int64_t failures = 1;
+    int64_t skip = 0;
+    const size_t eq = entry.find('=');
+    if (eq != std::string::npos) {
+      name = entry.substr(0, eq);
+      std::string counts = entry.substr(eq + 1);
+      const size_t colon = counts.find(':');
+      std::string fail_str =
+          colon == std::string::npos ? counts : counts.substr(0, colon);
+      try {
+        failures = std::stoll(fail_str);
+        if (colon != std::string::npos) {
+          skip = std::stoll(counts.substr(colon + 1));
+        }
+      } catch (...) {
+        return false;
+      }
+      if (skip < 0) return false;
+    }
+    if (name.empty()) return false;
+    Arm(name, failures, skip);
+  }
+  return true;
+}
+
+}  // namespace fuzzydb

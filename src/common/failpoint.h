@@ -1,0 +1,61 @@
+// A process-wide fail-point registry for fault-injection testing.
+//
+// IO sites declare a named point:
+//
+//   FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("storage/page-read"));
+//
+// Tests (or the FUZZYDB_FAILPOINTS environment variable) arm points by
+// name; an armed point fails its next `failures` hits (after optionally
+// skipping the first `skip`) with an injected IoError. The disarmed hot
+// path is one relaxed atomic load of the global armed count -- no lookup,
+// no lock -- so the checks stay in production builds.
+//
+// Environment syntax, parsed once on first use:
+//   FUZZYDB_FAILPOINTS="name[=failures[:skip]][,name...]"
+// e.g. FUZZYDB_FAILPOINTS="sort/spill-write,storage/page-read=1:3"
+// arms sort/spill-write for one failure and storage/page-read to fail
+// once after three successful hits.
+#ifndef FUZZYDB_COMMON_FAILPOINT_H_
+#define FUZZYDB_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+
+class FailPoints {
+ public:
+  /// Returns an injected IoError if `name` is armed and due, OK
+  /// otherwise. Cost when nothing is armed anywhere: one relaxed load.
+  static Status Check(const char* name);
+
+  /// Arms `name` to fail `failures` times (-1 = every hit) after letting
+  /// the first `skip` hits pass. Re-arming an existing point replaces
+  /// its state and resets its hit counter.
+  static void Arm(const std::string& name, int64_t failures = 1,
+                  int64_t skip = 0);
+  static void Disarm(const std::string& name);
+  static void DisarmAll();
+
+  /// Hits observed while the point was armed (skipped hits included).
+  /// Zero for never-armed points.
+  static uint64_t Hits(const std::string& name);
+
+  /// Names of currently armed points (for diagnostics).
+  static std::vector<std::string> ArmedNames();
+
+  /// Parses one FUZZYDB_FAILPOINTS-style spec and arms the points it
+  /// names. Returns false (arming nothing further) on a malformed entry.
+  static bool ArmFromSpec(const std::string& spec);
+
+ private:
+  friend struct FailPointsEnvInit;
+  static void ArmFromEnvOnce();
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_FAILPOINT_H_

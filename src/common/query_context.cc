@@ -1,0 +1,41 @@
+#include "common/query_context.h"
+
+namespace fuzzydb {
+
+Status MemoryBudget::Charge(uint64_t bytes) {
+  const int64_t now = used_.fetch_add(static_cast<int64_t>(bytes),
+                                      std::memory_order_relaxed) +
+                      static_cast<int64_t>(bytes);
+  if (limit_ > 0 && now > static_cast<int64_t>(limit_)) {
+    used_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    denied_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "memory budget exceeded: request of " + std::to_string(bytes) +
+        " bytes over limit of " + std::to_string(limit_) + " bytes");
+  }
+  int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Status QueryContext::Check() const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_ &&
+      (deadline_hit_.load(std::memory_order_relaxed) ||
+       std::chrono::steady_clock::now() >= deadline_)) {
+    deadline_hit_.store(true, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  if (exhausted_.load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted(
+        "query memory budget exceeded (" +
+        std::to_string(memory_.denied_bytes()) + " bytes denied)");
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzzydb

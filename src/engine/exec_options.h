@@ -9,6 +9,7 @@
 namespace fuzzydb {
 
 class ExecTrace;
+class QueryContext;
 
 /// Options controlling how a query is executed. Every parallel path is
 /// deterministic: results and CpuStats are identical for every
@@ -40,6 +41,14 @@ struct ExecOptions {
   /// The SQL text of the statement being executed, for the slow-query
   /// log. Optional; empty means the log entry has no query text.
   std::string query_text;
+
+  /// Lifecycle governance for this query: cooperative cancellation, a
+  /// wall-clock deadline, and a memory budget (see
+  /// common/query_context.h). Operators poll it at morsel and page
+  /// boundaries, so a stop request surfaces as a well-formed
+  /// CANCELLED / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED status within
+  /// one morsel/page of work. Null (the default) means ungoverned.
+  QueryContext* context = nullptr;  // not owned
 
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;

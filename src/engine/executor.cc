@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/query_context.h"
 #include "common/stopwatch.h"
 #include "engine/merge_join.h"
 #include "engine/nested_loop_join.h"
@@ -10,6 +11,7 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "sort/external_sort.h"
+#include "storage/temp_file_guard.h"
 
 namespace fuzzydb {
 
@@ -80,7 +82,7 @@ Result<RunResult> RunTypeJNestedLoop(PageFile* r_file, PageFile* s_file,
         (void)s;
         acc.Add(r.ValueAt(spec.r_x), d);
         return Status::OK();
-      }, trace));
+      }, trace, options == nullptr ? nullptr : options->context));
 
   result.answer = acc.Finish(spec.threshold);
   span.SetOutputRows(result.answer.NumTuples());
@@ -114,10 +116,12 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   std::unique_ptr<ThreadPool> workers;
   ParallelContext parallel_ctx;
   const ParallelContext* parallel = nullptr;
+  QueryContext* query = options == nullptr ? nullptr : options->context;
   if (options != nullptr && options->ResolvedThreads() > 1) {
     workers = std::make_unique<ThreadPool>(options->ResolvedThreads());
     parallel_ctx.pool = workers.get();
     parallel_ctx.morsel_size = options->morsel_size;
+    parallel_ctx.query = query;
     parallel = &parallel_ctx;
   }
 
@@ -127,20 +131,26 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   // the same cuts.
   Stopwatch sort_watch;
   SortStats sort_stats;
+  // Both sorted temporaries are tracked until the success-path cleanup
+  // below: if the second sort (or the join) fails, the first sort's
+  // output must not be left behind.
+  TempFileGuard sorted_guard(&pool);
   FUZZYDB_ASSIGN_OR_RETURN(
       std::unique_ptr<PageFile> r_sorted,
       ExternalSort(r_file, &pool,
                    IntervalLessOnColumn(spec.r_y, nullptr, spec.threshold),
                    temp_prefix + ".R", temp_prefix + ".R.sorted",
                    buffer_pages, min_record_size, &sort_stats, parallel,
-                   trace));
+                   trace, query));
+  sorted_guard.Track(r_sorted->path());
   FUZZYDB_ASSIGN_OR_RETURN(
       std::unique_ptr<PageFile> s_sorted,
       ExternalSort(s_file, &pool,
                    IntervalLessOnColumn(spec.s_z, nullptr, spec.threshold),
                    temp_prefix + ".S", temp_prefix + ".S.sorted",
                    buffer_pages, min_record_size, &sort_stats, parallel,
-                   trace));
+                   trace, query));
+  sorted_guard.Track(s_sorted->path());
   result.stats.cpu.comparisons += sort_stats.comparisons;
   result.stats.sort_seconds = sort_watch.ElapsedSeconds();
   if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
@@ -166,7 +176,7 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
         (void)s;
         acc.Add(r.ValueAt(spec.r_x), d);
         return Status::OK();
-      }, trace));
+      }, trace, query));
 
   result.answer = acc.Finish(spec.threshold);
   span.SetOutputRows(result.answer.NumTuples());
@@ -187,6 +197,7 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   s_sorted.reset();
   RemoveFileIfExists(r_path);
   RemoveFileIfExists(s_path);
+  sorted_guard.Dismiss();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/query_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,7 +32,8 @@ double PairDegree(const Tuple& r, const Tuple& s, const FuzzyJoinSpec& spec,
 
 Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                      BufferPool* pool, const FuzzyJoinSpec& spec,
-                     CpuStats* cpu, const JoinEmit& emit, ExecTrace* trace) {
+                     CpuStats* cpu, const JoinEmit& emit, ExecTrace* trace,
+                     QueryContext* query) {
   TraceScope span(trace, "merge-join", cpu,
                   pool == nullptr ? nullptr : &pool->stats());
   uint64_t outer_rows = 0;
@@ -43,8 +45,12 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
   HeapFileScanner inner_scan(sorted_inner, pool);
 
   // The in-memory window of inner tuples: tuples retired from the front
-  // as the outer key advances, extended at the back on demand.
+  // as the outer key advances, extended at the back on demand. The
+  // window is the operator's resident memory: charged as tuples enter,
+  // released as they retire (the scope release keeps the budget balanced
+  // on early returns).
   std::deque<Tuple> window;
+  ScopedBudget window_budget(query);
   bool inner_exhausted = false;
   Tuple pending_inner;   // read past the window end, not yet needed
   bool has_pending = false;
@@ -52,6 +58,7 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
   Tuple r;
   bool has_r = false;
   while (true) {
+    FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
     FUZZYDB_RETURN_IF_ERROR(outer_scan.Next(&r, &has_r));
     if (!has_r) break;
     ++outer_rows;
@@ -71,6 +78,7 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
       if (cpu != nullptr) ++cpu->comparisons;
       if (window.front().ValueAt(spec.inner_key).AsFuzzy().AlphaCutEnd(
               alpha) < r_begin) {
+        window_budget.Release(SerializedTupleSize(window.front()));
         window.pop_front();
       } else {
         break;
@@ -87,6 +95,8 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
         // later) outer tuple: drop it without ever entering the window.
         has_pending = false;
       } else if (pk.AlphaCutBegin(alpha) <= r_end) {
+        FUZZYDB_RETURN_IF_ERROR(
+            window_budget.Charge(SerializedTupleSize(pending_inner)));
         window.push_back(std::move(pending_inner));
         has_pending = false;
       }
@@ -109,6 +119,7 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
         has_pending = true;
         break;
       }
+      FUZZYDB_RETURN_IF_ERROR(window_budget.Charge(SerializedTupleSize(s)));
       window.push_back(std::move(s));
     }
 

@@ -20,6 +20,7 @@
 namespace fuzzydb {
 
 class ExecTrace;
+class QueryContext;
 
 /// Describes the fuzzy join R |x| S.
 struct FuzzyJoinSpec {
@@ -55,10 +56,13 @@ using JoinEmit =
 /// Runs the extended merge-join over two interval-order-sorted heap
 /// files. CPU work is tallied in `cpu` (may be null). With `trace` set,
 /// records a "merge-join" span (counter deltas, scanned/emitted rows).
+/// With `query` set, cancellation/deadline are polled once per outer
+/// tuple and the in-memory window is charged against the memory budget.
 Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                      BufferPool* pool, const FuzzyJoinSpec& spec,
                      CpuStats* cpu, const JoinEmit& emit,
-                     ExecTrace* trace = nullptr);
+                     ExecTrace* trace = nullptr,
+                     QueryContext* query = nullptr);
 
 }  // namespace fuzzydb
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "common/query_context.h"
 #include "engine/aggregate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -89,6 +90,7 @@ Result<Relation> NaiveEvaluator::EvaluateBlock(const sql::BoundQuery& query,
     }
 
     // One complete combination: fold membership and predicate degrees.
+    FUZZYDB_RETURN_IF_ERROR(CheckQuery(query_));
     if (cpu_ != nullptr) ++cpu_->tuple_pairs;
     double degree = FrameMembership(*frames);
     for (const auto& pred : query.predicates) {
@@ -191,6 +193,7 @@ Result<Relation> NaiveEvaluator::EvaluateGroupedBlock(
       frames->back()[table_idx] = nullptr;
       return Status::OK();
     }
+    FUZZYDB_RETURN_IF_ERROR(CheckQuery(query_));
     if (cpu_ != nullptr) ++cpu_->tuple_pairs;
     double degree = FrameMembership(*frames);
     for (const auto& pred : query.predicates) {

@@ -22,12 +22,17 @@
 namespace fuzzydb {
 
 class ExecTrace;
+class QueryContext;
 
 /// Evaluates bound queries by their literal semantics.
 class NaiveEvaluator {
  public:
-  explicit NaiveEvaluator(CpuStats* cpu = nullptr, ExecTrace* trace = nullptr)
-      : cpu_(cpu), trace_(trace) {}
+  /// With `query` set, cancellation/deadline are polled once per
+  /// complete tuple combination, so even the O(n_R x n_S) baseline
+  /// stops within one combination of the trigger.
+  explicit NaiveEvaluator(CpuStats* cpu = nullptr, ExecTrace* trace = nullptr,
+                          const QueryContext* query = nullptr)
+      : cpu_(cpu), trace_(trace), query_(query) {}
 
   /// Evaluates a bound query; the result relation is duplicate-free and
   /// respects the query's WITH threshold.
@@ -52,6 +57,7 @@ class NaiveEvaluator {
 
   CpuStats* cpu_;
   ExecTrace* trace_;
+  const QueryContext* query_;
 };
 
 }  // namespace fuzzydb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/query_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -10,7 +11,7 @@ namespace fuzzydb {
 Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
                           size_t buffer_pages, const FuzzyJoinSpec& spec,
                           CpuStats* cpu, const JoinEmit& emit,
-                          ExecTrace* trace) {
+                          ExecTrace* trace, QueryContext* query) {
   if (buffer_pages < 2) {
     return Status::InvalidArgument("nested-loop join needs >= 2 buffer pages");
   }
@@ -31,18 +32,23 @@ Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
     const PageId block_end =
         std::min<PageId>(block_start + block_size, outer_pages);
 
-    // Load the outer block into memory. current_page() names the page of
-    // the next unread tuple, so this consumes exactly the block's pages.
+    // Load the outer block into memory, charging it against the budget
+    // for the duration of this block's inner scan. current_page() names
+    // the page of the next unread tuple, so this consumes exactly the
+    // block's pages.
     std::vector<Tuple> block;
+    ScopedBudget block_budget(query);
     {
       HeapFileScanner scan(outer, &outer_pool);
       scan.SeekToPage(block_start);
       Tuple t;
       bool has = false;
       while (scan.current_page() < block_end) {
+        FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
         FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
         if (!has) break;
         ++outer_rows;
+        FUZZYDB_RETURN_IF_ERROR(block_budget.Charge(SerializedTupleSize(t)));
         block.push_back(std::move(t));
         t = Tuple();
       }
@@ -53,6 +59,7 @@ Status FileNestedLoopJoin(PageFile* outer, PageFile* inner, IoStats* io,
     Tuple s;
     bool has_s = false;
     while (true) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
       FUZZYDB_RETURN_IF_ERROR(inner_scan.Next(&s, &has_s));
       if (!has_s) break;
       for (const Tuple& r : block) {

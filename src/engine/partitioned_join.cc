@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/query_context.h"
 #include "fuzzy/interval_order.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/heap_file.h"
+#include "storage/temp_file_guard.h"
 
 namespace fuzzydb {
 
@@ -113,7 +115,7 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                            const JoinEmit& emit,
                            PartitionedJoinStats* stats,
                            const ParallelContext* parallel,
-                           ExecTrace* trace) {
+                           ExecTrace* trace, QueryContext* query) {
   if (spec.key_op != CompareOp::kEq) {
     return Status::InvalidArgument("partitioned join requires an equijoin");
   }
@@ -134,6 +136,7 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
     bool has = false;
     uint64_t index = 0;
     while (true) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
       FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
       if (!has) break;
       const Value& key = t.ValueAt(spec.inner_key);
@@ -167,6 +170,11 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
     std::unique_ptr<PageFile> inner_file, outer_file;
     std::unique_ptr<HeapFileWriter> inner_writer, outer_writer;
   };
+  // Declared before `parts` so it is destroyed after the Partition
+  // PageFiles are closed: any early return between here and the explicit
+  // cleanup at the end (I/O error, failpoint, cancellation, budget
+  // denial) sweeps the partition temporaries.
+  TempFileGuard temp_guard(pool);
   std::vector<Partition> parts(partitions);
   for (size_t p = 0; p < partitions; ++p) {
     parts[p].inner_path =
@@ -175,8 +183,10 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
         temp_prefix + ".p" + std::to_string(p) + ".outer";
     FUZZYDB_ASSIGN_OR_RETURN(parts[p].inner_file,
                              PageFile::Create(parts[p].inner_path));
+    temp_guard.Track(parts[p].inner_path);
     FUZZYDB_ASSIGN_OR_RETURN(parts[p].outer_file,
                              PageFile::Create(parts[p].outer_path));
+    temp_guard.Track(parts[p].outer_path);
     parts[p].inner_writer =
         std::make_unique<HeapFileWriter>(parts[p].inner_file.get(), pool);
     parts[p].outer_writer =
@@ -188,6 +198,7 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
     Tuple t;
     bool has = false;
     while (true) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
       FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
       if (!has) break;
       const size_t p = PartitionOf(
@@ -200,6 +211,7 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
     Tuple t;
     bool has = false;
     while (true) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
       FUZZYDB_RETURN_IF_ERROR(scan.Next(&t, &has));
       if (!has) break;
       const Value& key = t.ValueAt(spec.outer_key);
@@ -234,8 +246,8 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
   // counters are tallied into per-partition slots folded in partition
   // order, so serial and parallel runs produce the same emit sequence
   // and the same totals.
-  const ParallelContext ctx =
-      parallel != nullptr ? *parallel : ParallelContext{};
+  ParallelContext ctx = parallel != nullptr ? *parallel : ParallelContext{};
+  if (ctx.query == nullptr) ctx.query = query;
   const bool concurrent =
       ctx.pool != nullptr && ctx.pool->size() > 1 && partitions > 1;
   Status status = Status::OK();
@@ -263,6 +275,8 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
   if (!concurrent) {
     // Streamed: one partition pair in memory at a time.
     for (size_t p = 0; p < partitions && status.ok(); ++p) {
+      status = CheckQuery(query);
+      if (!status.ok()) break;
       auto outer_tuples = LoadPartition(parts[p].outer_file.get(), pool);
       if (!outer_tuples.ok()) {
         status = outer_tuples.status();
@@ -275,6 +289,11 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
       }
       // Streamed: only one partition pair is live at a time, so the
       // charge is released at the end of each iteration.
+      ScopedBudget pair_budget(query);
+      status = pair_budget.Charge((parts[p].outer_file->NumPages() +
+                                   parts[p].inner_file->NumPages()) *
+                                  kPageSize);
+      if (!status.ok()) break;
       ScopedMemoryCharge pair_memory(
           metrics == nullptr ? nullptr : metrics->join_memory);
       pair_memory.Charge((parts[p].outer_file->NumPages() +
@@ -291,7 +310,10 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
     // one-partition-per-morsel on the pool.
     std::vector<std::vector<Tuple>> outer_tuples(partitions);
     std::vector<std::vector<Tuple>> inner_tuples(partitions);
+    ScopedBudget pairs_budget(query);
     for (size_t p = 0; p < partitions && status.ok(); ++p) {
+      status = CheckQuery(query);
+      if (!status.ok()) break;
       auto o = LoadPartition(parts[p].outer_file.get(), pool);
       if (!o.ok()) {
         status = o.status();
@@ -304,6 +326,10 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
       }
       outer_tuples[p] = *std::move(o);
       inner_tuples[p] = *std::move(i);
+      status = pairs_budget.Charge((parts[p].outer_file->NumPages() +
+                                    parts[p].inner_file->NumPages()) *
+                                   kPageSize);
+      if (!status.ok()) break;
       memory.Charge((parts[p].outer_file->NumPages() +
                      parts[p].inner_file->NumPages()) *
                     kPageSize);
@@ -319,6 +345,10 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                                      slot(p), &matches[p]);
                     }
                   });
+      // A governed stop keeps ParallelFor from dispatching the remaining
+      // partitions, so the buffered matches are incomplete: surface the
+      // stop instead of emitting a partial result.
+      status = CheckQuery(query);
       for (size_t p = 0; p < partitions && status.ok(); ++p) {
         status = emit_matches(outer_tuples[p], inner_tuples[p], matches[p]);
       }
@@ -345,6 +375,7 @@ Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
     RemoveFileIfExists(part.inner_path);
     RemoveFileIfExists(part.outer_path);
   }
+  temp_guard.Dismiss();
   return status;
 }
 

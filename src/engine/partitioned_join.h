@@ -52,13 +52,19 @@ struct PartitionedJoinStats {
 /// per-partition CpuStats, both folded in partition order at the
 /// barrier. The parallel probe materializes every partition pair in
 /// memory at once (the serial path holds one pair at a time).
+///
+/// With `query` set, cancellation/deadline are polled per scanned tuple
+/// and per partition, loaded partition pairs are charged against the
+/// memory budget, and every early return removes the partition
+/// temporaries before surfacing its status.
 Status FilePartitionedJoin(PageFile* outer, PageFile* inner, BufferPool* pool,
                            const FuzzyJoinSpec& spec, size_t num_partitions,
                            const std::string& temp_prefix, CpuStats* cpu,
                            const JoinEmit& emit,
                            PartitionedJoinStats* stats = nullptr,
                            const ParallelContext* parallel = nullptr,
-                           ExecTrace* trace = nullptr);
+                           ExecTrace* trace = nullptr,
+                           QueryContext* query = nullptr);
 
 }  // namespace fuzzydb
 

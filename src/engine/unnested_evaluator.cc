@@ -7,6 +7,7 @@
 #include <numeric>
 #include <optional>
 
+#include "common/query_context.h"
 #include "engine/aggregate.h"
 #include "engine/join_order.h"
 #include "engine/naive_evaluator.h"
@@ -366,6 +367,9 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
   TraceScope span(trace, "subquery", cpu, nullptr, LinkDetail(shape));
   span.SetInputRows(outer.size());
   std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu, trace);
+  // FilterBlock/MergeWindow stop dispatching morsels on a governed stop,
+  // leaving partial output; surface the stop before using it.
+  FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
   std::vector<double> m(outer.size(), 0.0);
 
   // `slot` is the caller's CpuStats in the serial branches and a
@@ -434,6 +438,7 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
                   const double term = pair_term(slot, r, s);
                   if (term > m[idx]) m[idx] = term;
                 });
+    FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
   } else if (shape.correlations.empty() && !shape.has_link_columns) {
     // Uncorrelated EXISTS: a constant -- the possibility that the inner
     // block is non-empty.
@@ -452,6 +457,7 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
           Tuple({s.tuple->ValueAt(shape.inner_link_col)}, s.degree)));
     }
     for (size_t i = 0; i < outer.size(); ++i) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
       const Value& v = outer[i].tuple->ValueAt(shape.outer_link_col);
       double m_r = 0.0;
       for (const Tuple& z : t.tuples()) {
@@ -471,6 +477,7 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
                             "inner=" + std::to_string(inner.size()));
     pairing_span.SetInputRows(outer.size());
     for (size_t i = 0; i < outer.size(); ++i) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
       for (const FT& s : inner) {
         if (cpu != nullptr) ++cpu->tuple_pairs;
         const double term = pair_term(cpu, outer[i], s);
@@ -498,7 +505,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
 
   if (shape.correlations.empty()) {
     // Type A: the inner block is a constant scalar; evaluate it once.
-    NaiveEvaluator naive(cpu, trace);
+    NaiveEvaluator naive(cpu, trace, ctx.query);
     FUZZYDB_ASSIGN_OR_RETURN(Relation t2, naive.Evaluate(*shape.inner));
     for (size_t i = 0; i < outer.size(); ++i) {
       if (t2.Empty()) continue;
@@ -530,6 +537,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
   for (const FT& r : outer) t1.emplace(r.tuple->ValueAt(u_col), 0);
 
   std::vector<FT> inner = FilterBlock(*shape.inner, ctx, cpu, trace);
+  FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
 
   // T2: u -> A'(u) with degree D(A'(u)), built by grouping T1 |x| S on u
   // and applying AGG per group (pipelined in the paper).
@@ -564,6 +572,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
     SortByIntervalOrder(&inner, v_col, ctx, cpu, trace);
     size_t window_start = 0;
     for (const Value& u : t1_sorted) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
       const Trapezoid& uk = u.AsFuzzy();
       while (window_start < inner.size()) {
         const Trapezoid& vk =
@@ -596,6 +605,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
                           "nested t1=" + std::to_string(t1.size()));
     group_span.SetInputRows(inner.size());
     for (const auto& [u, unused] : t1) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
       Relation group("", Schema{Column{"Z", ValueType::kFuzzy}});
       for (const FT& s : inner) {
         if (cpu != nullptr) ++cpu->tuple_pairs;
@@ -664,6 +674,7 @@ Result<Relation> RunTwoLevel(const BoundQuery& query,
     return Status::Unsupported("outer block shape outside the unnested plan");
   }
   std::vector<FT> outer = FilterBlock(query, ctx, cpu, trace);
+  FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
   std::vector<double> combined(outer.size(), 1.0);
   for (const BoundPredicate& pred : query.predicates) {
     if (pred.subquery == nullptr) {
@@ -684,6 +695,7 @@ Result<Relation> RunTwoLevel(const BoundQuery& query,
   emit_span.SetInputRows(outer.size());
   Relation answer("", query.output_schema);
   for (size_t i = 0; i < outer.size(); ++i) {
+    FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
     FUZZYDB_RETURN_IF_ERROR(
         EmitAnswer(query, *outer[i].tuple,
                    std::min(outer[i].degree, combined[i]), &answer));
@@ -748,6 +760,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
   std::vector<std::vector<FT>> filtered(k_levels);
   for (size_t k = 0; k < k_levels; ++k) {
     filtered[k] = FilterBlock(*blocks[k], ctx, cpu, trace);
+    FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
     if (filtered[k].empty()) {
       // An empty level zeroes every chain of links below the outermost
       // block; the answer is empty.
@@ -908,6 +921,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
       SortByIntervalOrder(&incoming, new_col, ctx, cpu, trace);
       size_t window_start = 0;
       for (const Row& row : rows) {
+        FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
         const Trapezoid& rk =
             row.tuples[row_level]->ValueAt(row_col).AsFuzzy();
         while (window_start < incoming.size()) {
@@ -930,6 +944,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
       }
     } else {
       for (const Row& row : rows) {
+        FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
         for (const FT& s : incoming) {
           if (cpu != nullptr) ++cpu->tuple_pairs;
           FUZZYDB_RETURN_IF_ERROR(join_pair(row, s));
@@ -966,6 +981,7 @@ UnnestingEvaluator::~UnnestingEvaluator() = default;
 
 ParallelContext UnnestingEvaluator::MakeContext() {
   ParallelContext ctx;
+  ctx.query = options_.context;
   ctx.morsel_size = options_.morsel_size == 0 ? 1 : options_.morsel_size;
   const size_t threads = options_.ResolvedThreads();
   if (threads > 1) {
@@ -997,7 +1013,26 @@ Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
     m->queries_total->Add();
     m->query_latency_us->Record(static_cast<uint64_t>(elapsed_ms * 1e3));
     if (!last_was_unnested_) m->queries_naive_fallback->Add();
-    if (!result.ok()) m->queries_failed->Add();
+    if (!result.ok()) {
+      m->queries_failed->Add();
+      switch (result.status().code()) {
+        case StatusCode::kCancelled:
+          m->queries_cancelled->Add();
+          break;
+        case StatusCode::kDeadlineExceeded:
+          m->queries_deadline_exceeded->Add();
+          break;
+        case StatusCode::kResourceExhausted:
+          m->queries_resource_exhausted->Add();
+          break;
+        default:
+          break;
+      }
+    }
+    if (options_.context != nullptr) {
+      const uint64_t denied = options_.context->memory().denied_bytes();
+      if (denied > 0) m->budget_denied_bytes->Add(denied);
+    }
   }
   if (slow_log_armed && elapsed_ms >= options_.slow_query_ms) {
     if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
@@ -1017,14 +1052,19 @@ Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
 
 Result<Relation> UnnestingEvaluator::EvaluateTraced(
     const sql::BoundQuery& query) {
+  // A pre-cancelled or already-expired context never starts executing.
+  FUZZYDB_RETURN_IF_ERROR(CheckQuery(options_.context));
   last_type_ = Classify(query);
   last_was_unnested_ = true;
   TraceScope span(options_.trace, "evaluate", cpu_, nullptr,
                   QueryTypeName(last_type_));
   Result<Relation> result = EvaluateInType(query, last_type_);
+  // Only kUnsupported falls back to the naive evaluator; governance
+  // statuses (CANCELLED / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED) and
+  // I/O errors surface as-is.
   if (!result.ok() && result.status().code() == StatusCode::kUnsupported) {
     last_was_unnested_ = false;
-    NaiveEvaluator naive(cpu_, options_.trace);
+    NaiveEvaluator naive(cpu_, options_.trace, options_.context);
     Result<Relation> fallback = naive.Evaluate(query);  // applies ORDER BY
     if (fallback.ok()) span.SetOutputRows(fallback.value().NumTuples());
     return fallback;

@@ -207,6 +207,13 @@ EngineMetrics* EngineMetrics::Instance() {
         reg.GetCounter("fuzzydb_queries_naive_fallback_total");
     m->queries_failed = reg.GetCounter("fuzzydb_queries_failed_total");
     m->slow_queries = reg.GetCounter("fuzzydb_slow_queries_total");
+    m->queries_cancelled = reg.GetCounter("fuzzydb_queries_cancelled_total");
+    m->queries_deadline_exceeded =
+        reg.GetCounter("fuzzydb_queries_deadline_exceeded_total");
+    m->queries_resource_exhausted =
+        reg.GetCounter("fuzzydb_queries_resource_exhausted_total");
+    m->budget_denied_bytes =
+        reg.GetCounter("fuzzydb_budget_denied_bytes_total");
     m->query_latency_us = reg.GetHistogram("fuzzydb_query_latency_us");
     m->naive_blocks = reg.GetCounter("fuzzydb_naive_blocks_total");
     m->naive_rows_out = reg.GetCounter("fuzzydb_naive_rows_out_total");

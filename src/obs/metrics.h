@@ -197,6 +197,14 @@ struct EngineMetrics {
   Counter* slow_queries;
   Histogram* query_latency_us;
 
+  // Governance outcomes (see common/query_context.h): queries stopped by
+  // cooperative cancel, deadline, or memory-budget denial, and the total
+  // bytes of denied budget charges.
+  Counter* queries_cancelled;
+  Counter* queries_deadline_exceeded;
+  Counter* queries_resource_exhausted;
+  Counter* budget_denied_bytes;
+
   // Naive (nested-loop) evaluator activity: query blocks evaluated
   // (subquery re-evaluations included) and answer rows produced.
   Counter* naive_blocks;

@@ -24,7 +24,9 @@ void ParallelFor(const ParallelContext& ctx, size_t total, size_t morsel_size,
     // morsel decomposition as the parallel path, so per-morsel work (and
     // anything counted inside it) is identical.
     size_t begin = 0, end = 0;
-    while (cursor.Next(&begin, &end)) body(0, begin, end);
+    while (!QueryStopRequested(ctx.query) && cursor.Next(&begin, &end)) {
+      body(0, begin, end);
+    }
     return;
   }
 
@@ -32,9 +34,11 @@ void ParallelFor(const ParallelContext& ctx, size_t total, size_t morsel_size,
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    futures.push_back(ctx.pool->Submit([&cursor, &body, w] {
+    futures.push_back(ctx.pool->Submit([&ctx, &cursor, &body, w] {
       size_t begin = 0, end = 0;
-      while (cursor.Next(&begin, &end)) body(w, begin, end);
+      while (!QueryStopRequested(ctx.query) && cursor.Next(&begin, &end)) {
+        body(w, begin, end);
+      }
     }));
   }
   // Barrier: wait for every worker, remember the first failure, rethrow

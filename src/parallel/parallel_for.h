@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/query_context.h"
 #include "parallel/morsel.h"
 #include "parallel/thread_pool.h"
 
@@ -28,6 +29,12 @@ namespace fuzzydb {
 struct ParallelContext {
   ThreadPool* pool = nullptr;  // not owned; nullptr means serial
   size_t morsel_size = 2048;   // tuples per morsel
+
+  /// Governance: when set, morsel dispatch stops as soon as the query is
+  /// cancelled, past its deadline, or over budget -- workers finish the
+  /// morsel in hand and stop pulling, bounding the latency of a stop
+  /// request to one morsel. Null means ungoverned (run to completion).
+  const QueryContext* query = nullptr;  // not owned
 };
 
 /// Number of distinct worker slots a ParallelFor body may observe; size

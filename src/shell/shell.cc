@@ -1,10 +1,12 @@
 #include "shell/shell.h"
 
+#include <atomic>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "common/query_context.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "engine/classifier.h"
@@ -30,7 +32,34 @@ std::vector<std::string> Words(const std::string& line) {
   return words;
 }
 
+// The QueryContext of the query currently executing, if any; SIGINT
+// routes Cancel() here. Published/cleared by ActiveQueryScope on the
+// executing thread, so a handler delivered to that thread can never see
+// a pointer to a destroyed context.
+std::atomic<QueryContext*> g_active_query{nullptr};
+
+// Publishes a QueryContext as the process's active query for the
+// duration of one statement.
+class ActiveQueryScope {
+ public:
+  explicit ActiveQueryScope(QueryContext* query) {
+    g_active_query.store(query, std::memory_order_release);
+  }
+  ~ActiveQueryScope() {
+    g_active_query.store(nullptr, std::memory_order_release);
+  }
+  ActiveQueryScope(const ActiveQueryScope&) = delete;
+  ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+};
+
 }  // namespace
+
+bool Shell::CancelActiveQuery() {
+  QueryContext* query = g_active_query.load(std::memory_order_acquire);
+  if (query == nullptr) return false;
+  query->Cancel();  // a single relaxed store: async-signal-safe
+  return true;
+}
 
 Shell::Shell() {
   // Materialize the engine metric families up front so SHOW METRICS and
@@ -201,6 +230,7 @@ void Shell::RefreshSystemRelations(const std::string& statement_text) {
 void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
   auto parsed = sql::ParseStatement(text);
   if (!parsed.ok()) {
+    had_error_ = true;
     out << parsed.status().ToString() << "\n";
     return;
   }
@@ -220,6 +250,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kExplain: {
       auto bound = sql::Bind(*statement.select, catalog_);
       if (!bound.ok()) {
+        had_error_ = true;
         out << bound.status().ToString() << "\n";
         return;
       }
@@ -228,19 +259,25 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       if (!statement.analyze) return;
       ExecTrace trace;
       CpuStats cpu;
+      QueryContext qctx;
+      if (timeout_ms_ > 0) qctx.set_deadline_after_ms(timeout_ms_);
+      if (memory_budget_ > 0) qctx.memory().set_limit(memory_budget_);
+      ActiveQueryScope active(&qctx);
       Result<Relation> answer = Status::Internal("unset");
       if (use_naive_) {
-        NaiveEvaluator naive(&cpu, &trace);
+        NaiveEvaluator naive(&cpu, &trace, &qctx);
         answer = naive.Evaluate(**bound);
       } else {
         ExecOptions options;
         options.trace = &trace;
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
+        options.context = &qctx;
         UnnestingEvaluator engine(options, &cpu);
         answer = engine.Evaluate(**bound);
       }
       if (!answer.ok()) {
+        had_error_ = true;
         out << answer.status().ToString() << "\n";
         return;
       }
@@ -262,25 +299,32 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kSelect: {
       auto bound = sql::Bind(*statement.select, catalog_);
       if (!bound.ok()) {
+        had_error_ = true;
         out << bound.status().ToString() << "\n";
         return;
       }
       Stopwatch watch;
+      QueryContext qctx;
+      if (timeout_ms_ > 0) qctx.set_deadline_after_ms(timeout_ms_);
+      if (memory_budget_ > 0) qctx.memory().set_limit(memory_budget_);
+      ActiveQueryScope active(&qctx);
       Result<Relation> answer = Status::Internal("unset");
       QueryType type = Classify(**bound);
       bool unnested = false;
       if (use_naive_) {
-        NaiveEvaluator naive;
+        NaiveEvaluator naive(nullptr, nullptr, &qctx);
         answer = naive.Evaluate(**bound);
       } else {
         ExecOptions options;
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
+        options.context = &qctx;
         UnnestingEvaluator engine(options);
         answer = engine.Evaluate(**bound);
         unnested = engine.last_was_unnested();
       }
       if (!answer.ok()) {
+        had_error_ = true;
         out << answer.status().ToString() << "\n";
         return;
       }
@@ -298,6 +342,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kCreateTable: {
       const Status status = catalog_.AddRelation(Relation(
           statement.create_table.name, statement.create_table.schema));
+      if (!status.ok()) had_error_ = true;
       out << (status.ok() ? "created " + statement.create_table.name
                           : status.ToString())
           << "\n";
@@ -306,6 +351,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kInsert: {
       auto relation = catalog_.GetMutableRelation(statement.insert.table);
       if (!relation.ok()) {
+        had_error_ = true;
         out << relation.status().ToString() << "\n";
         return;
       }
@@ -314,6 +360,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         if (!literal.term.empty()) {
           auto term = catalog_.terms().Lookup(literal.term);
           if (!term.ok()) {
+            had_error_ = true;
             out << term.status().ToString() << "\n";
             return;
           }
@@ -324,6 +371,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       }
       const Status status = (*relation)->Append(
           Tuple(std::move(values), statement.insert.degree));
+      if (!status.ok()) had_error_ = true;
       out << (status.ok() ? "inserted 1 tuple" : status.ToString()) << "\n";
       return;
     }
@@ -335,6 +383,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     }
     case sql::Statement::Kind::kDropTable: {
       if (!catalog_.HasRelation(statement.drop_table.name)) {
+        had_error_ = true;
         out << "no relation named '" << statement.drop_table.name << "'\n";
         return;
       }

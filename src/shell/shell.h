@@ -23,6 +23,7 @@
 #ifndef FUZZYDB_SHELL_SHELL_H_
 #define FUZZYDB_SHELL_SHELL_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -63,6 +64,25 @@ class Shell {
   /// ANALYZE tree; 0 (the default) disables the log. See .slowlog.
   void set_slow_query_ms(double ms) { slow_query_ms_ = ms; }
 
+  /// Every SELECT / EXPLAIN ANALYZE runs under a deadline this many
+  /// milliseconds from its start; 0 (the default) means no deadline.
+  void set_timeout_ms(double ms) { timeout_ms_ = ms; }
+
+  /// Per-query memory budget in bytes for budget-tracked operator state
+  /// (sort batches, join windows/blocks/partitions); 0 = unlimited.
+  void set_memory_budget(uint64_t bytes) { memory_budget_ = bytes; }
+
+  /// True once any statement has failed (parse, bind, or execution
+  /// error). The fuzzydb_shell tool maps this to a non-zero exit code
+  /// in -c mode.
+  bool had_error() const { return had_error_; }
+
+  /// Cancels the query currently executing in any Shell in this process
+  /// (cooperatively, via its QueryContext). Returns false when no query
+  /// is in flight. Async-signal-safe: the SIGINT handler calls this so
+  /// Ctrl-C cancels the query instead of killing the session.
+  static bool CancelActiveQuery();
+
  private:
   void ExecuteDotCommand(const std::string& line, std::ostream& out);
   void ExecuteStatement(const std::string& text, std::ostream& out);
@@ -78,7 +98,10 @@ class Shell {
   bool use_naive_ = false;
   bool done_ = false;
   bool quiet_ = false;
+  bool had_error_ = false;
   double slow_query_ms_ = 0.0;
+  double timeout_ms_ = 0.0;
+  uint64_t memory_budget_ = 0;
 };
 
 }  // namespace fuzzydb

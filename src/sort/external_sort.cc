@@ -4,8 +4,11 @@
 #include <queue>
 #include <vector>
 
+#include "common/failpoint.h"
+#include "common/query_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/temp_file_guard.h"
 
 namespace fuzzydb {
 
@@ -44,10 +47,13 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
     PageFile* input, BufferPool* pool, const TupleLess& less,
     const std::string& temp_prefix, const std::string& output_path,
     size_t buffer_pages, size_t min_record_size, SortStats* stats,
-    const ParallelContext* parallel, ExecTrace* trace) {
+    const ParallelContext* parallel, ExecTrace* trace, QueryContext* query) {
   if (buffer_pages < 3) {
     return Status::InvalidArgument("external sort needs >= 3 buffer pages");
   }
+  // Any early return below (I/O error, failpoint, cancellation, budget
+  // denial) sweeps the temporary runs created so far.
+  TempFileGuard temp_guard(pool);
   SortStats local;
   if (stats == nullptr) stats = &local;
   const CountingLess counting_less(less, stats);
@@ -93,8 +99,11 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
 
     auto flush_batch = [&]() -> Status {
       if (batch.empty()) return Status::OK();
+      FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("sort/spill-write"));
       // The sort buffer is the operator's peak memory; charged for the
       // duration of the sort + write, released when the run is on disk.
+      ScopedBudget batch_budget(query);
+      FUZZYDB_RETURN_IF_ERROR(batch_budget.Charge(batch_bytes));
       ScopedMemoryCharge batch_memory(
           metrics == nullptr ? nullptr : metrics->sort_memory);
       batch_memory.Charge(batch_bytes);
@@ -113,10 +122,14 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
       } else {
         std::sort(batch.begin(), batch.end(), counting_less);
       }
+      // A stop mid-ParallelSort leaves the batch partially sorted; do not
+      // write it out as a run.
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
       const std::string path =
           temp_prefix + ".run" + std::to_string(run_paths.size());
       FUZZYDB_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> run,
                                PageFile::Create(path));
+      temp_guard.Track(path);
       HeapFileWriter writer(run.get(), pool, min_record_size);
       for (const Tuple& t : batch) {
         FUZZYDB_RETURN_IF_ERROR(writer.Append(t));
@@ -131,6 +144,7 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
     };
 
     while (true) {
+      FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
       FUZZYDB_RETURN_IF_ERROR(scanner.Next(&tuple, &has));
       if (!has) break;
       ++stats->input_tuples;
@@ -150,7 +164,10 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
   }
 
   // ---- Phase 2: k-way merge passes ----------------------------------
-  const size_t fan_in = std::max<size_t>(2, buffer_pages - 1);
+  // Written underflow-proof: buffer_pages - 1 would wrap at 0 before
+  // std::max could clamp it (the >= 3 guard above makes 0 unreachable
+  // today, but keep the expression safe on its own).
+  const size_t fan_in = buffer_pages < 3 ? 2 : buffer_pages - 1;
   size_t temp_counter = run_paths.size();
 
   while (run_paths.size() > 1) {
@@ -162,6 +179,7 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
       std::vector<std::unique_ptr<RunCursor>> cursors;
       for (size_t i = group; i < group_end; ++i) {
         auto cursor = std::make_unique<RunCursor>();
+        FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("sort/run-open"));
         FUZZYDB_ASSIGN_OR_RETURN(cursor->file, PageFile::Open(run_paths[i]));
         cursor->scanner =
             std::make_unique<HeapFileScanner>(cursor->file.get(), pool);
@@ -176,11 +194,13 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
                       : temp_prefix + ".run" + std::to_string(temp_counter++);
       FUZZYDB_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> out,
                                PageFile::Create(out_path));
+      temp_guard.Track(out_path);
       HeapFileWriter writer(out.get(), pool, min_record_size);
 
       // Tournament by linear scan over the (small) fan-in; a loser tree
       // is unnecessary at these fan-ins and keeps comparisons countable.
       while (true) {
+        FUZZYDB_RETURN_IF_ERROR(CheckQuery(query));
         RunCursor* best = nullptr;
         for (auto& cursor : cursors) {
           if (!cursor->has_head) continue;
@@ -204,6 +224,7 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
       cursors.clear();
       for (size_t i = group; i < group_end; ++i) {
         RemoveFileIfExists(run_paths[i]);
+        temp_guard.Untrack(run_paths[i]);
       }
       pool->Invalidate(out.get());
       next_round.push_back(out_path);
@@ -221,6 +242,7 @@ Result<std::unique_ptr<PageFile>> ExternalSort(
                              "'");
     }
   }
+  temp_guard.Dismiss();
   return PageFile::Open(output_path);
 }
 

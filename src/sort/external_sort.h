@@ -53,12 +53,19 @@ struct SortStats {
 /// With `trace` set, records an "external-sort" span whose comparison
 /// count mirrors SortStats::comparisons and whose I/O delta is read from
 /// the pool's local counters.
+///
+/// With `query` set, the sort is governed: cancellation/deadline are
+/// polled once per scanned/merged tuple and the in-memory sort buffer is
+/// charged against the query's memory budget, so a stop request surfaces
+/// within one tuple/page of work. Every early return -- governance or
+/// I/O error -- removes all `.runN` temporaries before returning
+/// (balanced budget, no leaked files).
 Result<std::unique_ptr<PageFile>> ExternalSort(
     PageFile* input, BufferPool* pool, const TupleLess& less,
     const std::string& temp_prefix, const std::string& output_path,
     size_t buffer_pages, size_t min_record_size = 0,
     SortStats* stats = nullptr, const ParallelContext* parallel = nullptr,
-    ExecTrace* trace = nullptr);
+    ExecTrace* trace = nullptr, QueryContext* query = nullptr);
 
 }  // namespace fuzzydb
 

@@ -1,7 +1,12 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <version>
+#if defined(__cpp_lib_to_chars)
+#include <charconv>
+#endif
 
 namespace fuzzydb {
 namespace sql {
@@ -65,14 +70,61 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < n &&
          std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      // Delimit the literal explicitly (digits [. digits] [e[+-]digits])
+      // so parsing is locale-independent and never swallows trailing
+      // text the way strtod's hex/inf extensions could.
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.') {
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      double v = 0.0;
+      bool out_of_range = false;
+#if defined(__cpp_lib_to_chars)
+      const auto [ptr, ec] =
+          std::from_chars(input.data() + i, input.data() + j, v);
+      out_of_range = ec == std::errc::result_out_of_range;
+      if (ec != std::errc() && !out_of_range) {
+        return Status::ParseError("malformed numeric literal at offset " +
+                                  std::to_string(start));
+      }
+#else
+      // Fallback: ERANGE-checked strtod on the delimited slice (the
+      // slice contains no locale-dependent characters).
+      const std::string slice = input.substr(i, j - i);
+      errno = 0;
       char* end = nullptr;
-      const double v = std::strtod(input.c_str() + i, &end);
+      v = std::strtod(slice.c_str(), &end);
+      out_of_range = errno == ERANGE;
+      if (end != slice.c_str() + slice.size()) {
+        return Status::ParseError("malformed numeric literal at offset " +
+                                  std::to_string(start));
+      }
+#endif
+      if (out_of_range) {
+        return Status::ParseError("numeric literal out of range at offset " +
+                                  std::to_string(start));
+      }
       Token t;
       t.type = TokenType::kNumber;
       t.number = v;
       t.position = start;
       tokens.push_back(std::move(t));
-      i = static_cast<size_t>(end - input.c_str());
+      i = j;
       continue;
     }
     if (c == '\'' || c == '"') {

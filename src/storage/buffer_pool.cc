@@ -3,6 +3,8 @@
 #include <cassert>
 #include <ctime>
 
+#include "common/failpoint.h"
+
 namespace fuzzydb {
 
 namespace {
@@ -61,6 +63,7 @@ void BufferPool::Touch(FrameList::iterator it) {
 }
 
 Result<const Page*> BufferPool::GetPage(PageFile* file, PageId id) {
+  FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("bufferpool/get-page"));
   const Key key{file, id};
   auto found = index_.find(key);
   if (found != index_.end()) {

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 
+#include "common/failpoint.h"
+
 namespace fuzzydb {
 
 Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path) {
+  FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("storage/file-create"));
   std::FILE* f = std::fopen(path.c_str(), "w+b");
   if (f == nullptr) {
     return Status::IoError("cannot create file '" + path + "'");
@@ -13,6 +16,7 @@ Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path) {
 }
 
 Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
+  FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("storage/file-open"));
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   if (f == nullptr) {
     return Status::IoError("cannot open file '" + path + "'");
@@ -35,6 +39,7 @@ PageFile::~PageFile() {
 }
 
 Status PageFile::ReadPage(PageId id, Page* page) {
+  FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("storage/page-read"));
   if (id >= num_pages_) {
     return Status::OutOfRange("page " + std::to_string(id) +
                               " out of range in '" + path_ + "'");
@@ -47,6 +52,7 @@ Status PageFile::ReadPage(PageId id, Page* page) {
 }
 
 Status PageFile::WritePage(PageId id, const Page& page) {
+  FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("storage/page-write"));
   if (id > num_pages_) {
     return Status::OutOfRange("page " + std::to_string(id) +
                               " beyond end of '" + path_ + "'");

@@ -1,8 +1,11 @@
 #include "storage/heap_file.h"
 
+#include "common/failpoint.h"
+
 namespace fuzzydb {
 
 Status HeapFileWriter::Append(const Tuple& tuple) {
+  FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("heapfile/append"));
   SerializeTuple(tuple, &scratch_, min_record_size_);
   if (scratch_.size() > kPageSize - 64) {
     return Status::InvalidArgument("tuple record too large for a page");

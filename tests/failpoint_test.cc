@@ -1,0 +1,108 @@
+// The fail-point registry: arming semantics (failures/skip budgets, hit
+// counters, re-arm/disarm) and FUZZYDB_FAILPOINTS spec parsing.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace fuzzydb {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::DisarmAll(); }
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, DisarmedCheckIsFree) {
+  EXPECT_OK(FailPoints::Check("never/armed"));
+  EXPECT_EQ(FailPoints::Hits("never/armed"), 0u);
+  EXPECT_TRUE(FailPoints::ArmedNames().empty());
+}
+
+TEST_F(FailPointTest, ArmedPointFailsThenRecovers) {
+  FailPoints::Arm("test/point", /*failures=*/1);
+  const Status first = FailPoints::Check("test/point");
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  EXPECT_NE(first.message().find("test/point"), std::string::npos);
+  // The failure budget is spent; subsequent hits pass and are no longer
+  // counted (the point is disarmed).
+  EXPECT_OK(FailPoints::Check("test/point"));
+  EXPECT_OK(FailPoints::Check("test/point"));
+  EXPECT_EQ(FailPoints::Hits("test/point"), 1u);
+}
+
+TEST_F(FailPointTest, SkipLetsEarlyHitsPass) {
+  FailPoints::Arm("test/skip", /*failures=*/2, /*skip=*/2);
+  EXPECT_OK(FailPoints::Check("test/skip"));
+  EXPECT_OK(FailPoints::Check("test/skip"));
+  EXPECT_FALSE(FailPoints::Check("test/skip").ok());
+  EXPECT_FALSE(FailPoints::Check("test/skip").ok());
+  EXPECT_OK(FailPoints::Check("test/skip"));
+  EXPECT_EQ(FailPoints::Hits("test/skip"), 4u);
+}
+
+TEST_F(FailPointTest, NegativeFailuresMeansEveryHit) {
+  FailPoints::Arm("test/always", /*failures=*/-1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FailPoints::Check("test/always").ok()) << i;
+  }
+  EXPECT_EQ(FailPoints::Hits("test/always"), 10u);
+}
+
+TEST_F(FailPointTest, RearmReplacesStateAndResetsHits) {
+  FailPoints::Arm("test/rearm", /*failures=*/1);
+  EXPECT_FALSE(FailPoints::Check("test/rearm").ok());
+  EXPECT_EQ(FailPoints::Hits("test/rearm"), 1u);
+  FailPoints::Arm("test/rearm", /*failures=*/1);
+  EXPECT_EQ(FailPoints::Hits("test/rearm"), 0u);
+  EXPECT_FALSE(FailPoints::Check("test/rearm").ok());
+}
+
+TEST_F(FailPointTest, DisarmStopsInjection) {
+  FailPoints::Arm("test/disarm", /*failures=*/-1);
+  EXPECT_FALSE(FailPoints::Check("test/disarm").ok());
+  FailPoints::Disarm("test/disarm");
+  EXPECT_OK(FailPoints::Check("test/disarm"));
+  EXPECT_TRUE(FailPoints::ArmedNames().empty());
+}
+
+TEST_F(FailPointTest, ArmedNamesListsActivePoints) {
+  FailPoints::Arm("test/a");
+  FailPoints::Arm("test/b");
+  std::vector<std::string> names = FailPoints::ArmedNames();
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "test/a");
+  EXPECT_EQ(names[1], "test/b");
+}
+
+TEST_F(FailPointTest, SpecParsingArmsEachEntry) {
+  ASSERT_TRUE(FailPoints::ArmFromSpec("test/one,test/two=2,test/three=1:3"));
+  // test/one: default one failure.
+  EXPECT_FALSE(FailPoints::Check("test/one").ok());
+  EXPECT_OK(FailPoints::Check("test/one"));
+  // test/two: two failures.
+  EXPECT_FALSE(FailPoints::Check("test/two").ok());
+  EXPECT_FALSE(FailPoints::Check("test/two").ok());
+  EXPECT_OK(FailPoints::Check("test/two"));
+  // test/three: three passes, then one failure.
+  EXPECT_OK(FailPoints::Check("test/three"));
+  EXPECT_OK(FailPoints::Check("test/three"));
+  EXPECT_OK(FailPoints::Check("test/three"));
+  EXPECT_FALSE(FailPoints::Check("test/three").ok());
+  EXPECT_OK(FailPoints::Check("test/three"));
+}
+
+TEST_F(FailPointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(FailPoints::ArmFromSpec("=1"));
+  EXPECT_FALSE(FailPoints::ArmFromSpec("test/bad=x"));
+  EXPECT_FALSE(FailPoints::ArmFromSpec("test/bad=1:y"));
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -10,6 +10,14 @@
 //                                        JSON on exit ("-" = stdout)
 //   fuzzydb_shell --metrics-prom=PATH    same, Prometheus text format
 //   fuzzydb_shell --slow-query-ms=N      log queries >= N ms (.slowlog)
+//   fuzzydb_shell --timeout-ms=N         per-query deadline (0 = none)
+//   fuzzydb_shell --memory-budget=N[kmg] per-query memory budget
+//
+// With -c, the exit code is non-zero when any statement failed. Ctrl-C
+// during an interactive query cancels that query (CANCELLED) instead of
+// killing the shell; a second Ctrl-C while idle exits.
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -40,6 +48,38 @@ bool WriteDump(const std::string& path, const std::string& text) {
   return true;
 }
 
+// Parses a byte size with an optional k/m/g suffix ("64m" = 64 MiB).
+// Returns false on malformed input.
+bool ParseByteSize(const std::string& text, uint64_t* bytes) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str()) return false;
+  uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': multiplier = 1ull << 10; break;
+      case 'm': case 'M': multiplier = 1ull << 20; break;
+      case 'g': case 'G': multiplier = 1ull << 30; break;
+      default: return false;
+    }
+    if (*(end + 1) != '\0') return false;
+  }
+  *bytes = static_cast<uint64_t>(v) * multiplier;
+  return true;
+}
+
+// SIGINT cancels the in-flight query cooperatively; when no query is
+// running, fall back to the default disposition (terminate) so Ctrl-C
+// at the prompt still exits.
+extern "C" void HandleInterrupt(int) {
+  if (!fuzzydb::Shell::CancelActiveQuery()) {
+    std::signal(SIGINT, SIG_DFL);
+    std::raise(SIGINT);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +95,8 @@ int main(int argc, char** argv) {
     const std::string kMetricsJsonFlag = "--metrics-json=";
     const std::string kMetricsPromFlag = "--metrics-prom=";
     const std::string kSlowFlag = "--slow-query-ms=";
+    const std::string kTimeoutFlag = "--timeout-ms=";
+    const std::string kBudgetFlag = "--memory-budget=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
     } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
@@ -63,6 +105,16 @@ int main(int argc, char** argv) {
       metrics_prom_path = arg.substr(kMetricsPromFlag.size());
     } else if (arg.rfind(kSlowFlag, 0) == 0) {
       shell.set_slow_query_ms(std::atof(arg.c_str() + kSlowFlag.size()));
+    } else if (arg.rfind(kTimeoutFlag, 0) == 0) {
+      shell.set_timeout_ms(std::atof(arg.c_str() + kTimeoutFlag.size()));
+    } else if (arg.rfind(kBudgetFlag, 0) == 0) {
+      uint64_t bytes = 0;
+      if (!ParseByteSize(arg.substr(kBudgetFlag.size()), &bytes)) {
+        std::cerr << "bad --memory-budget value (want N[k|m|g]): " << arg
+                  << "\n";
+        return 2;
+      }
+      shell.set_memory_budget(bytes);
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
     } else if (arg == "-c") {
@@ -75,11 +127,13 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: fuzzydb_shell [-c \"STMT;\"] [--quiet]\n"
                    "    [--trace-json=PATH] [--metrics-json=PATH|-]\n"
-                   "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n";
+                   "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n"
+                   "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n";
       return 2;
     }
   }
   shell.set_quiet(quiet);
+  std::signal(SIGINT, HandleInterrupt);
 
   if (have_command) {
     // Statements passed with -c run as a non-interactive session; a
@@ -93,6 +147,10 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
+  // -c is the scripting interface: surface statement failures in the
+  // exit code. Interactive/batch sessions keep exit 0 so a session that
+  // recovered from an error doesn't look failed.
+  if (have_command && shell.had_error()) exit_code = 1;
   if (!metrics_json_path.empty() &&
       !WriteDump(metrics_json_path,
                  fuzzydb::MetricsRegistry::Global().ToJson() + "\n")) {
