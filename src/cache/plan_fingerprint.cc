@@ -1,0 +1,141 @@
+#include "cache/plan_fingerprint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace fuzzydb {
+
+namespace {
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+/// Doubles are rendered as their IEEE-754 bit pattern: exact, locale-free,
+/// and collision-free for distinct values (including -0.0 vs 0.0).
+void AppendDouble(double v, std::string* out) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, bits);
+  *out += buf;
+}
+
+/// Strings are length-prefixed so "ab|c" cannot collide with "ab" "c".
+void AppendString(const std::string& s, std::string* out) {
+  AppendU64(s.size(), out);
+  *out += ':';
+  *out += s;
+}
+
+void AppendValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += 'N';
+  } else if (v.is_string()) {
+    *out += 'S';
+    AppendString(v.AsString(), out);
+  } else {
+    const Trapezoid& t = v.AsFuzzy();
+    *out += 'F';
+    AppendDouble(t.a(), out);
+    AppendDouble(t.b(), out);
+    AppendDouble(t.c(), out);
+    AppendDouble(t.d(), out);
+  }
+}
+
+void AppendColumn(const sql::BoundColumnRef& c, std::string* out) {
+  *out += 'c';
+  AppendU64(static_cast<uint64_t>(c.up), out);
+  *out += ',';
+  AppendU64(c.table, out);
+  *out += ',';
+  AppendU64(c.column, out);
+}
+
+void AppendOperand(const sql::BoundOperand& o, std::string* out) {
+  if (o.is_column) {
+    AppendColumn(o.column, out);
+  } else {
+    AppendValue(o.constant, out);
+  }
+}
+
+void AppendQuery(const sql::BoundQuery& q, bool include_threshold,
+                 std::vector<uint64_t>* deps, std::string* out) {
+  *out += "q{t[";
+  for (const sql::BoundTable& t : q.tables) {
+    const uint64_t id = t.relation == nullptr ? 0 : t.relation->id();
+    const uint64_t version =
+        t.relation == nullptr ? 0 : t.relation->version();
+    AppendU64(id, out);
+    *out += '@';
+    AppendU64(version, out);
+    *out += ';';
+    if (deps != nullptr && id != 0) deps->push_back(id);
+  }
+  *out += "]s[";
+  for (const sql::BoundSelectItem& s : q.select) {
+    AppendU64(static_cast<uint64_t>(s.agg), out);
+    AppendColumn(s.column, out);
+    *out += ';';
+  }
+  *out += "]p[";
+  for (const sql::BoundPredicate& p : q.predicates) {
+    AppendU64(static_cast<uint64_t>(p.kind), out);
+    *out += p.negated ? '!' : '.';
+    AppendU64(static_cast<uint64_t>(p.quantifier), out);
+    AppendU64(static_cast<uint64_t>(p.op), out);
+    AppendDouble(p.approx_tolerance, out);
+    AppendOperand(p.lhs, out);
+    if (p.subquery != nullptr) {
+      // Subquery thresholds are always part of the block's semantics.
+      AppendQuery(*p.subquery, /*include_threshold=*/true, deps, out);
+    } else {
+      AppendOperand(p.rhs, out);
+    }
+    *out += ';';
+  }
+  *out += "]g[";
+  for (const sql::BoundColumnRef& g : q.group_by) {
+    AppendColumn(g, out);
+    *out += ';';
+  }
+  *out += "]h[";
+  for (const sql::BoundHavingItem& h : q.having) {
+    AppendU64(static_cast<uint64_t>(h.agg), out);
+    AppendColumn(h.column, out);
+    AppendU64(static_cast<uint64_t>(h.op), out);
+    AppendValue(h.constant, out);
+    AppendDouble(h.approx_tolerance, out);
+    *out += ';';
+  }
+  *out += "]o[";
+  for (const sql::BoundOrderItem& o : q.order_by) {
+    *out += o.by_degree ? 'd' : 'v';
+    AppendU64(o.output_column, out);
+    *out += o.descending ? '-' : '+';
+    *out += ';';
+  }
+  *out += "]w[";
+  if (include_threshold && q.has_with) {
+    AppendDouble(q.with_threshold, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string PlanFingerprint(const sql::BoundQuery& query,
+                            bool include_threshold,
+                            std::vector<uint64_t>* deps) {
+  std::string out;
+  out.reserve(256);
+  AppendQuery(query, include_threshold, deps, &out);
+  return out;
+}
+
+}  // namespace fuzzydb

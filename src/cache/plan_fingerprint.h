@@ -1,0 +1,38 @@
+// Canonical fingerprints of bound query blocks.
+//
+// The inner-block result cache (cache_manager.h) keys on *semantics*, not
+// query text: two textually different queries over the same relations in
+// the same state must share a key, and any change to an input relation
+// must change the key. PlanFingerprint renders a BoundQuery into a
+// canonical string with those properties:
+//
+//  - relations appear as id@version, so a mutation anywhere under the
+//    plan (including in subqueries) changes the fingerprint;
+//  - numeric constants are rendered as exact IEEE-754 bit patterns, so
+//    0.1 and 0.1000000000000001 never collide;
+//  - the WITH threshold of the *outermost* block can be excluded
+//    (include_threshold = false) -- that is what enables
+//    theta-subsumption, where one cache entry serves every threshold
+//    above the one it was computed at. Subquery thresholds are always
+//    included: they change the block's semantics, not just its filter.
+#ifndef FUZZYDB_CACHE_PLAN_FINGERPRINT_H_
+#define FUZZYDB_CACHE_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/binder.h"
+
+namespace fuzzydb {
+
+/// Renders `query` canonically. When `deps` is non-null, the ids of every
+/// relation referenced anywhere in the plan (subqueries included) are
+/// appended, for CacheManager::InvalidateRelation bookkeeping.
+std::string PlanFingerprint(const sql::BoundQuery& query,
+                            bool include_threshold,
+                            std::vector<uint64_t>* deps = nullptr);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CACHE_PLAN_FINGERPRINT_H_

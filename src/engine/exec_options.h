@@ -8,6 +8,7 @@
 
 namespace fuzzydb {
 
+class CacheManager;
 class ExecTrace;
 class QueryContext;
 
@@ -49,6 +50,13 @@ struct ExecOptions {
   /// CANCELLED / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED status within
   /// one morsel/page of work. Null (the default) means ungoverned.
   QueryContext* context = nullptr;  // not owned
+
+  /// Cross-query cache (see cache/cache_manager.h). Null or a cache with
+  /// capacity 0 disables caching: every operator behaves exactly as if
+  /// this layer did not exist, metrics included. The cache is consulted
+  /// only from the coordinating thread, so cache stats are thread-count
+  /// invariant like everything else here.
+  CacheManager* cache = nullptr;  // not owned
 
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <optional>
 
+#include "cache/cache_manager.h"
+#include "cache/plan_fingerprint.h"
 #include "common/query_context.h"
 #include "engine/aggregate.h"
 #include "engine/join_order.h"
@@ -35,6 +37,19 @@ struct FT {
   double degree = 0.0;
 };
 
+/// True when the operator should consult the cross-query cache.
+bool CacheOn(const ParallelContext& ctx) {
+  return ctx.cache != nullptr && ctx.cache->enabled();
+}
+
+/// The QueryContext cache admission charges against. ParallelContext
+/// holds the context const (operators only poll it); the underlying
+/// object always comes from the non-const ExecOptions::context, so the
+/// cast is well-defined.
+QueryContext* CacheBudget(const ParallelContext& ctx) {
+  return const_cast<QueryContext*>(ctx.query);
+}
+
 /// Degree of tuple `t` against the local predicates of a single-table
 /// block (subquery and correlation predicates are skipped).
 double LocalDegree(const BoundQuery& block, const Tuple& t, CpuStats* cpu) {
@@ -62,6 +77,31 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   span.SetThreads(WorkerSlots(ctx));
   const std::vector<Tuple>& tuples = block.tables[0].relation->tuples();
   const size_t n = tuples.size();
+  // Cross-query reuse: the survivors depend only on the block plan and
+  // the relation contents, and the fingerprint pins both (relations
+  // appear as id@version). Cached filters replay as (index, degree)
+  // pairs against the live tuple vector, skipping every LocalDegree call.
+  std::string cache_key;
+  std::vector<uint64_t> cache_deps;
+  if (CacheOn(ctx)) {
+    cache_key = "filt|" + PlanFingerprint(block, /*include_threshold=*/true,
+                                          &cache_deps);
+    if (auto cached = ctx.cache->LookupFiltered(cache_key)) {
+      std::vector<FT> out;
+      out.reserve(cached->size());
+      for (const auto& [index, degree] : *cached) {
+        out.push_back(FT{&tuples[index], degree});
+      }
+      span.SetDetail(block.tables[0].relation->name() + " (cached)");
+      span.SetInputRows(n);
+      span.SetOutputRows(out.size());
+      if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+        m->filter_rows_in->Add(n);
+        m->filter_rows_out->Add(out.size());
+      }
+      return out;
+    }
+  }
   const size_t morsel = ctx.morsel_size == 0 ? 1 : ctx.morsel_size;
   std::vector<std::vector<FT>> per_morsel((n + morsel - 1) / morsel);
   std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
@@ -91,6 +131,17 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   }
   span.SetInputRows(n);
   span.SetOutputRows(out.size());
+  if (!cache_key.empty()) {
+    auto payload = std::make_shared<CacheManager::FilteredBlock>();
+    payload->reserve(out.size());
+    const Tuple* base = tuples.data();
+    for (const FT& ft : out) {
+      payload->emplace_back(static_cast<uint32_t>(ft.tuple - base),
+                            ft.degree);
+    }
+    ctx.cache->InsertFiltered(cache_key, std::move(payload),
+                              std::move(cache_deps), CacheBudget(ctx));
+  }
   return out;
 }
 
@@ -105,13 +156,50 @@ bool ColumnIsFuzzy(const std::vector<FT>& tuples, size_t col) {
 /// Sorts by the interval order (Definition 3.1) of fuzzy column `col`.
 /// Parallel per-run sorts + merge tree; order and comparison count are
 /// thread-count-invariant (see ParallelSort).
+///
+/// When `rel` (the relation the FT pointers reference) is given and the
+/// cache is on, the full-relation interval-order permutation of `col` is
+/// reused across queries: a hit reorders the survivors by one O(n + k)
+/// walk of the cached permutation with zero key comparisons; a miss over
+/// the *unfiltered* relation publishes the sorted order (a permutation is
+/// only derivable when every tuple survived). Tie order may differ
+/// between the cached and sorted paths, which is answer-neutral: every
+/// consumer folds degrees with max/min and final answers are
+/// duplicate-eliminated.
 void SortByIntervalOrder(std::vector<FT>* tuples, size_t col,
                          const ParallelContext& ctx, CpuStats* cpu,
-                         ExecTrace* trace) {
+                         ExecTrace* trace, const Relation* rel = nullptr) {
   TraceScope span(trace, "interval-sort", cpu, nullptr,
                   "col" + std::to_string(col));
   span.SetInputRows(tuples->size());
   span.SetThreads(WorkerSlots(ctx));
+  std::string cache_key;
+  if (rel != nullptr && CacheOn(ctx)) {
+    cache_key = "perm|" + std::to_string(rel->id()) + "@" +
+                std::to_string(rel->version()) + "|c" + std::to_string(col);
+    if (auto perm = ctx.cache->LookupPermutation(cache_key)) {
+      const Tuple* base = rel->tuples().data();
+      constexpr uint32_t kAbsent = std::numeric_limits<uint32_t>::max();
+      std::vector<uint32_t> slot_of(rel->tuples().size(), kAbsent);
+      for (size_t i = 0; i < tuples->size(); ++i) {
+        slot_of[static_cast<size_t>((*tuples)[i].tuple - base)] =
+            static_cast<uint32_t>(i);
+      }
+      std::vector<FT> ordered;
+      ordered.reserve(tuples->size());
+      for (uint32_t index : *perm) {
+        if (slot_of[index] != kAbsent) {
+          ordered.push_back((*tuples)[slot_of[index]]);
+        }
+      }
+      *tuples = std::move(ordered);
+      span.SetDetail("col" + std::to_string(col) + " (cached)");
+      if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+        m->sort_rows->Add(tuples->size());
+      }
+      return;
+    }
+  }
   uint64_t comparisons = 0;
   ParallelSort(ctx, tuples, cpu == nullptr ? nullptr : &comparisons,
                [col](uint64_t* count) {
@@ -124,6 +212,16 @@ void SortByIntervalOrder(std::vector<FT>* tuples, size_t col,
   if (cpu != nullptr) cpu->comparisons += comparisons;
   if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
     m->sort_rows->Add(tuples->size());
+  }
+  if (!cache_key.empty() && tuples->size() == rel->tuples().size()) {
+    auto perm = std::make_shared<CacheManager::Permutation>();
+    perm->reserve(tuples->size());
+    const Tuple* base = rel->tuples().data();
+    for (const FT& ft : *tuples) {
+      perm->push_back(static_cast<uint32_t>(ft.tuple - base));
+    }
+    ctx.cache->InsertPermutation(cache_key, std::move(perm), {rel->id()},
+                                 CacheBudget(ctx));
   }
 }
 
@@ -423,7 +521,8 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     }
     std::vector<FT> sorted_outer(outer.size());
     for (size_t i = 0; i < order.size(); ++i) sorted_outer[i] = outer[order[i]];
-    SortByIntervalOrder(&inner, inner_key, ctx, cpu, trace);
+    SortByIntervalOrder(&inner, inner_key, ctx, cpu, trace,
+                        shape.inner->tables[0].relation);
 
     // Each sorted position belongs to exactly one morsel and order[] is a
     // permutation, so concurrent workers write disjoint m[idx] slots.
@@ -504,9 +603,34 @@ Result<std::vector<double>> AggregateFamilyDegrees(
   std::vector<double> degrees(outer.size(), 0.0);
 
   if (shape.correlations.empty()) {
-    // Type A: the inner block is a constant scalar; evaluate it once.
-    NaiveEvaluator naive(cpu, trace, ctx.query);
-    FUZZYDB_ASSIGN_OR_RETURN(Relation t2, naive.Evaluate(*shape.inner));
+    // Type A: the inner block is a constant scalar; evaluate it once --
+    // and, being uncorrelated, it is the ideal inner-block cache entry:
+    // the same scalar serves every future query over the same relation
+    // version.
+    Relation t2;
+    std::string cache_key;
+    std::vector<uint64_t> cache_deps;
+    bool from_cache = false;
+    if (CacheOn(ctx)) {
+      cache_key = "ares|" + PlanFingerprint(*shape.inner,
+                                            /*include_threshold=*/true,
+                                            &cache_deps);
+      if (auto cached = ctx.cache->LookupResult(cache_key, 0.0)) {
+        t2 = *cached;
+        from_cache = true;
+        span.SetDetail(std::string("AGG ") + sql::AggFuncName(agg) +
+                       " (cached)");
+      }
+    }
+    if (!from_cache) {
+      NaiveEvaluator naive(cpu, trace, ctx.query);
+      FUZZYDB_ASSIGN_OR_RETURN(t2, naive.Evaluate(*shape.inner));
+      if (!cache_key.empty()) {
+        ctx.cache->InsertResult(cache_key, 0.0,
+                                std::make_shared<Relation>(t2),
+                                std::move(cache_deps), CacheBudget(ctx));
+      }
+    }
     for (size_t i = 0; i < outer.size(); ++i) {
       if (t2.Empty()) continue;
       if (cpu != nullptr) ++cpu->degree_evaluations;
@@ -569,7 +693,8 @@ Result<std::vector<double>> AggregateFamilyDegrees(
                 if (cpu != nullptr) ++cpu->comparisons;
                 return IntervalOrderLess(x.AsFuzzy(), y.AsFuzzy());
               });
-    SortByIntervalOrder(&inner, v_col, ctx, cpu, trace);
+    SortByIntervalOrder(&inner, v_col, ctx, cpu, trace,
+                        shape.inner->tables[0].relation);
     size_t window_start = 0;
     for (const Value& u : t1_sorted) {
       FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
@@ -918,7 +1043,8 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
             x.tuples[row_level]->ValueAt(row_col).AsFuzzy(),
             y.tuples[row_level]->ValueAt(row_col).AsFuzzy());
       });
-      SortByIntervalOrder(&incoming, new_col, ctx, cpu, trace);
+      SortByIntervalOrder(&incoming, new_col, ctx, cpu, trace,
+                          blocks[level]->tables[0].relation);
       size_t window_start = 0;
       for (const Row& row : rows) {
         FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
@@ -982,6 +1108,7 @@ UnnestingEvaluator::~UnnestingEvaluator() = default;
 ParallelContext UnnestingEvaluator::MakeContext() {
   ParallelContext ctx;
   ctx.query = options_.context;
+  ctx.cache = options_.cache;
   ctx.morsel_size = options_.morsel_size == 0 ? 1 : options_.morsel_size;
   const size_t threads = options_.ResolvedThreads();
   if (threads > 1) {
@@ -1058,6 +1185,28 @@ Result<Relation> UnnestingEvaluator::EvaluateTraced(
   last_was_unnested_ = true;
   TraceScope span(options_.trace, "evaluate", cpu_, nullptr,
                   QueryTypeName(last_type_));
+  // Whole-query result cache with theta-subsumption: the key excludes the
+  // WITH threshold, so one entry (stored at the threshold it was computed
+  // at) answers any repeat of the query at an equal or higher threshold
+  // by re-filtering. Filtering a deduplicated answer upward is exact:
+  // EliminateDuplicates keeps max degrees independently of the threshold,
+  // and ApplyThreshold preserves order, so the filtered copy is
+  // tuple-for-tuple what a fresh evaluation would produce.
+  std::string cache_key;
+  std::vector<uint64_t> cache_deps;
+  const double theta = query.has_with ? query.with_threshold : 0.0;
+  if (options_.cache != nullptr && options_.cache->enabled()) {
+    cache_key = "qres|" + PlanFingerprint(query, /*include_threshold=*/false,
+                                          &cache_deps);
+    if (auto cached = options_.cache->LookupResult(cache_key, theta)) {
+      Relation answer = *cached;
+      answer.ApplyThreshold(theta);
+      last_chain_order_.clear();
+      span.SetDetail(std::string(QueryTypeName(last_type_)) + " (cached)");
+      span.SetOutputRows(answer.NumTuples());
+      return answer;
+    }
+  }
   Result<Relation> result = EvaluateInType(query, last_type_);
   // Only kUnsupported falls back to the naive evaluator; governance
   // statuses (CANCELLED / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED) and
@@ -1072,6 +1221,14 @@ Result<Relation> UnnestingEvaluator::EvaluateTraced(
   if (result.ok()) {
     ApplyOrderBy(query.order_by, &result.value());
     span.SetOutputRows(result.value().NumTuples());
+    // Only unnested successes are cached: the fallback already has its
+    // own cost profile and re-classification is deterministic, so a
+    // future hit can only occur for a query this evaluator answered.
+    if (!cache_key.empty() && last_was_unnested_) {
+      options_.cache->InsertResult(cache_key, theta,
+                                   std::make_shared<Relation>(result.value()),
+                                   std::move(cache_deps), options_.context);
+    }
   }
   return result;
 }

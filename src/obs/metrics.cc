@@ -138,37 +138,54 @@ std::string MetricsRegistry::ToText() const {
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
-  std::ostringstream out;
+  // Render one block per series, then emit sorted by series name so the
+  // exposition is stable regardless of metric kind -- ToText/ToJson/
+  // sys.metrics sort via FoldSeries(); this surface must match so
+  // goldens and docs examples don't depend on registration order.
+  std::vector<std::pair<std::string, std::string>> blocks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, c] : counters_) {
-      out << "# TYPE " << name << " counter\n"
-          << name << " " << c->Value() << "\n";
+      std::ostringstream b;
+      b << "# TYPE " << name << " counter\n"
+        << name << " " << c->Value() << "\n";
+      blocks.emplace_back(name, b.str());
     }
     for (const auto& [name, g] : gauges_) {
-      out << "# TYPE " << name << " gauge\n"
-          << name << " " << g->Value() << "\n";
+      std::ostringstream b;
+      b << "# TYPE " << name << " gauge\n"
+        << name << " " << g->Value() << "\n";
+      blocks.emplace_back(name, b.str());
     }
     for (const auto& [name, t] : trackers_) {
-      out << "# TYPE " << name << "_bytes gauge\n"
-          << name << "_bytes " << t->Current() << "\n";
-      out << "# TYPE " << name << "_peak_bytes gauge\n"
-          << name << "_peak_bytes " << t->Peak() << "\n";
+      std::ostringstream b;
+      b << "# TYPE " << name << "_bytes gauge\n"
+        << name << "_bytes " << t->Current() << "\n";
+      blocks.emplace_back(name + "_bytes", b.str());
+      std::ostringstream p;
+      p << "# TYPE " << name << "_peak_bytes gauge\n"
+        << name << "_peak_bytes " << t->Peak() << "\n";
+      blocks.emplace_back(name + "_peak_bytes", p.str());
     }
     for (const auto& [name, h] : histograms_) {
       const HistogramSnapshot snap = h->Snapshot();
-      out << "# TYPE " << name << " summary\n";
-      out << name << "{quantile=\"0.5\"} "
-          << FormatValue(snap.Quantile(0.5)) << "\n";
-      out << name << "{quantile=\"0.9\"} "
-          << FormatValue(snap.Quantile(0.9)) << "\n";
-      out << name << "{quantile=\"0.99\"} "
-          << FormatValue(snap.Quantile(0.99)) << "\n";
-      out << name << "_sum " << snap.sum << "\n";
-      out << name << "_count " << snap.total_count << "\n";
-      out << name << "_max " << snap.max << "\n";
+      std::ostringstream b;
+      b << "# TYPE " << name << " summary\n";
+      b << name << "{quantile=\"0.5\"} "
+        << FormatValue(snap.Quantile(0.5)) << "\n";
+      b << name << "{quantile=\"0.9\"} "
+        << FormatValue(snap.Quantile(0.9)) << "\n";
+      b << name << "{quantile=\"0.99\"} "
+        << FormatValue(snap.Quantile(0.99)) << "\n";
+      b << name << "_sum " << snap.sum << "\n";
+      b << name << "_count " << snap.total_count << "\n";
+      b << name << "_max " << snap.max << "\n";
+      blocks.emplace_back(name, b.str());
     }
   }
+  std::sort(blocks.begin(), blocks.end());
+  std::ostringstream out;
+  for (const auto& [name, text] : blocks) out << text;
   return out.str();
 }
 
@@ -243,6 +260,11 @@ EngineMetrics* EngineMetrics::Instance() {
         reg.GetHistogram("fuzzydb_morsel_queue_wait_us");
     m->sort_stage_us = reg.GetHistogram("fuzzydb_sort_stage_us");
     m->join_stage_us = reg.GetHistogram("fuzzydb_join_stage_us");
+    m->cache_hits = reg.GetCounter("fuzzydb_cache_hits_total");
+    m->cache_misses = reg.GetCounter("fuzzydb_cache_misses_total");
+    m->cache_inserts = reg.GetCounter("fuzzydb_cache_inserts_total");
+    m->cache_evictions = reg.GetCounter("fuzzydb_cache_evictions_total");
+    m->cache_bytes = reg.GetGauge("fuzzydb_cache_bytes");
     return m;
   }();
   return metrics;

@@ -235,6 +235,14 @@ struct EngineMetrics {
   Histogram* sort_stage_us;
   Histogram* join_stage_us;
 
+  // Cross-query cache (src/cache/cache_manager.h): lookup outcomes,
+  // entries admitted, entries evicted, and the current resident bytes.
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* cache_inserts;
+  Counter* cache_evictions;
+  Gauge* cache_bytes;
+
   // Null when MetricsRegistry::Global() is disabled.
   static EngineMetrics* IfEnabled();
   // Always non-null; for tests and renderers that bypass the tap.

@@ -24,6 +24,8 @@
 
 namespace fuzzydb {
 
+class CacheManager;
+
 /// How an operator should parallelize: the pool to run on (null = run on
 /// the calling thread) and the morsel granularity.
 struct ParallelContext {
@@ -35,6 +37,12 @@ struct ParallelContext {
   /// morsel in hand and stop pulling, bounding the latency of a stop
   /// request to one morsel. Null means ungoverned (run to completion).
   const QueryContext* query = nullptr;  // not owned
+
+  /// Cross-query cache consulted by the evaluator's operators (see
+  /// cache/cache_manager.h). Null or capacity 0 means no caching; always
+  /// consulted from the coordinating thread only, so cache stats stay
+  /// thread-count invariant.
+  CacheManager* cache = nullptr;  // not owned
 };
 
 /// Number of distinct worker slots a ParallelFor body may observe; size

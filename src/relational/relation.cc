@@ -1,11 +1,17 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 
 #include "common/string_util.h"
 
 namespace fuzzydb {
+
+uint64_t Relation::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -32,6 +38,7 @@ Status Relation::Append(Tuple tuple) {
   }
   if (tuple.degree() <= 0.0) return Status::OK();
   tuples_.push_back(std::move(tuple));
+  ++version_;
   return Status::OK();
 }
 
@@ -40,6 +47,7 @@ Status Relation::AppendOrMax(Tuple tuple) {
   for (Tuple& existing : tuples_) {
     if (existing.SameValues(tuple)) {
       existing.set_degree(std::max(existing.degree(), tuple.degree()));
+      ++version_;
       return Status::OK();
     }
   }
@@ -60,6 +68,7 @@ void Relation::EliminateDuplicates(double min_degree) {
       tuples_.push_back(std::move(copy));
     }
   }
+  ++version_;
 }
 
 void Relation::ApplyThreshold(double min_degree) {
@@ -68,11 +77,13 @@ void Relation::ApplyThreshold(double min_degree) {
                                  return t.degree() < min_degree;
                                }),
                 tuples_.end());
+  ++version_;
 }
 
 void Relation::Sort(
     const std::function<bool(const Tuple&, const Tuple&)>& less) {
   std::stable_sort(tuples_.begin(), tuples_.end(), less);
+  ++version_;
 }
 
 bool Relation::EquivalentTo(const Relation& other, double tolerance) const {

@@ -7,6 +7,7 @@
 #ifndef FUZZYDB_RELATIONAL_RELATION_H_
 #define FUZZYDB_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,21 +19,83 @@
 namespace fuzzydb {
 
 /// A named, in-memory fuzzy relation.
+///
+/// Every relation object carries a process-unique `id` and a monotonically
+/// increasing `version`. The pair identifies the *contents* of a relation
+/// at a point in time: every mutation (Append, duplicate elimination,
+/// threshold, sort, handing out mutable_tuples()) bumps the version, and a
+/// copied relation gets a fresh id. The cross-query caches (src/cache/)
+/// key cached artifacts by (id, version), so a cached entry can never be
+/// served after its source relation changed -- invalidation-on-write is
+/// structural, not advisory.
 class Relation {
  public:
-  Relation() = default;
+  Relation() : id_(NextId()) {}
   Relation(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)), schema_(std::move(schema)), id_(NextId()) {}
+
+  /// Copies get a fresh identity: the copy is a distinct object whose
+  /// future mutations must not collide with cache entries keyed to the
+  /// source. Moves transfer the identity (same contents, same object).
+  Relation(const Relation& other)
+      : name_(other.name_),
+        schema_(other.schema_),
+        tuples_(other.tuples_),
+        id_(NextId()) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      schema_ = other.schema_;
+      tuples_ = other.tuples_;
+      id_ = NextId();
+      version_ = 0;
+    }
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : name_(std::move(other.name_)),
+        schema_(std::move(other.schema_)),
+        tuples_(std::move(other.tuples_)),
+        id_(other.id_),
+        version_(other.version_) {
+    // The moved-from shell must not keep the identity: if it were mutated
+    // afterwards it could reach the same (id, version) as this object
+    // while holding different contents.
+    other.id_ = NextId();
+    other.version_ = 0;
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      schema_ = std::move(other.schema_);
+      tuples_ = std::move(other.tuples_);
+      id_ = other.id_;
+      version_ = other.version_;
+      other.id_ = NextId();
+      other.version_ = 0;
+    }
+    return *this;
+  }
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
 
+  /// Process-unique identity of this relation object (fresh per copy).
+  uint64_t id() const { return id_; }
+  /// Bumped on every mutation; (id, version) identifies the contents.
+  uint64_t version() const { return version_; }
+
   size_t NumTuples() const { return tuples_.size(); }
   bool Empty() const { return tuples_.empty(); }
   const Tuple& TupleAt(size_t i) const { return tuples_[i]; }
   const std::vector<Tuple>& tuples() const { return tuples_; }
-  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() {
+    // Conservative: the caller may mutate through the reference, so any
+    // cached artifact derived from the old contents must stop matching.
+    ++version_;
+    return tuples_;
+  }
 
   /// Appends a tuple. Tuples with degree <= 0 are not members of a fuzzy
   /// relation and are silently dropped. Fails when the arity mismatches.
@@ -62,9 +125,14 @@ class Relation {
   std::string ToString(size_t max_rows = 50) const;
 
  private:
+  /// Hands out process-unique relation ids (thread-safe).
+  static uint64_t NextId();
+
   std::string name_;
   Schema schema_;
   std::vector<Tuple> tuples_;
+  uint64_t id_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace fuzzydb

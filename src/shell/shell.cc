@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "cache/cache_manager.h"
 #include "common/query_context.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -130,6 +131,7 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
            "  DEFINE TERM \"name\" AS TRAP(a,b,c,d);\n"
            "  DROP TABLE name;\n"
            "  SHOW METRICS [RESET];  (also queryable as sys.metrics)\n"
+           "  CACHE CLEAR;  (drop cache entries; contents: sys.cache)\n"
            "commands:\n"
            "  .tables .schema <t> .terms .explain on|off\n"
            "  .engine naive|unnested .slowlog .save <dir> .open <dir>\n"
@@ -225,6 +227,9 @@ void Shell::RefreshSystemRelations(const std::string& statement_text) {
   if (lowered.find("sys.metrics") != std::string::npos) {
     catalog_.PutRelation(MetricsRegistry::Global().ToRelation());
   }
+  if (lowered.find("sys.cache") != std::string::npos) {
+    catalog_.PutRelation(CacheManager::Global().ToRelation());
+  }
 }
 
 void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
@@ -245,6 +250,11 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         SlowQueryLog::Global().Clear();
         out << "-- metrics reset\n";
       }
+      return;
+    }
+    case sql::Statement::Kind::kCacheClear: {
+      CacheManager::Global().Clear();
+      out << "-- cache cleared\n";
       return;
     }
     case sql::Statement::Kind::kExplain: {
@@ -273,6 +283,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
         options.context = &qctx;
+        options.cache = &CacheManager::Global();
         UnnestingEvaluator engine(options, &cpu);
         answer = engine.Evaluate(**bound);
       }
@@ -319,6 +330,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
         options.context = &qctx;
+        options.cache = &CacheManager::Global();
         UnnestingEvaluator engine(options);
         answer = engine.Evaluate(**bound);
         unnested = engine.last_was_unnested();
@@ -372,6 +384,11 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       const Status status = (*relation)->Append(
           Tuple(std::move(values), statement.insert.degree));
       if (!status.ok()) had_error_ = true;
+      // Version bumping already makes stale cache keys unreachable; the
+      // explicit invalidation reclaims their memory immediately.
+      if (status.ok()) {
+        CacheManager::Global().InvalidateRelation((*relation)->id());
+      }
       out << (status.ok() ? "inserted 1 tuple" : status.ToString()) << "\n";
       return;
     }
@@ -386,6 +403,10 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         had_error_ = true;
         out << "no relation named '" << statement.drop_table.name << "'\n";
         return;
+      }
+      if (auto dropped = catalog_.GetRelation(statement.drop_table.name);
+          dropped.ok()) {
+        CacheManager::Global().InvalidateRelation((*dropped)->id());
       }
       catalog_.DropRelation(statement.drop_table.name);
       out << "dropped " << statement.drop_table.name << "\n";

@@ -69,8 +69,14 @@ class Parser {
       FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("metrics"));
       statement.kind = Statement::Kind::kShowMetrics;
       statement.metrics_reset = MatchKeyword("reset");
+    } else if (MatchKeyword("cache")) {
+      // CACHE is contextual like SHOW: only a keyword at statement
+      // position.
+      FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("clear"));
+      statement.kind = Statement::Kind::kCacheClear;
     } else {
-      return Error("expected SELECT, CREATE, INSERT, DEFINE, DROP, or SHOW");
+      return Error(
+          "expected SELECT, CREATE, INSERT, DEFINE, DROP, SHOW, or CACHE");
     }
     if (Peek().type != TokenType::kEnd) {
       return Error("trailing input after statement");

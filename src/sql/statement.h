@@ -8,6 +8,7 @@
 //   DEFINE TERM "name" AS TRAP(a,b,c,d)          (or ABOUT(v, spread))
 //   DROP TABLE name
 //   SHOW METRICS [RESET]                         metrics registry dump
+//   CACHE CLEAR                                  drop all cache entries
 //
 // INSERT values are literals: numbers, 'strings', "linguistic terms"
 // (resolved against the catalog at execution time), TRAP(a,b,c,d),
@@ -56,7 +57,8 @@ struct Statement {
     kInsert,
     kDefineTerm,
     kDropTable,
-    kShowMetrics  // SHOW METRICS [RESET]
+    kShowMetrics,  // SHOW METRICS [RESET]
+    kCacheClear    // CACHE CLEAR
   };
   Kind kind = Kind::kSelect;
   bool analyze = false;  // kExplain only: EXPLAIN ANALYZE executes

@@ -1,10 +1,51 @@
 #include "storage/file_manager.h"
 
 #include <cstdio>
+#include <map>
+#include <mutex>
 
 #include "common/failpoint.h"
 
 namespace fuzzydb {
+
+namespace {
+
+/// Process-wide write-version registry: path -> LSN of the last write.
+/// Guarded by a mutex; page I/O is fwrite-dominated, so the lock is noise.
+struct VersionRegistry {
+  std::mutex mu;
+  uint64_t next_lsn = 1;
+  std::map<std::string, uint64_t> by_path;
+
+  static VersionRegistry& Instance() {
+    static VersionRegistry* r = new VersionRegistry();
+    return *r;
+  }
+
+  uint64_t Stamp(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    return by_path[path] = next_lsn++;
+  }
+
+  uint64_t Lookup(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = by_path.find(path);
+    return it == by_path.end() ? 0 : it->second;
+  }
+
+  uint64_t OpenVersion(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = by_path.emplace(path, 0);
+    if (inserted) it->second = next_lsn++;
+    return it->second;
+  }
+};
+
+}  // namespace
+
+uint64_t PageFile::PathVersion(const std::string& path) {
+  return VersionRegistry::Instance().Lookup(path);
+}
 
 Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path) {
   FUZZYDB_RETURN_IF_ERROR(FailPoints::Check("storage/file-create"));
@@ -12,7 +53,10 @@ Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path) {
   if (f == nullptr) {
     return Status::IoError("cannot create file '" + path + "'");
   }
-  return std::unique_ptr<PageFile>(new PageFile(path, f, 0));
+  // Truncating is a write: any cached artifact derived from a previous
+  // file at this path must stop matching.
+  const uint64_t version = VersionRegistry::Instance().Stamp(path);
+  return std::unique_ptr<PageFile>(new PageFile(path, f, 0, version));
 }
 
 Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
@@ -30,8 +74,9 @@ Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
     std::fclose(f);
     return Status::IoError("file '" + path + "' is not page-aligned");
   }
-  return std::unique_ptr<PageFile>(
-      new PageFile(path, f, static_cast<PageId>(size / kPageSize)));
+  const uint64_t version = VersionRegistry::Instance().OpenVersion(path);
+  return std::unique_ptr<PageFile>(new PageFile(
+      path, f, static_cast<PageId>(size / kPageSize), version));
 }
 
 PageFile::~PageFile() {
@@ -62,6 +107,7 @@ Status PageFile::WritePage(PageId id, const Page& page) {
     return Status::IoError("write failed on '" + path_ + "'");
   }
   if (id == num_pages_) ++num_pages_;
+  version_ = VersionRegistry::Instance().Stamp(path_);
   return Status::OK();
 }
 

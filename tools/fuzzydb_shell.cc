@@ -12,6 +12,8 @@
 //   fuzzydb_shell --slow-query-ms=N      log queries >= N ms (.slowlog)
 //   fuzzydb_shell --timeout-ms=N         per-query deadline (0 = none)
 //   fuzzydb_shell --memory-budget=N[kmg] per-query memory budget
+//   fuzzydb_shell --cache-mb=N           cross-query cache capacity in
+//                                        MiB (0 = off, the default)
 //
 // With -c, the exit code is non-zero when any statement failed. Ctrl-C
 // during an interactive query cancels that query (CANCELLED) instead of
@@ -27,6 +29,7 @@
 
 #include <unistd.h>
 
+#include "cache/cache_manager.h"
 #include "obs/metrics.h"
 #include "shell/shell.h"
 
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
     const std::string kSlowFlag = "--slow-query-ms=";
     const std::string kTimeoutFlag = "--timeout-ms=";
     const std::string kBudgetFlag = "--memory-budget=";
+    const std::string kCacheFlag = "--cache-mb=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
     } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
@@ -115,6 +119,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       shell.set_memory_budget(bytes);
+    } else if (arg.rfind(kCacheFlag, 0) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long mb =
+          std::strtoull(arg.c_str() + kCacheFlag.size(), &end, 10);
+      if (errno != 0 || end == arg.c_str() + kCacheFlag.size() ||
+          *end != '\0') {
+        std::cerr << "bad --cache-mb value (want a number of MiB): " << arg
+                  << "\n";
+        return 2;
+      }
+      fuzzydb::CacheManager::Global().set_capacity_bytes(
+          static_cast<uint64_t>(mb) << 20);
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
     } else if (arg == "-c") {
@@ -128,7 +145,8 @@ int main(int argc, char** argv) {
       std::cerr << "usage: fuzzydb_shell [-c \"STMT;\"] [--quiet]\n"
                    "    [--trace-json=PATH] [--metrics-json=PATH|-]\n"
                    "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n"
-                   "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n";
+                   "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n"
+                   "    [--cache-mb=N]\n";
       return 2;
     }
   }
