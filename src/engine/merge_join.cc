@@ -1,9 +1,15 @@
 #include "engine/merge_join.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "common/query_context.h"
+#include "fuzzy/degree_batch.h"
+#include "fuzzy/trapezoid_batch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -28,12 +34,98 @@ double PairDegree(const Tuple& r, const Tuple& s, const FuzzyJoinSpec& spec,
   return d;
 }
 
+/// Scratch for the batched window evaluation (docs/architecture.md,
+/// "Batch execution"): one window chunk's tuples, operand lanes, and
+/// degree lanes. Heap-allocated once per join, reused across windows.
+struct JoinScratch {
+  std::array<const Tuple*, TrapezoidBatch::kCapacity> window;
+  TrapezoidBatch operand;
+  std::array<double, TrapezoidBatch::kCapacity> degree;
+  std::array<double, TrapezoidBatch::kCapacity> result;
+  std::array<uint32_t, TrapezoidBatch::kCapacity> active;
+  uint64_t batches = 0;  // kernel invocations (span/metric annotation)
+  uint64_t rows = 0;     // lanes those invocations evaluated
+};
+
+/// Evaluates one window chunk of `count` inner tuples against `r`,
+/// leaving the combined degrees in js->degree. Mirrors PairDegree's
+/// min-fold and early exits lane for lane (a lane joins a stage only
+/// while its degree is > 0, and degree_evaluations advances once per
+/// participating lane), so CpuStats match the scalar path exactly.
+void JoinChunkDegrees(const Tuple& r, size_t count,
+                      const FuzzyJoinSpec& spec, JoinScratch* js,
+                      CpuStats* cpu, Histogram* fill_hist) {
+  double* deg = js->degree.data();
+  double* res = js->result.data();
+  uint32_t* active = js->active.data();
+  const Tuple* const* window = js->window.data();
+  const double r_degree = r.degree();
+  for (size_t k = 0; k < count; ++k) {
+    deg[k] = std::min(r_degree, window[k]->degree());
+  }
+
+  // The key stage, then each residual: identical structure, so one
+  // lambda runs them all. `outer` is r's operand (the same value for
+  // every lane); a non-fuzzy value on either side drops the whole
+  // stage to the per-lane scalar fallback with the same counting.
+  auto run_stage = [&](const Value& outer, CompareOp op, size_t inner_col) {
+    size_t live = 0;
+    for (size_t k = 0; k < count; ++k) {
+      active[live] = static_cast<uint32_t>(k);
+      live += static_cast<size_t>(deg[k] > 0.0);
+    }
+    if (live == 0) return false;  // every lane exited: skip later stages
+    bool batched = outer.is_fuzzy();
+    if (batched) {
+      js->operand.Clear();
+      for (size_t j = 0; j < live; ++j) {
+        const Value& v = window[active[j]]->ValueAt(inner_col);
+        if (!v.is_fuzzy()) {
+          batched = false;
+          break;
+        }
+        js->operand.PushBack(v.AsFuzzy());
+      }
+    }
+    if (batched) {
+      BatchSatisfactionDegree(outer.AsFuzzy(), op, js->operand,
+                              /*approx_tolerance=*/1.0, res);
+      if (cpu != nullptr) cpu->degree_evaluations += live;
+      ++js->batches;
+      js->rows += live;
+      if (fill_hist != nullptr) fill_hist->Record(live);
+      for (size_t j = 0; j < live; ++j) {
+        const size_t k = active[j];
+        deg[k] = std::min(deg[k], res[j]);
+      }
+    } else {
+      for (size_t j = 0; j < live; ++j) {
+        const size_t k = active[j];
+        if (cpu != nullptr) ++cpu->degree_evaluations;
+        deg[k] = std::min(
+            deg[k], outer.Compare(op, window[k]->ValueAt(inner_col)));
+      }
+    }
+    return true;
+  };
+
+  if (!run_stage(r.ValueAt(spec.outer_key), spec.key_op, spec.inner_key)) {
+    return;
+  }
+  for (const auto& residual : spec.residuals) {
+    if (!run_stage(r.ValueAt(residual.outer_col), residual.op,
+                   residual.inner_col)) {
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                      BufferPool* pool, const FuzzyJoinSpec& spec,
                      CpuStats* cpu, const JoinEmit& emit, ExecTrace* trace,
-                     QueryContext* query) {
+                     QueryContext* query, size_t batch_size) {
   TraceScope span(trace, "merge-join", cpu,
                   pool == nullptr ? nullptr : &pool->stats());
   uint64_t outer_rows = 0;
@@ -41,6 +133,10 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
   EngineMetrics* metrics = EngineMetrics::IfEnabled();
   Histogram* window_hist =
       metrics == nullptr ? nullptr : metrics->merge_window_length;
+  Histogram* fill_hist = metrics == nullptr ? nullptr : metrics->batch_fill;
+  const size_t batch = std::min(batch_size, TrapezoidBatch::kCapacity);
+  std::unique_ptr<JoinScratch> scratch;
+  if (batch > 0) scratch = std::make_unique<JoinScratch>();
   HeapFileScanner outer_scan(sorted_outer, pool);
   HeapFileScanner inner_scan(sorted_inner, pool);
 
@@ -125,6 +221,28 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
 
     // Join r against its window Rng(r).
     if (window_hist != nullptr) window_hist->Record(window.size());
+    if (batch > 0) {
+      // Batch path: evaluate the window in chunks, then emit the
+      // surviving pairs in window order -- the same pairs, degrees and
+      // counters as the scalar loop below.
+      auto it = window.begin();
+      size_t remaining = window.size();
+      while (remaining > 0) {
+        const size_t count = std::min(batch, remaining);
+        for (size_t k = 0; k < count; ++k) scratch->window[k] = &*it++;
+        remaining -= count;
+        if (cpu != nullptr) cpu->tuple_pairs += count;
+        JoinChunkDegrees(r, count, spec, scratch.get(), cpu, fill_hist);
+        for (size_t k = 0; k < count; ++k) {
+          const double d = scratch->degree[k];
+          if (d > 0.0 && d >= spec.threshold) {
+            ++emitted;
+            FUZZYDB_RETURN_IF_ERROR(emit(r, *scratch->window[k], d));
+          }
+        }
+      }
+      continue;
+    }
     for (const Tuple& s : window) {
       if (cpu != nullptr) ++cpu->tuple_pairs;
       const double d = PairDegree(r, s, spec, cpu);
@@ -137,6 +255,13 @@ Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
   if (metrics != nullptr) {
     metrics->merge_join_rows_in->Add(outer_rows);
     metrics->merge_join_rows_out->Add(emitted);
+    if (scratch != nullptr && scratch->batches > 0) {
+      metrics->batch_batches->Add(scratch->batches);
+      metrics->batch_rows->Add(scratch->rows);
+    }
+  }
+  if (scratch != nullptr && scratch->batches > 0) {
+    span.SetBatches(scratch->batches, scratch->rows);
   }
   span.SetInputRows(outer_rows);
   span.SetOutputRows(emitted);

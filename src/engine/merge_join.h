@@ -58,11 +58,17 @@ using JoinEmit =
 /// records a "merge-join" span (counter deltas, scanned/emitted rows).
 /// With `query` set, cancellation/deadline are polled once per outer
 /// tuple and the in-memory window is charged against the memory budget.
+///
+/// `batch_size` chunks each outer tuple's window for the batch
+/// satisfaction-degree kernels (ExecOptions::batch_size; 0 = the scalar
+/// pair-at-a-time path). Emitted pairs, degrees and CpuStats are
+/// identical for every setting.
 Status FileMergeJoin(PageFile* sorted_outer, PageFile* sorted_inner,
                      BufferPool* pool, const FuzzyJoinSpec& spec,
                      CpuStats* cpu, const JoinEmit& emit,
                      ExecTrace* trace = nullptr,
-                     QueryContext* query = nullptr);
+                     QueryContext* query = nullptr,
+                     size_t batch_size = 1024);
 
 }  // namespace fuzzydb
 

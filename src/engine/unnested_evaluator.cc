@@ -7,6 +7,9 @@
 #include <numeric>
 #include <optional>
 
+#include <array>
+#include <memory>
+
 #include "cache/cache_manager.h"
 #include "cache/plan_fingerprint.h"
 #include "common/query_context.h"
@@ -15,11 +18,14 @@
 #include "engine/naive_evaluator.h"
 #include "engine/semantics.h"
 #include "common/stopwatch.h"
+#include "fuzzy/degree_batch.h"
 #include "fuzzy/interval_order.h"
+#include "fuzzy/trapezoid_batch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "relational/column_gather.h"
 
 namespace fuzzydb {
 
@@ -64,6 +70,218 @@ double LocalDegree(const BoundQuery& block, const Tuple& t, CpuStats* cpu) {
   return d;
 }
 
+// ---------------------------------------------------------------------
+// Batch execution (docs/architecture.md, "Batch execution").
+//
+// The filter stage and the merge-window emit path gather their fuzzy
+// operands into TrapezoidBatch SoA batches and evaluate whole batches
+// through the kernels of fuzzy/degree_batch.h. The batch and scalar
+// paths share one copy of the degree arithmetic
+// (fuzzy/degree_kernels.h) and replicate each other's early-exit
+// counting lane for lane, so results, CpuStats and trace counters are
+// identical for every ExecOptions::batch_size -- only wall time
+// changes. Batches are cut inside morsels and never span one, so the
+// batch decomposition, like the morsel decomposition, is independent
+// of thread count.
+// ---------------------------------------------------------------------
+
+/// Lanes per batch: the knob clamped to the SoA capacity; 0 = scalar.
+size_t EffectiveBatchSize(const ParallelContext& ctx) {
+  return std::min(ctx.batch_size, TrapezoidBatch::kCapacity);
+}
+
+/// Per-worker batch-path usage, summed at the barrier (sums are
+/// permutation-invariant, so the totals are thread-count-invariant).
+struct BatchTally {
+  uint64_t batches = 0;  // batch-kernel invocations
+  uint64_t rows = 0;     // lanes those invocations evaluated
+};
+
+/// Sums the per-worker tallies into the span annotation and the
+/// fuzzydb_batch_* counters. Spans with zero batches stay unannotated
+/// (scalar runs and batch runs without batchable work look identical).
+void PublishBatchTally(const std::vector<BatchTally>& tallies,
+                       TraceScope* span) {
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  for (const BatchTally& t : tallies) {
+    batches += t.batches;
+    rows += t.rows;
+  }
+  if (batches == 0) return;
+  span->SetBatches(batches, rows);
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->batch_batches->Add(batches);
+    m->batch_rows->Add(rows);
+  }
+}
+
+/// One side of a predicate resolved for batch evaluation: a column of
+/// the local (innermost) frame, a column of the enclosing frame
+/// (correlation predicates only), or a fuzzy constant. Mirrors the
+/// frame shapes OperandValue resolves on the batched paths.
+struct BatchOperand {
+  enum class Kind { kLocalColumn, kOuterColumn, kConstant };
+  Kind kind = Kind::kConstant;
+  size_t column = 0;
+  const Trapezoid* constant = nullptr;  // into the plan's BoundOperand
+
+  bool is_column() const { return kind != Kind::kConstant; }
+};
+
+/// Resolves `op`, or nullopt when the operand forces the scalar
+/// fallback (a disallowed outer reference, a multi-table frame, or a
+/// non-fuzzy constant).
+std::optional<BatchOperand> ResolveBatchOperand(const BoundOperand& op,
+                                                bool allow_outer) {
+  BatchOperand out;
+  if (op.is_column) {
+    if (op.column.table != 0) return std::nullopt;
+    if (op.column.up == 0) {
+      out.kind = BatchOperand::Kind::kLocalColumn;
+    } else if (op.column.up == 1 && allow_outer) {
+      out.kind = BatchOperand::Kind::kOuterColumn;
+    } else {
+      return std::nullopt;
+    }
+    out.column = op.column.column;
+    return out;
+  }
+  if (!op.constant.is_fuzzy()) return std::nullopt;
+  out.kind = BatchOperand::Kind::kConstant;
+  out.constant = &op.constant.AsFuzzy();
+  return out;
+}
+
+/// A gathered operand, ready for a kernel call: either a batch of
+/// column lanes or a single scalar constant (exactly one is set;
+/// constants stay scalar so nothing is splatted).
+struct GatheredOperand {
+  const TrapezoidBatch* batch = nullptr;
+  const Trapezoid* scalar = nullptr;
+};
+
+/// One batch-kernel invocation over the gathered operand shapes.
+void RunBatchCompare(const GatheredOperand& lhs, CompareOp op,
+                     const GatheredOperand& rhs, double tolerance,
+                     double* out) {
+  if (lhs.batch != nullptr && rhs.batch != nullptr) {
+    BatchSatisfactionDegree(*lhs.batch, op, *rhs.batch, tolerance, out);
+  } else if (lhs.batch != nullptr) {
+    BatchSatisfactionDegree(*lhs.batch, op, *rhs.scalar, tolerance, out);
+  } else {
+    BatchSatisfactionDegree(*lhs.scalar, op, *rhs.batch, tolerance, out);
+  }
+}
+
+/// A predicate with its operands resolved once per operator. A plan
+/// that is not batchable (an unresolved operand, or two constants)
+/// runs its lanes through the per-tuple ComparisonDegree fallback.
+struct BatchPredPlan {
+  const BoundPredicate* pred = nullptr;
+  std::optional<BatchOperand> lhs;
+  std::optional<BatchOperand> rhs;
+
+  bool batchable() const {
+    return lhs.has_value() && rhs.has_value() &&
+           (lhs->is_column() || rhs->is_column());
+  }
+};
+
+/// Reusable per-worker scratch for the batched filter: two operand
+/// batches plus degree/result/selection lanes (~90 KiB, heap-allocated
+/// once per worker and reused across chunks).
+struct FilterScratch {
+  TrapezoidBatch lhs;
+  TrapezoidBatch rhs;
+  std::array<double, TrapezoidBatch::kCapacity> degree;
+  std::array<double, TrapezoidBatch::kCapacity> result;
+  std::array<uint32_t, TrapezoidBatch::kCapacity> active;
+};
+
+/// Gathers one filter operand for the chunk's active lanes. The dense
+/// first-predicate case (every lane active) takes the contiguous
+/// column gather; later predicates gather through the selection.
+/// Returns false when a lane is non-fuzzy (scalar fallback).
+bool GatherFilterOperand(const BatchOperand& op, const Tuple* tuples,
+                         size_t count, const uint32_t* active, size_t live,
+                         TrapezoidBatch* storage, GatheredOperand* out) {
+  if (!op.is_column()) {
+    out->scalar = op.constant;
+    out->batch = nullptr;
+    return true;
+  }
+  // kLocalColumn -- the filter frame has no enclosing frame.
+  if (live == count) {
+    if (!GatherFuzzyColumn(tuples, count, op.column, storage)) return false;
+  } else {
+    storage->Clear();
+    for (size_t j = 0; j < live; ++j) {
+      const Value& v = tuples[active[j]].ValueAt(op.column);
+      if (!v.is_fuzzy()) return false;
+      storage->PushBack(v.AsFuzzy());
+    }
+  }
+  out->batch = storage;
+  out->scalar = nullptr;
+  return true;
+}
+
+/// Evaluates one chunk of `count` tuples of the filter's scan range
+/// batch-at-a-time, appending survivors (in scan order) to *out.
+/// Replicates LocalDegree's min-fold and early exit lane-wise: a lane
+/// participates in a predicate only while its degree is still > 0, so
+/// degree_evaluations matches the scalar path exactly.
+void FilterChunkBatched(const std::vector<BatchPredPlan>& plans,
+                        const Tuple* tuples, size_t count,
+                        FilterScratch* scratch, CpuStats* slot,
+                        BatchTally* tally, Histogram* fill_hist,
+                        std::vector<FT>* out) {
+  double* deg = scratch->degree.data();
+  double* res = scratch->result.data();
+  uint32_t* active = scratch->active.data();
+  for (size_t k = 0; k < count; ++k) deg[k] = tuples[k].degree();
+  for (const BatchPredPlan& plan : plans) {
+    size_t live = 0;
+    for (size_t k = 0; k < count; ++k) {
+      active[live] = static_cast<uint32_t>(k);
+      live += static_cast<size_t>(deg[k] > 0.0);
+    }
+    if (live == 0) break;
+    bool batched = false;
+    if (plan.batchable()) {
+      GatheredOperand lhs, rhs;
+      batched = GatherFilterOperand(*plan.lhs, tuples, count, active, live,
+                                    &scratch->lhs, &lhs) &&
+                GatherFilterOperand(*plan.rhs, tuples, count, active, live,
+                                    &scratch->rhs, &rhs);
+      if (batched) {
+        RunBatchCompare(lhs, plan.pred->op, rhs, plan.pred->approx_tolerance,
+                        res);
+        if (slot != nullptr) slot->degree_evaluations += live;
+        ++tally->batches;
+        tally->rows += live;
+        if (fill_hist != nullptr) fill_hist->Record(live);
+        for (size_t j = 0; j < live; ++j) {
+          const size_t k = active[j];
+          deg[k] = std::min(deg[k], res[j]);
+        }
+      }
+    }
+    if (!batched) {
+      for (size_t j = 0; j < live; ++j) {
+        const size_t k = active[j];
+        Frames frames;
+        frames.push_back({&tuples[k]});
+        deg[k] = std::min(deg[k], ComparisonDegree(*plan.pred, frames, slot));
+      }
+    }
+  }
+  for (size_t k = 0; k < count; ++k) {
+    if (deg[k] > 0.0) out->push_back(FT{&tuples[k], deg[k]});
+  }
+}
+
 /// Filters a single-table block by its local predicates; this is the
 /// paper's "only those tuples that satisfy p positively should be sorted".
 /// Morsels are filtered in parallel into per-morsel vectors concatenated
@@ -105,6 +323,26 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   const size_t morsel = ctx.morsel_size == 0 ? 1 : ctx.morsel_size;
   std::vector<std::vector<FT>> per_morsel((n + morsel - 1) / morsel);
   std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
+  // Batch path: resolve each local predicate's operands once. The
+  // chunked scan below evaluates the same predicates in the same order
+  // with the same early exit as LocalDegree, so survivors, degrees and
+  // counters are identical; batch_size = 0 keeps the scalar loop.
+  const size_t batch = EffectiveBatchSize(ctx);
+  std::vector<BatchPredPlan> plans;
+  for (const auto& pred : block.predicates) {
+    if (pred.subquery != nullptr || !pred.IsLocal()) continue;
+    BatchPredPlan plan;
+    plan.pred = &pred;
+    plan.lhs = ResolveBatchOperand(pred.lhs, /*allow_outer=*/false);
+    plan.rhs = ResolveBatchOperand(pred.rhs, /*allow_outer=*/false);
+    plans.push_back(plan);
+  }
+  const bool use_batch = batch > 0 && !plans.empty();
+  std::vector<std::unique_ptr<FilterScratch>> scratches(
+      use_batch ? WorkerSlots(ctx) : 0);
+  std::vector<BatchTally> tallies(WorkerSlots(ctx));
+  EngineMetrics* metrics = EngineMetrics::IfEnabled();
+  Histogram* fill_hist = metrics == nullptr ? nullptr : metrics->batch_fill;
   // Declared after `span`: if a morsel body throws, the folder's
   // destructor runs first during unwinding, so whatever the workers
   // tallied still lands in *cpu before the span snapshots its delta.
@@ -112,6 +350,16 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   ParallelFor(ctx, n, [&](size_t worker, size_t begin, size_t end) {
     CpuStats* slot = cpu == nullptr ? nullptr : &worker_cpu[worker];
     std::vector<FT>& out = per_morsel[begin / morsel];
+    if (use_batch) {
+      std::unique_ptr<FilterScratch>& scratch = scratches[worker];
+      if (scratch == nullptr) scratch = std::make_unique<FilterScratch>();
+      for (size_t i = begin; i < end; i += batch) {
+        FilterChunkBatched(plans, &tuples[i], std::min(batch, end - i),
+                           scratch.get(), slot, &tallies[worker], fill_hist,
+                           &out);
+      }
+      return;
+    }
     for (size_t i = begin; i < end; ++i) {
       const double d = LocalDegree(block, tuples[i], slot);
       if (d > 0.0) out.push_back(FT{&tuples[i], d});
@@ -125,6 +373,7 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
     out.insert(out.end(), part.begin(), part.end());
   }
   folder.Fold();
+  PublishBatchTally(tallies, &span);
   if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
     m->filter_rows_in->Add(n);
     m->filter_rows_out->Add(out.size());
@@ -264,13 +513,20 @@ std::vector<SupportBounds> HoistSupportBounds(const std::vector<FT>& tuples,
 /// convention for cpu == nullptr). The worker slots -- including
 /// whatever the emit callback tallied into them -- are folded into
 /// `total_cpu` at the barrier, inside this operator's trace span.
+///
+/// A batching emit callback buffers pairs and needs a drain point that
+/// keeps batches from spanning morsels: `morsel_flush(worker)`, when
+/// set, runs at the end of every morsel body. `batch_tallies`, when
+/// set, is published into this operator's span after the fold.
 void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
                  const std::vector<FT>& inner, size_t inner_col,
                  const ParallelContext& ctx,
                  std::vector<CpuStats>* worker_cpu, CpuStats* total_cpu,
                  ExecTrace* trace,
                  const std::function<void(size_t, const FT&, const FT&)>&
-                     emit) {
+                     emit,
+                 const std::function<void(size_t)>& morsel_flush = {},
+                 const std::vector<BatchTally>* batch_tallies = nullptr) {
   TraceScope span(trace, "merge-window", total_cpu, nullptr,
                   "inner=" + std::to_string(inner.size()));
   span.SetInputRows(outer.size());
@@ -324,8 +580,10 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
       }
       if (window_hist != nullptr) window_hist->Record(window_len);
     }
+    if (morsel_flush) morsel_flush(worker);
   });
   folder.Fold();
+  if (batch_tallies != nullptr) PublishBatchTally(*batch_tallies, &span);
 }
 
 /// The decomposed shape of one subquery predicate and its inner block.
@@ -403,6 +661,168 @@ double CorrelationDegree(const LinkShape& shape, const Tuple& r,
     d = std::min(d, ComparisonDegree(*pred, frames, cpu));
   }
   return d;
+}
+
+/// One buffered (outer, inner) pair from the merge-window scan. The
+/// pointers reference the window's stable sorted vectors; `index` is
+/// the pair's slot in the caller's per-outer degree vector.
+struct PairEntry {
+  const FT* r = nullptr;
+  const FT* s = nullptr;
+  size_t index = 0;
+};
+
+/// Reusable per-worker scratch for the batched merge-window emit path:
+/// the pending pairs of the current morsel plus operand/degree lanes.
+struct PairScratch {
+  std::vector<PairEntry> entries;
+  TrapezoidBatch lhs;
+  TrapezoidBatch rhs;
+  std::array<double, TrapezoidBatch::kCapacity> corr;
+  std::array<double, TrapezoidBatch::kCapacity> term;
+  std::array<double, TrapezoidBatch::kCapacity> result;
+  std::array<uint32_t, TrapezoidBatch::kCapacity> active;
+};
+
+/// Gathers one pair operand for the active entries: lanes come from
+/// the outer tuple (up == 1), the inner tuple (up == 0), or the
+/// constant. Returns false when a lane is non-fuzzy (scalar fallback).
+bool GatherPairOperand(const BatchOperand& op, const PairEntry* entries,
+                       const uint32_t* active, size_t live,
+                       TrapezoidBatch* storage, GatheredOperand* out) {
+  if (!op.is_column()) {
+    out->scalar = op.constant;
+    out->batch = nullptr;
+    return true;
+  }
+  const bool from_outer = op.kind == BatchOperand::Kind::kOuterColumn;
+  storage->Clear();
+  for (size_t j = 0; j < live; ++j) {
+    const PairEntry& e = entries[active[j]];
+    const Tuple* t = from_outer ? e.r->tuple : e.s->tuple;
+    const Value& v = t->ValueAt(op.column);
+    if (!v.is_fuzzy()) return false;
+    storage->PushBack(v.AsFuzzy());
+  }
+  out->batch = storage;
+  out->scalar = nullptr;
+  return true;
+}
+
+/// Evaluates and drains one worker's pending pairs: the correlation
+/// min-fold, the linking comparison, then the max-fold into m[]. This
+/// is `pair_term` (see InFamilyDegrees) lane for lane -- the same
+/// early exits (correlation lanes drop out at degree 0; the link is
+/// only evaluated for terms still > 0) and the same counting, so
+/// CpuStats are identical to the scalar emit for every batch size.
+/// Concurrent flushes write disjoint m[] slots: a morsel's sorted
+/// positions belong to one worker and order[] is a permutation.
+void FlushPairBatch(const LinkShape& shape,
+                    const std::vector<BatchPredPlan>& corr_plans,
+                    const BatchOperand& link_lhs,
+                    const BatchOperand& link_rhs, PairScratch* ps,
+                    CpuStats* slot, BatchTally* tally, Histogram* fill_hist,
+                    std::vector<double>* m) {
+  const size_t count = ps->entries.size();
+  if (count == 0) return;
+  const PairEntry* entries = ps->entries.data();
+  double* corr = ps->corr.data();
+  double* term = ps->term.data();
+  double* res = ps->result.data();
+  uint32_t* active = ps->active.data();
+
+  for (size_t k = 0; k < count; ++k) corr[k] = 1.0;
+  for (const BatchPredPlan& plan : corr_plans) {
+    size_t live = 0;
+    for (size_t k = 0; k < count; ++k) {
+      active[live] = static_cast<uint32_t>(k);
+      live += static_cast<size_t>(corr[k] > 0.0);
+    }
+    if (live == 0) break;
+    bool batched = false;
+    if (plan.batchable()) {
+      GatheredOperand lhs, rhs;
+      batched = GatherPairOperand(*plan.lhs, entries, active, live,
+                                  &ps->lhs, &lhs) &&
+                GatherPairOperand(*plan.rhs, entries, active, live,
+                                  &ps->rhs, &rhs);
+      if (batched) {
+        RunBatchCompare(lhs, plan.pred->op, rhs, plan.pred->approx_tolerance,
+                        res);
+        if (slot != nullptr) slot->degree_evaluations += live;
+        ++tally->batches;
+        tally->rows += live;
+        if (fill_hist != nullptr) fill_hist->Record(live);
+        for (size_t j = 0; j < live; ++j) {
+          const size_t k = active[j];
+          corr[k] = std::min(corr[k], res[j]);
+        }
+      }
+    }
+    if (!batched) {
+      for (size_t j = 0; j < live; ++j) {
+        const size_t k = active[j];
+        Frames frames;
+        frames.push_back({entries[k].r->tuple});
+        frames.push_back({entries[k].s->tuple});
+        corr[k] = std::min(corr[k], ComparisonDegree(*plan.pred, frames, slot));
+      }
+    }
+  }
+
+  for (size_t k = 0; k < count; ++k) {
+    term[k] = std::min(entries[k].s->degree, corr[k]);
+  }
+
+  if (shape.has_link_columns) {
+    size_t live = 0;
+    for (size_t k = 0; k < count; ++k) {
+      active[live] = static_cast<uint32_t>(k);
+      live += static_cast<size_t>(term[k] > 0.0);
+    }
+    if (live > 0) {
+      GatheredOperand lhs, rhs;
+      // The scalar path's link comparison is Value::Compare with the
+      // *default* tolerance (the predicate's approx_tolerance applies
+      // to its direct comparison, not the quantified link), so the
+      // batch kernel must use 1.0 as well.
+      const bool batched =
+          GatherPairOperand(link_lhs, entries, active, live, &ps->lhs,
+                            &lhs) &&
+          GatherPairOperand(link_rhs, entries, active, live, &ps->rhs, &rhs);
+      if (batched) {
+        RunBatchCompare(lhs, shape.link_op, rhs, /*tolerance=*/1.0, res);
+        if (slot != nullptr) slot->degree_evaluations += live;
+        ++tally->batches;
+        tally->rows += live;
+        if (fill_hist != nullptr) fill_hist->Record(live);
+        for (size_t j = 0; j < live; ++j) {
+          const size_t k = active[j];
+          const double link = res[j];
+          term[k] =
+              std::min(term[k], shape.negate_link ? 1.0 - link : link);
+        }
+      } else {
+        for (size_t j = 0; j < live; ++j) {
+          const size_t k = active[j];
+          const PairEntry& e = entries[k];
+          if (slot != nullptr) ++slot->degree_evaluations;
+          const double link =
+              e.r->tuple->ValueAt(shape.outer_link_col)
+                  .Compare(shape.link_op,
+                           e.s->tuple->ValueAt(shape.inner_link_col));
+          term[k] =
+              std::min(term[k], shape.negate_link ? 1.0 - link : link);
+        }
+      }
+    }
+  }
+
+  for (size_t k = 0; k < count; ++k) {
+    const PairEntry& e = entries[k];
+    if (term[k] > (*m)[e.index]) (*m)[e.index] = term[k];
+  }
+  ps->entries.clear();
 }
 
 /// Picks an equality correlation predicate over fuzzy columns usable as
@@ -528,15 +948,66 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     // permutation, so concurrent workers write disjoint m[idx] slots.
     std::vector<CpuStats> worker_cpu(WorkerSlots(ctx));
     const FT* base = sorted_outer.data();
+    const size_t batch = EffectiveBatchSize(ctx);
+    std::function<void(size_t, const FT&, const FT&)> emit;
+    std::function<void(size_t)> morsel_flush;
+    std::vector<BatchTally> tallies(WorkerSlots(ctx));
+    std::vector<std::unique_ptr<PairScratch>> pair_scratch(
+        batch > 0 ? WorkerSlots(ctx) : 0);
+    std::vector<BatchPredPlan> corr_plans;
+    BatchOperand link_lhs;
+    BatchOperand link_rhs;
+    if (batch > 0) {
+      for (const BoundPredicate* pred : shape.correlations) {
+        BatchPredPlan plan;
+        plan.pred = pred;
+        plan.lhs = ResolveBatchOperand(pred->lhs, /*allow_outer=*/true);
+        plan.rhs = ResolveBatchOperand(pred->rhs, /*allow_outer=*/true);
+        corr_plans.push_back(plan);
+      }
+      link_lhs.kind = BatchOperand::Kind::kOuterColumn;
+      link_lhs.column = shape.outer_link_col;
+      link_rhs.kind = BatchOperand::Kind::kLocalColumn;
+      link_rhs.column = shape.inner_link_col;
+      EngineMetrics* metrics = EngineMetrics::IfEnabled();
+      Histogram* fill_hist =
+          metrics == nullptr ? nullptr : metrics->batch_fill;
+      // Buffer window pairs per worker and evaluate them batch-at-a-
+      // time; the morsel flush drains remainders so batches never span
+      // a morsel and the batch decomposition stays thread-invariant.
+      emit = [&, fill_hist, batch](size_t worker, const FT& r, const FT& s) {
+        std::unique_ptr<PairScratch>& ps = pair_scratch[worker];
+        if (ps == nullptr) {
+          ps = std::make_unique<PairScratch>();
+          ps->entries.reserve(batch);
+        }
+        ps->entries.push_back(
+            PairEntry{&r, &s, order[static_cast<size_t>(&r - base)]});
+        if (ps->entries.size() >= batch) {
+          FlushPairBatch(shape, corr_plans, link_lhs, link_rhs, ps.get(),
+                         cpu == nullptr ? nullptr : &worker_cpu[worker],
+                         &tallies[worker], fill_hist, &m);
+        }
+      };
+      morsel_flush = [&, fill_hist](size_t worker) {
+        if (pair_scratch[worker] != nullptr) {
+          FlushPairBatch(shape, corr_plans, link_lhs, link_rhs,
+                         pair_scratch[worker].get(),
+                         cpu == nullptr ? nullptr : &worker_cpu[worker],
+                         &tallies[worker], fill_hist, &m);
+        }
+      };
+    } else {
+      emit = [&](size_t worker, const FT& r, const FT& s) {
+        const size_t idx = order[static_cast<size_t>(&r - base)];
+        CpuStats* slot = cpu == nullptr ? nullptr : &worker_cpu[worker];
+        const double term = pair_term(slot, r, s);
+        if (term > m[idx]) m[idx] = term;
+      };
+    }
     MergeWindow(sorted_outer, outer_key, inner, inner_key, ctx,
-                cpu == nullptr ? nullptr : &worker_cpu, cpu, trace,
-                [&](size_t worker, const FT& r, const FT& s) {
-                  const size_t idx = order[static_cast<size_t>(&r - base)];
-                  CpuStats* slot =
-                      cpu == nullptr ? nullptr : &worker_cpu[worker];
-                  const double term = pair_term(slot, r, s);
-                  if (term > m[idx]) m[idx] = term;
-                });
+                cpu == nullptr ? nullptr : &worker_cpu, cpu, trace, emit,
+                morsel_flush, batch > 0 ? &tallies : nullptr);
     FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
   } else if (shape.correlations.empty() && !shape.has_link_columns) {
     // Uncorrelated EXISTS: a constant -- the possibility that the inner
@@ -1110,6 +1581,7 @@ ParallelContext UnnestingEvaluator::MakeContext() {
   ctx.query = options_.context;
   ctx.cache = options_.cache;
   ctx.morsel_size = options_.morsel_size == 0 ? 1 : options_.morsel_size;
+  ctx.batch_size = options_.batch_size;
   const size_t threads = options_.ResolvedThreads();
   if (threads > 1) {
     if (pool_ == nullptr || pool_->size() != threads) {

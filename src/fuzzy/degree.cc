@@ -1,42 +1,15 @@
 #include "fuzzy/degree.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
+
+#include "fuzzy/degree_kernels.h"
+
+// The sup-min arithmetic lives in fuzzy/degree_kernels.h as inline
+// per-lane functions shared with the batch kernels (degree_batch.cc);
+// the entry points here unpack the Trapezoid corners and delegate, so
+// scalar and batch evaluation are bit-identical by construction.
 
 namespace fuzzydb {
-
-namespace {
-
-/// Solves for the crossing abscissa of a rising linear edge
-/// (x0, 0) -> (x1, 1) and a falling linear edge (x2, 1) -> (x3, 0).
-/// Returns false when either edge is vertical (no interior crossing to add;
-/// corner candidates cover those cases).
-bool RiseFallCrossing(double x0, double x1, double x2, double x3,
-                      double* out) {
-  const double rise = x1 - x0;
-  const double fall = x3 - x2;
-  if (rise <= 0.0 || fall <= 0.0) return false;
-  // (x - x0) / rise = (x3 - x) / fall
-  *out = (x0 * fall + x3 * rise) / (rise + fall);
-  return true;
-}
-
-double MembershipRightLimit(const Trapezoid& t, double x) {
-  if (x < t.a() || x >= t.d()) return 0.0;
-  if (x >= t.c()) return (t.d() - x) / (t.d() - t.c());  // c < d here
-  if (x >= t.b()) return 1.0;
-  return (x - t.a()) / (t.b() - t.a());  // a <= x < b implies a < b
-}
-
-double MembershipLeftLimit(const Trapezoid& t, double x) {
-  if (x > t.d() || x <= t.a()) return 0.0;
-  if (x <= t.b()) return (x - t.a()) / (t.b() - t.a());  // a < b here
-  if (x <= t.c()) return 1.0;
-  return (t.d() - x) / (t.d() - t.c());  // c < x <= d implies c < d
-}
-
-}  // namespace
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -59,128 +32,29 @@ const char* CompareOpName(CompareOp op) {
 }
 
 double EqualityDegree(const Trapezoid& x, const Trapezoid& y) {
-  // Fast paths.
-  if (x.SupportEnd() < y.SupportBegin() || y.SupportEnd() < x.SupportBegin()) {
-    return 0.0;
-  }
-  if (std::max(x.b(), y.b()) <= std::min(x.c(), y.c())) {
-    return 1.0;  // cores intersect
-  }
-
-  // sup_t min(mu_x(t), mu_y(t)). The minimum of two piecewise-linear
-  // unimodal functions attains its supremum at a corner of either function
-  // or at a crossing of a rising edge with a falling edge.
-  double candidates[10];
-  int n = 0;
-  candidates[n++] = x.a();
-  candidates[n++] = x.b();
-  candidates[n++] = x.c();
-  candidates[n++] = x.d();
-  candidates[n++] = y.a();
-  candidates[n++] = y.b();
-  candidates[n++] = y.c();
-  candidates[n++] = y.d();
-  double cross;
-  if (RiseFallCrossing(x.a(), x.b(), y.c(), y.d(), &cross)) {
-    candidates[n++] = cross;
-  }
-  if (RiseFallCrossing(y.a(), y.b(), x.c(), x.d(), &cross)) {
-    candidates[n++] = cross;
-  }
-
-  double best = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const double t = candidates[i];
-    best = std::max(best, std::min(x.Membership(t), y.Membership(t)));
-  }
-  return best;
+  return kernel::EqualityLane(x.a(), x.b(), x.c(), x.d(),  //
+                              y.a(), y.b(), y.c(), y.d());
 }
 
 double NotEqualDegree(const Trapezoid& x, const Trapezoid& y) {
-  if (x.IsCrisp() && y.IsCrisp()) {
-    return x.CrispValue() != y.CrispValue() ? 1.0 : 0.0;
-  }
-  // At least one distribution has a non-degenerate support, so a pair
-  // (x0, y0) with x0 != y0 and membership arbitrarily close to 1 exists.
-  return 1.0;
+  return kernel::NotEqualLane(x.a(), x.d(), y.a(), y.d());
 }
 
 double LessEqualDegree(const Trapezoid& x, const Trapezoid& y) {
-  // Poss(X <= Y) = sup_v min(mu_Y(v), g(v)) with the nondecreasing
-  // envelope g(v) = sup_{u <= v} mu_X(u). g has corners at x.a() and
-  // x.b() and rises linearly in between (jumping when a == b).
-  double candidates[7];
-  int n = 0;
-  candidates[n++] = x.a();
-  candidates[n++] = x.b();
-  candidates[n++] = y.a();
-  candidates[n++] = y.b();
-  candidates[n++] = y.c();
-  candidates[n++] = y.d();
-  double cross;
-  if (RiseFallCrossing(x.a(), x.b(), y.c(), y.d(), &cross)) {
-    candidates[n++] = cross;
-  }
-  double best = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const double v = candidates[i];
-    best = std::max(best, std::min(y.Membership(v), x.SupAtOrBelow(v)));
-  }
-  return best;
+  return kernel::LessEqualLane(x.a(), x.b(),  //
+                               y.a(), y.b(), y.c(), y.d());
 }
 
 double LessDegree(const Trapezoid& x, const Trapezoid& y) {
-  if (x.IsCrisp() && y.IsCrisp()) {
-    return x.CrispValue() < y.CrispValue() ? 1.0 : 0.0;
-  }
-  // Poss(X < Y) = sup_v min(mu_Y(v), g(v)) with
-  // g(v) = sup_{u < v} mu_X(u). g equals the SupAtOrBelow envelope except
-  // at a vertical rising edge of X (x.a() == x.b()), where g jumps from 0
-  // to 1 immediately *after* the corner; the supremum there is approached
-  // as v -> corner+, contributing min(1, right-limit of mu_Y).
-  double candidates[7];
-  int n = 0;
-  candidates[n++] = x.a();
-  candidates[n++] = x.b();
-  candidates[n++] = y.a();
-  candidates[n++] = y.b();
-  candidates[n++] = y.c();
-  candidates[n++] = y.d();
-  double cross;
-  if (RiseFallCrossing(x.a(), x.b(), y.c(), y.d(), &cross)) {
-    candidates[n++] = cross;
-  }
-  double best = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const double v = candidates[i];
-    best = std::max(best, std::min(y.Membership(v), x.SupStrictlyBelow(v)));
-  }
-  if (x.a() == x.b()) {
-    best = std::max(best, MembershipRightLimit(y, x.a()));
-  }
-  // Symmetrically, a vertical falling edge of Y at y.c() == y.d() means
-  // sup_{u < v} with v just below the corner: mu_Y approaches 1 from the
-  // left while g is left-continuous there, contributing
-  // min(left-limit of mu_Y at d, g(d)) -- but mu_Y's left limit at a
-  // vertical falling corner is 0 (support ends), except when the corner
-  // carries the core: mu_Y(d) = 1 is already a candidate. What remains is
-  // the limit v -> y.d()- when y.c() == y.d(): mu_Y -> left-limit, g is
-  // nondecreasing so using g(y.d()-) = SupStrictlyBelow(x, y.d()).
-  if (y.c() == y.d()) {
-    best = std::max(best, std::min(MembershipLeftLimit(y, y.d()),
-                                   x.SupStrictlyBelow(y.d())));
-  }
-  return std::min(best, 1.0);
+  return kernel::LessLane(x.a(), x.b(), x.c(), x.d(),  //
+                          y.a(), y.b(), y.c(), y.d());
 }
 
 double ApproxEqualDegree(const Trapezoid& x, const Trapezoid& y,
                          double tolerance) {
   assert(tolerance > 0.0);
-  // sup min(mu_X(u), mu_Y(v), 1 - |u - v| / tol) equals the equality
-  // degree between X and Y (+) Triangle(-tol, 0, tol), by the sup-min
-  // extension principle (fuzzy addition of trapezoids is corner-wise).
-  const Trapezoid widened(y.a() - tolerance, y.b(), y.c(), y.d() + tolerance);
-  return EqualityDegree(x, widened);
+  return kernel::ApproxEqualLane(x.a(), x.b(), x.c(), x.d(),  //
+                                 y.a(), y.b(), y.c(), y.d(), tolerance);
 }
 
 double SatisfactionDegree(const Trapezoid& x, CompareOp op,

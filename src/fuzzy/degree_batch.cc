@@ -1,0 +1,413 @@
+#include "fuzzy/degree_batch.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "fuzzy/degree_kernels.h"
+
+namespace fuzzydb {
+
+namespace {
+
+// All kernels are written once against this operand view and
+// instantiated for the three shapes (batch-vs-scalar, scalar-vs-batch,
+// batch-vs-batch). A scalar side points at a single corner set and
+// ignores the lane index, which the optimizer hoists out of the loop.
+// The pointers are __restrict__ -- they address distinct SoA arrays
+// (or a ScalarSide corner array), never the degree output -- which the
+// phase-1 loops need to auto-vectorize without alias versioning.
+template <bool kXBatch, bool kYBatch>
+struct Operands {
+  const double *__restrict__ xa, *__restrict__ xb;
+  const double *__restrict__ xc, *__restrict__ xd;
+  const double *__restrict__ ya, *__restrict__ yb;
+  const double *__restrict__ yc, *__restrict__ yd;
+
+  double XA(size_t i) const { return kXBatch ? xa[i] : *xa; }
+  double XB(size_t i) const { return kXBatch ? xb[i] : *xb; }
+  double XC(size_t i) const { return kXBatch ? xc[i] : *xc; }
+  double XD(size_t i) const { return kXBatch ? xd[i] : *xd; }
+  double YA(size_t i) const { return kYBatch ? ya[i] : *ya; }
+  double YB(size_t i) const { return kYBatch ? yb[i] : *yb; }
+  double YC(size_t i) const { return kYBatch ? yc[i] : *yc; }
+  double YD(size_t i) const { return kYBatch ? yd[i] : *yd; }
+};
+
+using SelVec = uint32_t[TrapezoidBatch::kCapacity];
+// Lane mask as doubles (0.0 / 1.0): the same 8-byte element width as
+// the operand lanes, so the phase-1 loops vectorize without narrowing
+// conversions (a bool/char mask store defeats the SSE2 vectorizer).
+using MaskVec = double[TrapezoidBatch::kCapacity];
+
+/// Compresses a lane mask into a selection vector; returns the count.
+/// Kept out of the flat phase-1 loops so those stay auto-vectorizable
+/// (the data-dependent append defeats the vectorizer). Selection only,
+/// no arithmetic, so it cannot affect degree values.
+///
+/// The SSE2 path folds 16 lanes at a time into a movmskpd bitmap and
+/// then walks only the set bits; when slow lanes are sparse (the
+/// common case -- the fast paths answer most lanes) this replaces one
+/// store + compare per lane with two vector ops per lane pair. SSE2 is
+/// part of the x86-64 baseline, so this is not an -march dependency.
+inline size_t CompressMask(const MaskVec& mask, size_t n, SelVec& sel) {
+  size_t ns = 0;
+  size_t i = 0;
+#if defined(__SSE2__)
+  const __m128d zero = _mm_setzero_pd();
+  for (; i + 16 <= n; i += 16) {
+    unsigned bits = 0;
+    for (size_t j = 0; j < 16; j += 2) {
+      const __m128d v = _mm_loadu_pd(&mask[i + j]);
+      // CMPNEQPD matches the scalar mask[i] != 0.0 test exactly (mask
+      // holds only 0.0 / 1.0 products, never NaN).
+      bits |= static_cast<unsigned>(_mm_movemask_pd(_mm_cmpneq_pd(v, zero)))
+              << j;
+    }
+    while (bits != 0) {
+      sel[ns++] = static_cast<uint32_t>(i) +
+                  static_cast<uint32_t>(__builtin_ctz(bits));
+      bits &= bits - 1;
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    sel[ns] = static_cast<uint32_t>(i);
+    ns += static_cast<size_t>(mask[i] != 0.0);
+  }
+  return ns;
+}
+
+// d(X = Y), with ~= folded in: when kApprox, Y is widened lane-wise by
+// the tolerance (ApproxEqualLane does the same on the scalar path).
+// Phase 1 resolves the two fast paths of EqualityLane -- the predicates
+// are mutually exclusive, so evaluation order cannot matter -- and
+// marks the leftover lanes for the exact candidate sweep of phase 2.
+//
+// The fast paths are {0,1}-valued double arithmetic, split into loops
+// of at most two single-compare selects each: gcc's if-converter
+// (which vectorization requires) gives up on a loop body with three or
+// more selects or any compound boolean condition. Products and
+// complements of exact 0.0/1.0 values are exact, so the fast-path
+// degrees are bit-identical to the scalar branches.
+template <bool kXBatch, bool kYBatch, bool kApprox>
+void EqualityImpl(const Operands<kXBatch, kYBatch>& o, size_t n,
+                  double tolerance, double* __restrict__ out) {
+  MaskVec mask;
+  SelVec slow;
+  for (size_t i = 0; i < n; ++i) {
+    const double xa = o.XA(i), xd = o.XD(i);
+    const double ya = kApprox ? o.YA(i) - tolerance : o.YA(i);
+    const double yd = kApprox ? o.YD(i) + tolerance : o.YD(i);
+    // 1.0 when the supports intersect (LaneSupportsDisjoint negated).
+    mask[i] = ((xd < ya) ? 0.0 : 1.0) * ((yd < xa) ? 0.0 : 1.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double xb = o.XB(i), xc = o.XC(i);
+    const double yb = o.YB(i), yc = o.YC(i);
+    // 1.0 when the cores intersect: xb <= yc && yb <= xc, equivalent
+    // to LaneCoresIntersect's max/min form under the invariant b <= c.
+    out[i] = ((xb <= yc) ? 1.0 : 0.0) * ((yb <= xc) ? 1.0 : 0.0);
+  }
+  // Slow lanes: supports intersect but cores don't. out already holds
+  // the 1.0/0.0 fast-path answer (disjoint supports imply disjoint
+  // cores, so out is 0.0 there). Kept as a vector pass: folding this
+  // test into the scalar compress loop measures slower.
+  for (size_t i = 0; i < n; ++i) {
+    mask[i] *= 1.0 - out[i];
+  }
+  const size_t ns = CompressMask(mask, n, slow);
+  for (size_t k = 0; k < ns; ++k) {
+    const size_t i = slow[k];
+    const double ya = kApprox ? o.YA(i) - tolerance : o.YA(i);
+    const double yd = kApprox ? o.YD(i) + tolerance : o.YD(i);
+    out[i] = kernel::EqualityLaneSlow(o.XA(i), o.XB(i), o.XC(i), o.XD(i),  //
+                                      ya, o.YB(i), o.YC(i), yd);
+  }
+}
+
+// d(X <> Y) is select-only: 1.0 unless both sides are crisp and equal.
+template <bool kXBatch, bool kYBatch>
+void NotEqualImpl(const Operands<kXBatch, kYBatch>& o, size_t n,
+                  double* __restrict__ out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double xa = o.XA(i), xd = o.XD(i);
+    const double ya = o.YA(i), yd = o.YD(i);
+    out[i] = (xa != xd || ya != yd || xa != ya) ? 1.0 : 0.0;
+  }
+}
+
+// d(X <= Y). Two fast paths hold exactly (degree_batch_test sweeps
+// them): a support entirely before Y's reaches the supremum 1.0 at
+// v = y.b (both factors are exactly 1 there), and a support entirely
+// after Y's zeroes every candidate, including the rise/fall crossing,
+// which lies strictly inside (y.d, x.a).
+template <bool kXBatch, bool kYBatch>
+void LessEqualImpl(const Operands<kXBatch, kYBatch>& o, size_t n,
+                   double* __restrict__ out) {
+  MaskVec mask;
+  SelVec slow;
+  for (size_t i = 0; i < n; ++i) {
+    const double xa = o.XA(i), xd = o.XD(i);
+    const double ya = o.YA(i), yd = o.YD(i);
+    const double one = (xd < ya) ? 1.0 : 0.0;
+    const double zero = (yd < xa) ? 1.0 : 0.0;
+    out[i] = one;
+    mask[i] = (1.0 - one) * (1.0 - zero);
+  }
+  const size_t ns = CompressMask(mask, n, slow);
+  for (size_t k = 0; k < ns; ++k) {
+    const size_t i = slow[k];
+    out[i] = kernel::LessEqualLane(o.XA(i), o.XB(i),  //
+                                   o.YA(i), o.YB(i), o.YC(i), o.YD(i));
+  }
+}
+
+// d(X < Y). Fast paths: the crisp-crisp pair of LessLane, plus the
+// same ordered-support paths as <= (exact for < as well: the
+// vertical-edge limit corrections contribute the same 0/1 values).
+// yd == xa (touching supports) is not a fast path and falls through.
+template <bool kXBatch, bool kYBatch>
+void LessImpl(const Operands<kXBatch, kYBatch>& o, size_t n,
+              double* __restrict__ out) {
+  // Same {0,1} double arithmetic as EqualityImpl, split into loops of
+  // at most two selects. The crisp-crisp fast path answers xa < ya
+  // directly; the ordered-support paths only apply to non-crisp lanes
+  // (LessLane's candidate sweep is exact for those, mirroring
+  // LessEqualImpl's fast paths).
+  MaskVec mask;
+  MaskVec crisp;
+  SelVec slow;
+  for (size_t i = 0; i < n; ++i) {
+    const double xa = o.XA(i), xd = o.XD(i);
+    const double ya = o.YA(i), yd = o.YD(i);
+    crisp[i] = ((xa == xd) ? 1.0 : 0.0) * ((ya == yd) ? 1.0 : 0.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double xa = o.XA(i), xd = o.XD(i);
+    const double ya = o.YA(i), yd = o.YD(i);
+    out[i] = (xd < ya) ? 1.0 : 0.0;            // support X before Y
+    mask[i] = (yd < xa) ? 0.0 : 1.0;           // NOT support Y before X
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double lt = (o.XA(i) < o.YA(i)) ? 1.0 : 0.0;
+    const double c = crisp[i];
+    const double before = out[i];
+    out[i] = c * lt + (1.0 - c) * before;
+    mask[i] *= (1.0 - c) * (1.0 - before);
+  }
+  const size_t ns = CompressMask(mask, n, slow);
+  for (size_t k = 0; k < ns; ++k) {
+    const size_t i = slow[k];
+    out[i] = kernel::LessLane(o.XA(i), o.XB(i), o.XC(i), o.XD(i),  //
+                              o.YA(i), o.YB(i), o.YC(i), o.YD(i));
+  }
+}
+
+/// Unpacked scalar operand; Operands points into its corner array.
+struct ScalarSide {
+  double corners[4];
+  explicit ScalarSide(const Trapezoid& t)
+      : corners{t.a(), t.b(), t.c(), t.d()} {}
+};
+
+template <bool kYBatch>
+Operands<true, kYBatch> WithXBatch(const TrapezoidBatch& xs) {
+  Operands<true, kYBatch> o{};
+  o.xa = xs.a();
+  o.xb = xs.b();
+  o.xc = xs.c();
+  o.xd = xs.d();
+  return o;
+}
+
+Operands<true, false> Shape(const TrapezoidBatch& xs, const ScalarSide& y) {
+  Operands<true, false> o = WithXBatch<false>(xs);
+  o.ya = &y.corners[0];
+  o.yb = &y.corners[1];
+  o.yc = &y.corners[2];
+  o.yd = &y.corners[3];
+  return o;
+}
+
+Operands<false, true> Shape(const ScalarSide& x, const TrapezoidBatch& ys) {
+  Operands<false, true> o{};
+  o.xa = &x.corners[0];
+  o.xb = &x.corners[1];
+  o.xc = &x.corners[2];
+  o.xd = &x.corners[3];
+  o.ya = ys.a();
+  o.yb = ys.b();
+  o.yc = ys.c();
+  o.yd = ys.d();
+  return o;
+}
+
+Operands<true, true> Shape(const TrapezoidBatch& xs, const TrapezoidBatch& ys) {
+  assert(xs.size() == ys.size());
+  Operands<true, true> o = WithXBatch<true>(xs);
+  o.ya = ys.a();
+  o.yb = ys.b();
+  o.yc = ys.c();
+  o.yd = ys.d();
+  return o;
+}
+
+}  // namespace
+
+void BatchEqualityDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                         double* out) {
+  const ScalarSide ss(y);
+  EqualityImpl<true, false, false>(Shape(xs, ss), xs.size(), 0.0, out);
+}
+
+void BatchEqualityDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                         double* out) {
+  const ScalarSide ss(x);
+  EqualityImpl<false, true, false>(Shape(ss, ys), ys.size(), 0.0, out);
+}
+
+void BatchEqualityDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                         double* out) {
+  EqualityImpl<true, true, false>(Shape(xs, ys), xs.size(), 0.0, out);
+}
+
+void BatchNotEqualDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                         double* out) {
+  const ScalarSide ss(y);
+  NotEqualImpl(Shape(xs, ss), xs.size(), out);
+}
+
+void BatchNotEqualDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                         double* out) {
+  const ScalarSide ss(x);
+  NotEqualImpl(Shape(ss, ys), ys.size(), out);
+}
+
+void BatchNotEqualDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                         double* out) {
+  NotEqualImpl(Shape(xs, ys), xs.size(), out);
+}
+
+void BatchLessDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                     double* out) {
+  const ScalarSide ss(y);
+  LessImpl(Shape(xs, ss), xs.size(), out);
+}
+
+void BatchLessDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                     double* out) {
+  const ScalarSide ss(x);
+  LessImpl(Shape(ss, ys), ys.size(), out);
+}
+
+void BatchLessDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                     double* out) {
+  LessImpl(Shape(xs, ys), xs.size(), out);
+}
+
+void BatchLessEqualDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                          double* out) {
+  const ScalarSide ss(y);
+  LessEqualImpl(Shape(xs, ss), xs.size(), out);
+}
+
+void BatchLessEqualDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                          double* out) {
+  const ScalarSide ss(x);
+  LessEqualImpl(Shape(ss, ys), ys.size(), out);
+}
+
+void BatchLessEqualDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                          double* out) {
+  LessEqualImpl(Shape(xs, ys), xs.size(), out);
+}
+
+void BatchApproxEqualDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                            double tolerance, double* out) {
+  assert(tolerance > 0.0);
+  const ScalarSide ss(y);
+  EqualityImpl<true, false, true>(Shape(xs, ss), xs.size(), tolerance, out);
+}
+
+void BatchApproxEqualDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                            double tolerance, double* out) {
+  assert(tolerance > 0.0);
+  const ScalarSide ss(x);
+  EqualityImpl<false, true, true>(Shape(ss, ys), ys.size(), tolerance, out);
+}
+
+void BatchApproxEqualDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                            double tolerance, double* out) {
+  assert(tolerance > 0.0);
+  EqualityImpl<true, true, true>(Shape(xs, ys), xs.size(), tolerance, out);
+}
+
+void BatchSatisfactionDegree(const TrapezoidBatch& xs, CompareOp op,
+                             const Trapezoid& y, double approx_tolerance,
+                             double* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return BatchEqualityDegree(xs, y, out);
+    case CompareOp::kNe:
+      return BatchNotEqualDegree(xs, y, out);
+    case CompareOp::kLt:
+      return BatchLessDegree(xs, y, out);
+    case CompareOp::kLe:
+      return BatchLessEqualDegree(xs, y, out);
+    case CompareOp::kGt:
+      return BatchLessDegree(y, xs, out);
+    case CompareOp::kGe:
+      return BatchLessEqualDegree(y, xs, out);
+    case CompareOp::kApproxEq:
+      return BatchApproxEqualDegree(xs, y, approx_tolerance, out);
+  }
+}
+
+void BatchSatisfactionDegree(const Trapezoid& x, CompareOp op,
+                             const TrapezoidBatch& ys, double approx_tolerance,
+                             double* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return BatchEqualityDegree(x, ys, out);
+    case CompareOp::kNe:
+      return BatchNotEqualDegree(x, ys, out);
+    case CompareOp::kLt:
+      return BatchLessDegree(x, ys, out);
+    case CompareOp::kLe:
+      return BatchLessEqualDegree(x, ys, out);
+    case CompareOp::kGt:
+      return BatchLessDegree(ys, x, out);
+    case CompareOp::kGe:
+      return BatchLessEqualDegree(ys, x, out);
+    case CompareOp::kApproxEq:
+      return BatchApproxEqualDegree(x, ys, approx_tolerance, out);
+  }
+}
+
+void BatchSatisfactionDegree(const TrapezoidBatch& xs, CompareOp op,
+                             const TrapezoidBatch& ys, double approx_tolerance,
+                             double* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return BatchEqualityDegree(xs, ys, out);
+    case CompareOp::kNe:
+      return BatchNotEqualDegree(xs, ys, out);
+    case CompareOp::kLt:
+      return BatchLessDegree(xs, ys, out);
+    case CompareOp::kLe:
+      return BatchLessEqualDegree(xs, ys, out);
+    case CompareOp::kGt:
+      return BatchLessDegree(ys, xs, out);
+    case CompareOp::kGe:
+      return BatchLessEqualDegree(ys, xs, out);
+    case CompareOp::kApproxEq:
+      return BatchApproxEqualDegree(xs, ys, approx_tolerance, out);
+  }
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,80 @@
+// Batch-at-a-time satisfaction-degree kernels.
+//
+// Each kernel evaluates one comparator over a whole TrapezoidBatch in
+// two phases: a dense, branch-light sweep that resolves every lane
+// whose answer a fast path determines exactly (disjoint supports,
+// intersecting cores, crisp pairs, ordered supports) and collects the
+// rest in a selection vector, then the exact corner/edge-crossing
+// sweep over the surviving lanes only. Both phases call the same
+// inline lane arithmetic as the scalar functions in degree.h
+// (fuzzy/degree_kernels.h), so for every lane the result is
+// bit-identical to the scalar call -- tests/degree_batch_test.cc
+// holds each kernel to that contract over 10k seeded pairs.
+//
+// Three operand shapes per comparator: batch-vs-scalar (a gathered
+// column against a constant), scalar-vs-batch (needed because ~= and
+// the order comparators are not operand-symmetric), and elementwise
+// batch-vs-batch (two gathered columns; sizes must match).
+//
+// `out` must have room for the batch size and may alias the batch's
+// own degrees() lane.
+#ifndef FUZZYDB_FUZZY_DEGREE_BATCH_H_
+#define FUZZYDB_FUZZY_DEGREE_BATCH_H_
+
+#include "fuzzy/degree.h"
+#include "fuzzy/trapezoid.h"
+#include "fuzzy/trapezoid_batch.h"
+
+namespace fuzzydb {
+
+void BatchEqualityDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                         double* out);
+void BatchEqualityDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                         double* out);
+void BatchEqualityDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                         double* out);
+
+void BatchNotEqualDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                         double* out);
+void BatchNotEqualDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                         double* out);
+void BatchNotEqualDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                         double* out);
+
+void BatchLessDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                     double* out);
+void BatchLessDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                     double* out);
+void BatchLessDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                     double* out);
+
+void BatchLessEqualDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                          double* out);
+void BatchLessEqualDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                          double* out);
+void BatchLessEqualDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                          double* out);
+
+void BatchApproxEqualDegree(const TrapezoidBatch& xs, const Trapezoid& y,
+                            double tolerance, double* out);
+void BatchApproxEqualDegree(const Trapezoid& x, const TrapezoidBatch& ys,
+                            double tolerance, double* out);
+void BatchApproxEqualDegree(const TrapezoidBatch& xs, const TrapezoidBatch& ys,
+                            double tolerance, double* out);
+
+/// Batch counterparts of SatisfactionDegree: dispatch the comparator
+/// once, then run its kernel over the whole batch (kGt / kGe swap the
+/// operand roles exactly like the scalar dispatcher).
+void BatchSatisfactionDegree(const TrapezoidBatch& xs, CompareOp op,
+                             const Trapezoid& y, double approx_tolerance,
+                             double* out);
+void BatchSatisfactionDegree(const Trapezoid& x, CompareOp op,
+                             const TrapezoidBatch& ys, double approx_tolerance,
+                             double* out);
+void BatchSatisfactionDegree(const TrapezoidBatch& xs, CompareOp op,
+                             const TrapezoidBatch& ys, double approx_tolerance,
+                             double* out);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_FUZZY_DEGREE_BATCH_H_

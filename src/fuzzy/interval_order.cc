@@ -1,13 +1,12 @@
 #include "fuzzy/interval_order.h"
 
+#include "fuzzy/degree_kernels.h"
+
 namespace fuzzydb {
 
 int CompareIntervalOrder(const Trapezoid& x, const Trapezoid& y) {
-  if (x.SupportBegin() < y.SupportBegin()) return -1;
-  if (x.SupportBegin() > y.SupportBegin()) return 1;
-  if (x.SupportEnd() < y.SupportEnd()) return -1;
-  if (x.SupportEnd() > y.SupportEnd()) return 1;
-  return 0;
+  return kernel::CompareIntervalOrderLane(x.SupportBegin(), x.SupportEnd(),
+                                          y.SupportBegin(), y.SupportEnd());
 }
 
 bool IntervalOrderLess(const Trapezoid& x, const Trapezoid& y) {
@@ -15,12 +14,46 @@ bool IntervalOrderLess(const Trapezoid& x, const Trapezoid& y) {
 }
 
 bool SupportsIntersect(const Trapezoid& x, const Trapezoid& y) {
-  return x.SupportBegin() <= y.SupportEnd() &&
-         y.SupportBegin() <= x.SupportEnd();
+  return kernel::SupportsIntersectLane(x.SupportBegin(), x.SupportEnd(),
+                                       y.SupportBegin(), y.SupportEnd());
 }
 
 bool SupportEntirelyBefore(const Trapezoid& x, const Trapezoid& y) {
-  return x.SupportEnd() < y.SupportBegin();
+  return kernel::SupportEntirelyBeforeLane(x.SupportEnd(), y.SupportBegin());
+}
+
+void BatchCompareIntervalOrder(const TrapezoidBatch& xs, const Trapezoid& y,
+                               int* out) {
+  const size_t n = xs.size();
+  const double* a = xs.a();
+  const double* d = xs.d();
+  const double ya = y.SupportBegin();
+  const double yd = y.SupportEnd();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = kernel::CompareIntervalOrderLane(a[i], d[i], ya, yd);
+  }
+}
+
+void BatchSupportsIntersect(const TrapezoidBatch& xs, const Trapezoid& y,
+                            unsigned char* out) {
+  const size_t n = xs.size();
+  const double* a = xs.a();
+  const double* d = xs.d();
+  const double ya = y.SupportBegin();
+  const double yd = y.SupportEnd();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = kernel::SupportsIntersectLane(a[i], d[i], ya, yd) ? 1 : 0;
+  }
+}
+
+void BatchSupportEntirelyBefore(const TrapezoidBatch& xs, const Trapezoid& y,
+                                unsigned char* out) {
+  const size_t n = xs.size();
+  const double* d = xs.d();
+  const double ya = y.SupportBegin();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = kernel::SupportEntirelyBeforeLane(d[i], ya) ? 1 : 0;
+  }
 }
 
 }  // namespace fuzzydb

@@ -251,6 +251,9 @@ EngineMetrics* EngineMetrics::Instance() {
         reg.GetCounter("fuzzydb_partitioned_join_rows_out_total");
     m->merge_window_length =
         reg.GetHistogram("fuzzydb_merge_window_length");
+    m->batch_batches = reg.GetCounter("fuzzydb_batch_batches_total");
+    m->batch_rows = reg.GetCounter("fuzzydb_batch_rows_total");
+    m->batch_fill = reg.GetHistogram("fuzzydb_batch_fill");
     m->sort_spill_bytes = reg.GetCounter("fuzzydb_sort_spill_bytes_total");
     m->partition_spill_bytes =
         reg.GetCounter("fuzzydb_partition_spill_bytes_total");

@@ -224,6 +224,14 @@ struct EngineMetrics {
   // Paper-specific distribution: |Rng(r)| per outer tuple (Def. 3.2).
   Histogram* merge_window_length;
 
+  // Batch execution path (docs/architecture.md, "Batch execution"):
+  // batch-kernel invocations, lanes evaluated through them, and the
+  // fill level (lanes per invocation; low fill means ragged tails or
+  // scalar fallbacks are dominating).
+  Counter* batch_batches;
+  Counter* batch_rows;
+  Histogram* batch_fill;
+
   // Spill + memory accounting.
   Counter* sort_spill_bytes;
   Counter* partition_spill_bytes;

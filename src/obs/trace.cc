@@ -150,6 +150,12 @@ void ExecTrace::AppendText(size_t id, int depth, bool include_timing,
       *out += std::to_string(node.output_rows);
     }
   }
+  if (node.batches != TraceNode::kNoCount && node.batches > 0) {
+    *out += " batches=";
+    *out += std::to_string(node.batches);
+    *out += " rows/batch=";
+    *out += std::to_string(node.batch_rows / node.batches);
+  }
   if (node.threads > 1) {
     *out += " threads=";
     *out += std::to_string(node.threads);
@@ -201,6 +207,10 @@ std::string ExecTrace::ToChromeTraceJson() const {
     if (node.output_rows != TraceNode::kNoCount) {
       AppendField(&out, "rows_out", node.output_rows);
     }
+    if (node.batches != TraceNode::kNoCount) {
+      AppendField(&out, "batches", node.batches);
+      AppendField(&out, "batch_rows", node.batch_rows);
+    }
     out += "}}";
   }
   out += "\n]}\n";
@@ -233,6 +243,10 @@ void ExecTrace::AppendSummary(size_t id, int depth, bool* first,
   }
   if (node.output_rows != TraceNode::kNoCount) {
     AppendField(out, "rows_out", node.output_rows);
+  }
+  if (node.batches != TraceNode::kNoCount) {
+    AppendField(out, "batches", node.batches);
+    AppendField(out, "batch_rows", node.batch_rows);
   }
   *out += "}";
   for (size_t child : node.children) {

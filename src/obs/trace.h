@@ -51,6 +51,14 @@ struct TraceNode {
   IoStats io;    // page-traffic deltas over the span (inclusive)
   uint64_t input_rows = kNoCount;
   uint64_t output_rows = kNoCount;
+  /// Batch execution (docs/architecture.md): batch-kernel invocations
+  /// inside the span and the lanes they evaluated. kNoCount when the
+  /// operator ran scalar (batch_size = 0) or had no batchable work.
+  /// Like the counter deltas these are thread-count-invariant, but they
+  /// *do* vary with ExecOptions::batch_size, so they are deliberately
+  /// not part of the determinism signature in parallel_test.cc.
+  uint64_t batches = kNoCount;
+  uint64_t batch_rows = kNoCount;
   size_t threads = 1;    // worker slots the operator ran with
   bool clamped = false;  // a counter delta was clamped (snapshot misuse)
   std::vector<size_t> children;  // indices into ExecTrace::nodes()
@@ -148,6 +156,15 @@ class TraceScope {
   }
   void SetDetail(std::string detail) {
     if (trace_ != nullptr) trace_->node(id_).detail = std::move(detail);
+  }
+  /// Records batch-path usage (EXPLAIN ANALYZE renders it as
+  /// "batches=N rows/batch=M"). Call only when batches > 0; spans
+  /// without batch work stay unannotated.
+  void SetBatches(uint64_t batches, uint64_t batch_rows) {
+    if (trace_ != nullptr) {
+      trace_->node(id_).batches = batches;
+      trace_->node(id_).batch_rows = batch_rows;
+    }
   }
 
   /// Closes the span early (idempotent).

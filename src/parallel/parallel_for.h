@@ -43,6 +43,14 @@ struct ParallelContext {
   /// consulted from the coordinating thread only, so cache stats stay
   /// thread-count invariant.
   CacheManager* cache = nullptr;  // not owned
+
+  /// Lanes per batch for the batch-at-a-time degree kernels inside
+  /// morsel bodies (ExecOptions::batch_size, clamped by the operators
+  /// to TrapezoidBatch::kCapacity); 0 = scalar tuple-at-a-time path.
+  /// Batches never span a morsel, so batch decomposition -- like the
+  /// morsel decomposition -- is a pure function of (size, morsel_size,
+  /// batch_size), independent of thread count.
+  size_t batch_size = 1024;
 };
 
 /// Number of distinct worker slots a ParallelFor body may observe; size

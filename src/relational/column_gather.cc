@@ -1,0 +1,31 @@
+#include "relational/column_gather.h"
+
+#include <cassert>
+
+namespace fuzzydb {
+
+bool GatherFuzzyColumn(const Tuple* const* tuples, size_t count, size_t col,
+                       TrapezoidBatch* out) {
+  assert(count <= TrapezoidBatch::kCapacity);
+  out->Clear();
+  for (size_t i = 0; i < count; ++i) {
+    const Value& v = tuples[i]->ValueAt(col);
+    if (!v.is_fuzzy()) return false;
+    out->PushBack(v.AsFuzzy());
+  }
+  return true;
+}
+
+bool GatherFuzzyColumn(const Tuple* tuples, size_t count, size_t col,
+                       TrapezoidBatch* out) {
+  assert(count <= TrapezoidBatch::kCapacity);
+  out->Clear();
+  for (size_t i = 0; i < count; ++i) {
+    const Value& v = tuples[i].ValueAt(col);
+    if (!v.is_fuzzy()) return false;
+    out->PushBack(v.AsFuzzy());
+  }
+  return true;
+}
+
+}  // namespace fuzzydb

@@ -280,6 +280,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       } else {
         ExecOptions options;
         options.trace = &trace;
+        options.batch_size = batch_size_;
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
         options.context = &qctx;
@@ -327,6 +328,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         answer = naive.Evaluate(**bound);
       } else {
         ExecOptions options;
+        options.batch_size = batch_size_;
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
         options.context = &qctx;

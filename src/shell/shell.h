@@ -72,6 +72,12 @@ class Shell {
   /// (sort batches, join windows/blocks/partitions); 0 = unlimited.
   void set_memory_budget(uint64_t bytes) { memory_budget_ = bytes; }
 
+  /// Lanes per batch for the batch-at-a-time degree kernels
+  /// (ExecOptions::batch_size): 0 forces the scalar tuple-at-a-time
+  /// path, values above the SoA capacity (1024) are clamped. Answers
+  /// and counters are identical for every setting.
+  void set_batch_size(size_t lanes) { batch_size_ = lanes; }
+
   /// True once any statement has failed (parse, bind, or execution
   /// error). The fuzzydb_shell tool maps this to a non-zero exit code
   /// in -c mode.
@@ -102,6 +108,7 @@ class Shell {
   double slow_query_ms_ = 0.0;
   double timeout_ms_ = 0.0;
   uint64_t memory_budget_ = 0;
+  size_t batch_size_ = 1024;
 };
 
 }  // namespace fuzzydb

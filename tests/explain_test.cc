@@ -160,6 +160,61 @@ TEST(ExplainAnalyzeTest, TypeJaGolden) {
   EXPECT_EQ(normalized.substr(start), kGolden);
 }
 
+// Data for the batch-annotation golden: R.C1 values that land inside
+// the inner merge window so the batched emit path actually runs.
+constexpr const char* kBatchExplainSetup = R"(
+CREATE TABLE R (C0 FUZZY, C1 FUZZY, C2 FUZZY);
+CREATE TABLE S (C0 FUZZY, C1 FUZZY);
+INSERT INTO R VALUES (1, 5, 3);
+INSERT INTO R VALUES (2, 7, 3);
+INSERT INTO R VALUES (3, 6, 4);
+INSERT INTO S VALUES (5, 3);
+INSERT INTO S VALUES (7, 3);
+INSERT INTO S VALUES (2, 4);
+)";
+
+TEST(ExplainAnalyzeTest, BatchAnnotationsGolden) {
+  // A local predicate makes the filter batch-eligible and the IN link
+  // drives the merge window's batched emit path, so both spans carry
+  // the "batches=N rows/batch=M" annotation. The batch counts are
+  // thread-count-invariant (batches never span a morsel); the shell
+  // runs the default batch_size, so this golden is exact.
+  const std::string out = RunShell(
+      std::string(kBatchExplainSetup) +
+      "EXPLAIN ANALYZE SELECT R.C0 FROM R WHERE R.C0 >= 1 AND "
+      "R.C1 IN (SELECT S.C0 FROM S);\n");
+
+  const std::string kGolden =
+      "-- type N\n"
+      "plan: type N (Theorem 4.1)\n"
+      "  scan R (3 tuples)\n"
+      "  filter: R.C0 >= 1\n"
+      "  semijoin (IN) on R.C1\n"
+      "    scan S (3 tuples)\n"
+      "execution trace:\n"
+      "evaluate [N] wall=<t> rows=->2 "
+      "cpu={pairs=2 degrees=5 cmp=17 subq=0}\n"
+      "  filter [R] wall=<t> rows=3->3 batches=1 rows/batch=3 "
+      "cpu={pairs=0 degrees=3 cmp=0 subq=0}\n"
+      "  subquery [IN] wall=<t> rows=3 "
+      "cpu={pairs=2 degrees=2 cmp=17 subq=0}\n"
+      "    filter [S] wall=<t> rows=3->3 "
+      "cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
+      "    interval-sort [outer-view col1] wall=<t> rows=3 "
+      "cpu={pairs=0 degrees=0 cmp=5 subq=0}\n"
+      "    interval-sort [col0] wall=<t> rows=3 "
+      "cpu={pairs=0 degrees=0 cmp=3 subq=0}\n"
+      "    merge-window [inner=3] wall=<t> rows=3 batches=1 rows/batch=2 "
+      "cpu={pairs=2 degrees=2 cmp=9 subq=0}\n"
+      "  emit wall=<t> rows=3->2 cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
+      "-- 2 answer tuples\n";
+
+  const std::string normalized = Normalize(out);
+  const size_t start = normalized.find("-- type N");
+  ASSERT_NE(start, std::string::npos) << out;
+  EXPECT_EQ(normalized.substr(start), kGolden);
+}
+
 TEST(ExplainAnalyzeTest, NaiveEngineTracesToo) {
   const std::string out = RunShell(
       std::string(kExplainSetup) +

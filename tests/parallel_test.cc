@@ -347,9 +347,13 @@ TEST_P(DeterminismTest, IdenticalAnswerAndStatsForEveryThreadCount) {
   NaiveEvaluator naive;
   ASSERT_OK_AND_ASSIGN(Relation oracle, naive.Evaluate(*bound));
 
+  // The reference is the pure scalar serial run: one thread, batch
+  // kernels off. Every (threads, batch_size) combination must
+  // reproduce it exactly -- tuples, degrees, counters, and trace.
   ExecOptions options;
   options.morsel_size = 16;
   options.num_threads = 1;
+  options.batch_size = 0;
   ExecTrace reference_trace;
   options.trace = &reference_trace;
   CpuStats reference_cpu;
@@ -360,29 +364,40 @@ TEST_P(DeterminismTest, IdenticalAnswerAndStatsForEveryThreadCount) {
   const std::string reference_signature = TraceSignature(reference_trace);
   ASSERT_FALSE(reference_signature.empty());
 
-  for (size_t threads : {2u, 4u, 8u}) {
-    options.num_threads = threads;
-    ExecTrace trace;
-    options.trace = &trace;
-    CpuStats cpu;
-    UnnestingEvaluator parallel(options, &cpu);
-    ASSERT_OK_AND_ASSIGN(Relation actual, parallel.Evaluate(*bound));
-    // Tuples and degrees: exact, not approximate -- the parallel plan
-    // performs the same arithmetic on the same operands.
-    EXPECT_TRUE(expected.EquivalentTo(actual, 0.0))
-        << test_case.name << " with " << threads << " threads\nserial:\n"
-        << expected.ToString(20) << "\nparallel:\n" << actual.ToString(20);
-    // Work counters: identical, field by field.
-    EXPECT_EQ(cpu.tuple_pairs, reference_cpu.tuple_pairs) << threads;
-    EXPECT_EQ(cpu.degree_evaluations, reference_cpu.degree_evaluations)
-        << threads;
-    EXPECT_EQ(cpu.comparisons, reference_cpu.comparisons) << threads;
-    EXPECT_EQ(cpu.subquery_evaluations, reference_cpu.subquery_evaluations)
-        << threads;
-    // The execution trace -- operator tree, cardinalities, and every
-    // per-span counter delta -- is thread-count-invariant too.
-    EXPECT_EQ(TraceSignature(trace), reference_signature)
-        << test_case.name << " with " << threads << " threads";
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // Batch sizes chosen to exercise the scalar A/B switch (0), the
+    // degenerate one-lane batch (1), a ragged morsel-interior size (7),
+    // and the full SoA capacity (1024).
+    for (size_t batch_size : {0u, 1u, 7u, 1024u}) {
+      if (threads == 1 && batch_size == 0) continue;  // the reference
+      options.num_threads = threads;
+      options.batch_size = batch_size;
+      ExecTrace trace;
+      options.trace = &trace;
+      CpuStats cpu;
+      UnnestingEvaluator parallel(options, &cpu);
+      ASSERT_OK_AND_ASSIGN(Relation actual, parallel.Evaluate(*bound));
+      const std::string label = test_case.name + std::string(" with ") +
+                                std::to_string(threads) + " threads, batch " +
+                                std::to_string(batch_size);
+      // Tuples and degrees: exact, not approximate -- the parallel and
+      // batch plans perform the same arithmetic on the same operands.
+      EXPECT_TRUE(expected.EquivalentTo(actual, 0.0))
+          << label << "\nserial:\n"
+          << expected.ToString(20) << "\nparallel:\n" << actual.ToString(20);
+      // Work counters: identical, field by field.
+      EXPECT_EQ(cpu.tuple_pairs, reference_cpu.tuple_pairs) << label;
+      EXPECT_EQ(cpu.degree_evaluations, reference_cpu.degree_evaluations)
+          << label;
+      EXPECT_EQ(cpu.comparisons, reference_cpu.comparisons) << label;
+      EXPECT_EQ(cpu.subquery_evaluations,
+                reference_cpu.subquery_evaluations)
+          << label;
+      // The execution trace -- operator tree, cardinalities, and every
+      // per-span counter delta -- is invariant across the whole matrix
+      // (batch annotations live outside the signature by design).
+      EXPECT_EQ(TraceSignature(trace), reference_signature) << label;
+    }
   }
 }
 

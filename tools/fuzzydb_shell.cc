@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
     const std::string kTimeoutFlag = "--timeout-ms=";
     const std::string kBudgetFlag = "--memory-budget=";
     const std::string kCacheFlag = "--cache-mb=";
+    const std::string kBatchFlag = "--batch-size=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
     } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
@@ -132,6 +133,18 @@ int main(int argc, char** argv) {
       }
       fuzzydb::CacheManager::Global().set_capacity_bytes(
           static_cast<uint64_t>(mb) << 20);
+    } else if (arg.rfind(kBatchFlag, 0) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long lanes =
+          std::strtoull(arg.c_str() + kBatchFlag.size(), &end, 10);
+      if (errno != 0 || end == arg.c_str() + kBatchFlag.size() ||
+          *end != '\0') {
+        std::cerr << "bad --batch-size value (want a lane count, 0 = scalar): "
+                  << arg << "\n";
+        return 2;
+      }
+      shell.set_batch_size(static_cast<size_t>(lanes));
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
     } else if (arg == "-c") {
@@ -146,7 +159,7 @@ int main(int argc, char** argv) {
                    "    [--trace-json=PATH] [--metrics-json=PATH|-]\n"
                    "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n"
                    "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n"
-                   "    [--cache-mb=N]\n";
+                   "    [--cache-mb=N] [--batch-size=N]\n";
       return 2;
     }
   }
