@@ -160,6 +160,13 @@ void BenchReport::Add(const std::string& name, const ExecStats& stats) {
     entry.window_p90 = window.Quantile(0.90);
     entry.window_p99 = window.Quantile(0.99);
     entry.window_max = static_cast<double>(window.max);
+    // The engine records q-errors scaled by 100 (histograms hold
+    // integers); report them back in natural units.
+    const HistogramSnapshot q_error = metrics->planner_q_error->Snapshot();
+    if (q_error.total_count > 0) {
+      entry.plan_q_error_p50 = q_error.Quantile(0.50) / 100.0;
+      entry.plan_q_error_max = static_cast<double>(q_error.max) / 100.0;
+    }
     MetricsRegistry::Global().ResetAll();
   }
   entries_.push_back(std::move(entry));
@@ -183,13 +190,15 @@ std::string BenchReport::ToJson() const {
         "\"cpu_seconds\": %.6f, \"ios\": %llu, \"tuple_pairs\": %llu, "
         "\"degree_evaluations\": %llu, \"peak_mem_bytes\": %llu, "
         "\"window_p50\": %.3f, \"window_p90\": %.3f, "
-        "\"window_p99\": %.3f, \"window_max\": %.0f}",
+        "\"window_p99\": %.3f, \"window_max\": %.0f, "
+        "\"plan_q_error_p50\": %.3f, \"plan_q_error_max\": %.3f}",
         i == 0 ? "" : ",", e.name.c_str(), e.wall_seconds, e.cpu_seconds,
         static_cast<unsigned long long>(e.ios),
         static_cast<unsigned long long>(e.tuple_pairs),
         static_cast<unsigned long long>(e.degree_evaluations),
         static_cast<unsigned long long>(e.peak_mem_bytes), e.window_p50,
-        e.window_p90, e.window_p99, e.window_max);
+        e.window_p90, e.window_p99, e.window_max, e.plan_q_error_p50,
+        e.plan_q_error_max);
     out << buf;
   }
   out << "\n  ]\n}\n";

@@ -113,6 +113,12 @@ struct BenchReportEntry {
   double window_p90 = 0.0;
   double window_p99 = 0.0;
   double window_max = 0.0;
+  // Planner estimate quality for the entry's run: quantiles of the
+  // per-span q-error distribution (max(est, act) / min(est, act);
+  // 1.0 = perfect) from the engine histogram. 0 when the run recorded
+  // no estimates (cost-based planning off or untraced).
+  double plan_q_error_p50 = 0.0;
+  double plan_q_error_max = 0.0;
 };
 
 /// Accumulates per-configuration results and writes the machine-read

@@ -1,6 +1,7 @@
 #include "engine/unnested_evaluator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <map>
@@ -14,7 +15,9 @@
 #include "cache/plan_fingerprint.h"
 #include "common/query_context.h"
 #include "engine/aggregate.h"
+#include "engine/cost_model.h"
 #include "engine/join_order.h"
+#include "stats/column_stats.h"
 #include "engine/naive_evaluator.h"
 #include "engine/semantics.h"
 #include "common/stopwatch.h"
@@ -282,6 +285,103 @@ void FilterChunkBatched(const std::vector<BatchPredPlan>& plans,
   }
 }
 
+// ---------------------------------------------------------------------
+// Cost-based planning hooks (ExecOptions::cost_based).
+//
+// Estimates come from the support-corner summaries of
+// stats/column_stats.h; algorithm decisions from engine/cost_model.h.
+// Every input is a thread-count-invariant filtered vector and every
+// estimator is a pure function, so planning decisions -- and therefore
+// results -- are identical for every thread count, and identical to the
+// fixed-rule plans in answer bits (only intermediate work differs).
+// ---------------------------------------------------------------------
+
+/// Builds the summary of fuzzy column `col` over a filtered vector.
+ColumnStats BuildKeyStats(const std::vector<FT>& tuples, size_t col) {
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    m->planner_stats_builds->Add();
+  }
+  std::vector<Trapezoid> values;
+  values.reserve(tuples.size());
+  for (const FT& ft : tuples) {
+    const Value& v = ft.tuple->ValueAt(col);
+    if (v.is_fuzzy()) values.push_back(v.AsFuzzy());
+  }
+  ColumnStats stats = BuildColumnStats(values);
+  stats.rows = tuples.size();
+  return stats;
+}
+
+/// Rounds a fractional cardinality estimate to the uint64 a span carries.
+uint64_t RoundEstimate(double est) {
+  if (!(est > 0.0)) return 0;
+  return static_cast<uint64_t>(std::llround(est));
+}
+
+/// Records one operator's q-error, max(est/act, act/est) with both
+/// sides floored at one row, scaled by 100 (100 = perfect).
+void RecordQError(uint64_t est, uint64_t act) {
+  if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+    const double e = static_cast<double>(std::max<uint64_t>(est, 1));
+    const double a = static_cast<double>(std::max<uint64_t>(act, 1));
+    m->planner_q_error->Record(
+        static_cast<uint64_t>(std::llround(std::max(e / a, a / e) * 100.0)));
+  }
+}
+
+/// `op` as seen from the other side of the comparison (column and
+/// constant swapped).
+CompareOp MirrorCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Planner estimate of a filter block's survivors: relation rows times
+/// the product of per-predicate selectivities. Only column-vs-fuzzy-
+/// constant comparisons are estimable from the summaries; other local
+/// predicates contribute selectivity 1 (keep everything).
+uint64_t EstimateFilterRows(const BoundQuery& block, size_t n) {
+  if (n == 0) return 0;
+  const Relation& rel = *block.tables[0].relation;
+  double selectivity = 1.0;
+  for (const auto& pred : block.predicates) {
+    if (pred.subquery != nullptr || !pred.IsLocal()) continue;
+    if (pred.kind != Predicate::Kind::kCompare || pred.negated) continue;
+    const BoundOperand* col_side = nullptr;
+    const BoundOperand* const_side = nullptr;
+    CompareOp op = pred.op;
+    if (pred.lhs.is_column && !pred.rhs.is_column) {
+      col_side = &pred.lhs;
+      const_side = &pred.rhs;
+    } else if (pred.rhs.is_column && !pred.lhs.is_column) {
+      col_side = &pred.rhs;
+      const_side = &pred.lhs;
+      op = MirrorCompareOp(op);
+    } else {
+      continue;
+    }
+    if (!const_side->constant.is_fuzzy()) continue;
+    const ColumnStats stats =
+        BuildColumnStats(rel, col_side->column.column);
+    if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+      m->planner_stats_builds->Add();
+    }
+    selectivity *= EstimatePredicateSelectivity(
+        stats, op, const_side->constant.AsFuzzy());
+  }
+  return RoundEstimate(selectivity * static_cast<double>(n));
+}
+
 /// Filters a single-table block by its local predicates; this is the
 /// paper's "only those tuples that satisfy p positively should be sorted".
 /// Morsels are filtered in parallel into per-morsel vectors concatenated
@@ -313,6 +413,11 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
       span.SetDetail(block.tables[0].relation->name() + " (cached)");
       span.SetInputRows(n);
       span.SetOutputRows(out.size());
+      if (span.enabled() && ctx.cost_based) {
+        const uint64_t est = EstimateFilterRows(block, n);
+        span.SetEstimatedRows(est);
+        RecordQError(est, out.size());
+      }
       if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
         m->filter_rows_in->Add(n);
         m->filter_rows_out->Add(out.size());
@@ -380,6 +485,11 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   }
   span.SetInputRows(n);
   span.SetOutputRows(out.size());
+  if (span.enabled() && ctx.cost_based) {
+    const uint64_t est = EstimateFilterRows(block, n);
+    span.SetEstimatedRows(est);
+    RecordQError(est, out.size());
+  }
   if (!cache_key.empty()) {
     auto payload = std::make_shared<CacheManager::FilteredBlock>();
     payload->reserve(out.size());
@@ -526,7 +636,8 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
                  const std::function<void(size_t, const FT&, const FT&)>&
                      emit,
                  const std::function<void(size_t)>& morsel_flush = {},
-                 const std::vector<BatchTally>* batch_tallies = nullptr) {
+                 const std::vector<BatchTally>* batch_tallies = nullptr,
+                 uint64_t est_pairs = TraceNode::kNoCount) {
   TraceScope span(trace, "merge-window", total_cpu, nullptr,
                   "inner=" + std::to_string(inner.size()));
   span.SetInputRows(outer.size());
@@ -549,6 +660,12 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
     running = std::max(running, inner_bounds[i].end);
     inner_end_max[i] = running;
   }
+
+  // Windowed (= emitted) pairs per worker; the post-barrier sum is
+  // permutation-invariant, so the span's rows_out -- the actual
+  // cardinality the q-error gate compares est_pairs against -- is
+  // thread-count-invariant like the counters.
+  std::vector<uint64_t> worker_pairs(WorkerSlots(ctx), 0);
 
   ParallelFor(ctx, outer.size(), [&](size_t worker, size_t begin,
                                      size_t end) {
@@ -579,10 +696,20 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
         emit(worker, outer[r], inner[i]);
       }
       if (window_hist != nullptr) window_hist->Record(window_len);
+      worker_pairs[worker] += window_len;
     }
     if (morsel_flush) morsel_flush(worker);
   });
   folder.Fold();
+  if (span.enabled()) {
+    uint64_t emitted = 0;
+    for (uint64_t p : worker_pairs) emitted += p;
+    span.SetOutputRows(emitted);
+    if (est_pairs != TraceNode::kNoCount) {
+      span.SetEstimatedRows(est_pairs);
+      RecordQError(est_pairs, emitted);
+    }
+  }
   if (batch_tallies != nullptr) PublishBatchTally(*batch_tallies, &span);
 }
 
@@ -1005,9 +1132,20 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
         if (term > m[idx]) m[idx] = term;
       };
     }
+    // Planner estimate for the window: |outer| times the overlap
+    // fanout predicted by the key columns' support-corner summaries --
+    // the statistics replacement for the paper's "known" C.
+    uint64_t est_pairs = TraceNode::kNoCount;
+    if (trace != nullptr && ctx.cost_based) {
+      const ColumnStats outer_stats = BuildKeyStats(sorted_outer, outer_key);
+      const ColumnStats inner_stats = BuildKeyStats(inner, inner_key);
+      est_pairs = RoundEstimate(
+          static_cast<double>(sorted_outer.size()) *
+          EstimateOverlapFanout(outer_stats, inner_stats));
+    }
     MergeWindow(sorted_outer, outer_key, inner, inner_key, ctx,
                 cpu == nullptr ? nullptr : &worker_cpu, cpu, trace, emit,
-                morsel_flush, batch > 0 ? &tallies : nullptr);
+                morsel_flush, batch > 0 ? &tallies : nullptr, est_pairs);
     FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
   } else if (shape.correlations.empty() && !shape.has_link_columns) {
     // Uncorrelated EXISTS: a constant -- the possibility that the inner
@@ -1381,10 +1519,41 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
     }
   }
 
-  // ---- Join-order planning (sampled selectivities + interval DP) ----
+  // ---- Join-order planning ------------------------------------------
+  // cost_based: per-edge column summaries feed the DP's selectivities,
+  // the per-step cardinality estimates, and the merge-vs-nested cost
+  // decisions. Otherwise (--no-cbo) the legacy pair-sampling path runs
+  // unchanged. Either way any order yields the same fuzzy answer (see
+  // join_order.h); the knob trades planning signal only.
   std::vector<size_t> order(k_levels);
   std::iota(order.begin(), order.end(), 0);
-  if (use_planner && k_levels > 2) {
+
+  std::vector<ColumnStats> edge_outer_stats;  // filtered[e] at its link col
+  std::vector<ColumnStats> edge_inner_stats;  // filtered[e+1] at its key col
+  ChainStats est_stats;
+  if (ctx.cost_based && k_levels > 1) {
+    for (size_t k = 0; k < k_levels; ++k) {
+      est_stats.cardinality.push_back(static_cast<double>(filtered[k].size()));
+    }
+    for (size_t e = 0; e + 1 < k_levels; ++e) {
+      edge_outer_stats.push_back(
+          BuildKeyStats(filtered[e], edge_outer_col(e)));
+      edge_inner_stats.push_back(
+          BuildKeyStats(filtered[e + 1], edge_inner_col(e)));
+      est_stats.selectivity.push_back(std::max(
+          1e-6,
+          EstimateJoinSelectivity(edge_outer_stats[e], edge_inner_stats[e])));
+    }
+  }
+
+  if (use_planner && k_levels > 2 && ctx.cost_based) {
+    TraceScope plan_span(trace, "plan-join-order", cpu, nullptr,
+                         "levels=" + std::to_string(k_levels));
+    order = PlanChainJoinOrder(est_stats).levels;
+    if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+      m->planner_plans->Add();
+    }
+  } else if (use_planner && k_levels > 2) {
     TraceScope plan_span(trace, "plan-join-order", cpu, nullptr,
                          "levels=" + std::to_string(k_levels));
     ChainStats stats;
@@ -1507,7 +1676,42 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
       return true;
     };
 
-    if (rows_key_fuzzy() && ColumnIsFuzzy(incoming, new_col)) {
+    // Step planning. Fixed rule: merge whenever both key columns are
+    // fuzzy. Cost-based: among the legal algorithms, the cheaper one
+    // under the cost model, with the expected windowed pairs predicted
+    // from the edge's column summaries; the span gets the interval's
+    // estimated output cardinality for the q-error loop.
+    const bool merge_legal =
+        rows_key_fuzzy() && ColumnIsFuzzy(incoming, new_col);
+    bool use_merge = merge_legal;
+    uint64_t step_est = TraceNode::kNoCount;
+    if (ctx.cost_based && !edge_outer_stats.empty()) {
+      const ColumnStats& from_stats =
+          extend_left ? edge_inner_stats[edge] : edge_outer_stats[edge];
+      const ColumnStats& to_stats =
+          extend_left ? edge_outer_stats[edge] : edge_inner_stats[edge];
+      const double est_pairs =
+          static_cast<double>(rows.size()) *
+          EstimateOverlapFanout(from_stats, to_stats);
+      if (merge_legal) {
+        use_merge = ChooseChainStepAlgorithm(rows.size(), incoming.size(),
+                                             est_pairs, true) ==
+                    JoinAlgorithm::kMergeWindow;
+      }
+      if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
+        (use_merge ? m->planner_merge_steps : m->planner_nested_steps)->Add();
+      }
+      if (step_span.enabled()) {
+        step_est = RoundEstimate(EstimateIntervalSize(
+            est_stats, std::min(joined_lo, level),
+            std::max(joined_hi, level)));
+        step_span.SetEstimatedRows(step_est);
+        step_span.SetDetail("level=" + std::to_string(level) +
+                            (use_merge ? " alg=merge" : " alg=nested"));
+      }
+    }
+
+    if (use_merge) {
       std::sort(rows.begin(), rows.end(), [&](const Row& x, const Row& y) {
         if (cpu != nullptr) ++cpu->comparisons;
         return IntervalOrderLess(
@@ -1550,6 +1754,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
     }
     rows = std::move(joined);
     step_span.SetOutputRows(rows.size());
+    if (step_est != TraceNode::kNoCount) RecordQError(step_est, rows.size());
     joined_lo = std::min(joined_lo, level);
     joined_hi = std::max(joined_hi, level);
   }
@@ -1582,6 +1787,7 @@ ParallelContext UnnestingEvaluator::MakeContext() {
   ctx.cache = options_.cache;
   ctx.morsel_size = options_.morsel_size == 0 ? 1 : options_.morsel_size;
   ctx.batch_size = options_.batch_size;
+  ctx.cost_based = options_.cost_based;
   const size_t threads = options_.ResolvedThreads();
   if (threads > 1) {
     if (pool_ == nullptr || pool_->size() != threads) {

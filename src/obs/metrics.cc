@@ -254,6 +254,14 @@ EngineMetrics* EngineMetrics::Instance() {
     m->batch_batches = reg.GetCounter("fuzzydb_batch_batches_total");
     m->batch_rows = reg.GetCounter("fuzzydb_batch_rows_total");
     m->batch_fill = reg.GetHistogram("fuzzydb_batch_fill");
+    m->planner_plans = reg.GetCounter("fuzzydb_planner_plans_total");
+    m->planner_stats_builds =
+        reg.GetCounter("fuzzydb_planner_stats_builds_total");
+    m->planner_merge_steps =
+        reg.GetCounter("fuzzydb_planner_merge_steps_total");
+    m->planner_nested_steps =
+        reg.GetCounter("fuzzydb_planner_nested_steps_total");
+    m->planner_q_error = reg.GetHistogram("fuzzydb_planner_q_error");
     m->sort_spill_bytes = reg.GetCounter("fuzzydb_sort_spill_bytes_total");
     m->partition_spill_bytes =
         reg.GetCounter("fuzzydb_partition_spill_bytes_total");

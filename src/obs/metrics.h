@@ -232,6 +232,17 @@ struct EngineMetrics {
   Counter* batch_rows;
   Histogram* batch_fill;
 
+  // Cost-based planner (engine/cost_model.h, stats/column_stats.h):
+  // cost-based chain plans computed, column-statistics builds, chain
+  // steps decided each way, and the per-operator q-error distribution
+  // (max(est/act, act/est) scaled by 100, so 100 = perfect) feeding the
+  // estimator-accuracy gate.
+  Counter* planner_plans;
+  Counter* planner_stats_builds;
+  Counter* planner_merge_steps;
+  Counter* planner_nested_steps;
+  Histogram* planner_q_error;
+
   // Spill + memory accounting.
   Counter* sort_spill_bytes;
   Counter* partition_spill_bytes;

@@ -150,6 +150,10 @@ void ExecTrace::AppendText(size_t id, int depth, bool include_timing,
       *out += std::to_string(node.output_rows);
     }
   }
+  if (node.est_rows != TraceNode::kNoCount) {
+    *out += " est=";
+    *out += std::to_string(node.est_rows);
+  }
   if (node.batches != TraceNode::kNoCount && node.batches > 0) {
     *out += " batches=";
     *out += std::to_string(node.batches);
@@ -207,6 +211,9 @@ std::string ExecTrace::ToChromeTraceJson() const {
     if (node.output_rows != TraceNode::kNoCount) {
       AppendField(&out, "rows_out", node.output_rows);
     }
+    if (node.est_rows != TraceNode::kNoCount) {
+      AppendField(&out, "est_rows", node.est_rows);
+    }
     if (node.batches != TraceNode::kNoCount) {
       AppendField(&out, "batches", node.batches);
       AppendField(&out, "batch_rows", node.batch_rows);
@@ -243,6 +250,9 @@ void ExecTrace::AppendSummary(size_t id, int depth, bool* first,
   }
   if (node.output_rows != TraceNode::kNoCount) {
     AppendField(out, "rows_out", node.output_rows);
+  }
+  if (node.est_rows != TraceNode::kNoCount) {
+    AppendField(out, "est_rows", node.est_rows);
   }
   if (node.batches != TraceNode::kNoCount) {
     AppendField(out, "batches", node.batches);

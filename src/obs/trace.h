@@ -51,6 +51,12 @@ struct TraceNode {
   IoStats io;    // page-traffic deltas over the span (inclusive)
   uint64_t input_rows = kNoCount;
   uint64_t output_rows = kNoCount;
+  /// Planner-estimated output cardinality (EXPLAIN ANALYZE renders it as
+  /// "est=N" next to the actual rows; the estimator-accuracy gate
+  /// computes per-operator q-error from est_rows vs rows_out). kNoCount
+  /// when the operator ran without a cost-based estimate (--no-cbo, or
+  /// an operator the planner does not estimate).
+  uint64_t est_rows = kNoCount;
   /// Batch execution (docs/architecture.md): batch-kernel invocations
   /// inside the span and the lanes they evaluated. kNoCount when the
   /// operator ran scalar (batch_size = 0) or had no batchable work.
@@ -150,6 +156,9 @@ class TraceScope {
   }
   void SetOutputRows(uint64_t n) {
     if (trace_ != nullptr) trace_->node(id_).output_rows = n;
+  }
+  void SetEstimatedRows(uint64_t n) {
+    if (trace_ != nullptr) trace_->node(id_).est_rows = n;
   }
   void SetThreads(size_t n) {
     if (trace_ != nullptr) trace_->node(id_).threads = n;

@@ -51,6 +51,13 @@ struct ParallelContext {
   /// morsel decomposition -- is a pure function of (size, morsel_size,
   /// batch_size), independent of thread count.
   size_t batch_size = 1024;
+
+  /// ExecOptions::cost_based, threaded through so deeply nested
+  /// operators (chain steps, subquery windows) know whether to compute
+  /// statistics-based estimates and cost-picked algorithms. Planning
+  /// inputs are thread-count invariant, so this knob never changes
+  /// results -- see engine/cost_model.h.
+  bool cost_based = true;
 };
 
 /// Number of distinct worker slots a ParallelFor body may observe; size

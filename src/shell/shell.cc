@@ -19,6 +19,7 @@
 #include "sql/binder.h"
 #include "sql/statement.h"
 #include "storage/database.h"
+#include "workload/generator.h"
 
 namespace fuzzydb {
 
@@ -135,6 +136,8 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
            "commands:\n"
            "  .tables .schema <t> .terms .explain on|off\n"
            "  .engine naive|unnested .slowlog .save <dir> .open <dir>\n"
+           "  .gen typej <seed> <nr> <ns> <fanout>  (relations R and S)\n"
+           "  .gen rand <name> <seed> <cols> <rows>\n"
            "  .quit\n";
     return;
   }
@@ -194,6 +197,74 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
     }
     use_naive_ = EqualsIgnoreCase(words[1], "naive");
     out << "engine: " << (use_naive_ ? "naive" : "unnested") << "\n";
+    return;
+  }
+  if (command == ".gen") {
+    // Deterministic synthetic datasets (src/workload/generator.h) so
+    // scripted sessions -- the estimator-accuracy gate in particular --
+    // can build workloads without shipping data files.
+    auto parse_u64 = [](const std::string& word, uint64_t* value) {
+      std::istringstream stream(word);
+      return static_cast<bool>(stream >> *value) && stream.eof();
+    };
+    if (words.size() == 6 && EqualsIgnoreCase(words[1], "typej")) {
+      uint64_t seed = 0, nr = 0, ns = 0, fanout = 0;
+      if (!parse_u64(words[2], &seed) || !parse_u64(words[3], &nr) ||
+          !parse_u64(words[4], &ns) || !parse_u64(words[5], &fanout) ||
+          fanout == 0) {
+        out << "usage: .gen typej <seed> <nr> <ns> <fanout>\n";
+        return;
+      }
+      WorkloadConfig config;
+      config.seed = seed;
+      config.num_r = nr;
+      config.num_s = ns;
+      config.join_fanout = static_cast<double>(fanout);
+      TypeJDataset dataset = GenerateTypeJDataset(config);
+      for (const char* name : {"R", "S"}) {
+        if (catalog_.HasRelation(name)) {
+          if (auto old = catalog_.GetRelation(name); old.ok()) {
+            CacheManager::Global().InvalidateRelation((*old)->id());
+          }
+          catalog_.DropRelation(name);
+        }
+      }
+      const Status status_r = catalog_.AddRelation(std::move(dataset.r));
+      const Status status_s = catalog_.AddRelation(std::move(dataset.s));
+      if (!status_r.ok() || !status_s.ok()) {
+        out << (status_r.ok() ? status_s : status_r).ToString() << "\n";
+        return;
+      }
+      out << "generated R (" << nr << " tuples), S (" << ns
+          << " tuples), fanout " << fanout << "\n";
+      return;
+    }
+    if (words.size() == 6 && EqualsIgnoreCase(words[1], "rand")) {
+      const std::string& name = words[2];
+      uint64_t seed = 0, cols = 0, rows = 0;
+      if (!parse_u64(words[3], &seed) || !parse_u64(words[4], &cols) ||
+          !parse_u64(words[5], &rows) || cols == 0) {
+        out << "usage: .gen rand <name> <seed> <cols> <rows>\n";
+        return;
+      }
+      if (catalog_.HasRelation(name)) {
+        if (auto old = catalog_.GetRelation(name); old.ok()) {
+          CacheManager::Global().InvalidateRelation((*old)->id());
+        }
+        catalog_.DropRelation(name);
+      }
+      const Status status = catalog_.AddRelation(
+          GenerateRandomRelation(seed, name, cols, rows));
+      if (!status.ok()) {
+        out << status.ToString() << "\n";
+        return;
+      }
+      out << "generated " << name << " (" << rows << " tuples, " << cols
+          << " columns)\n";
+      return;
+    }
+    out << "usage: .gen typej <seed> <nr> <ns> <fanout>\n"
+           "       .gen rand <name> <seed> <cols> <rows>\n";
     return;
   }
   if (command == ".save" || command == ".open") {
@@ -285,6 +356,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         options.query_text = text;
         options.context = &qctx;
         options.cache = &CacheManager::Global();
+        options.cost_based = cost_based_;
         UnnestingEvaluator engine(options, &cpu);
         answer = engine.Evaluate(**bound);
       }
@@ -297,6 +369,11 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
           << trace.ToString()
           << "-- " << answer->NumTuples() << " answer tuple"
           << (answer->NumTuples() == 1 ? "" : "s") << "\n";
+      if (explain_json_) {
+        out << "-- trace json begin\n"
+            << trace.ToJsonSummary() << "\n"
+            << "-- trace json end\n";
+      }
       if (!trace_json_path_.empty()) {
         std::ofstream file(trace_json_path_);
         if (file) {
@@ -333,6 +410,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         options.query_text = text;
         options.context = &qctx;
         options.cache = &CacheManager::Global();
+        options.cost_based = cost_based_;
         UnnestingEvaluator engine(options);
         answer = engine.Evaluate(**bound);
         unnested = engine.last_was_unnested();

@@ -12,6 +12,7 @@
 //   .engine naive|unnested   choose the evaluator (default unnested)
 //   .slowlog             show the slow-query log (see set_slow_query_ms)
 //   .save <dir> / .open <dir>   persist / load the whole database
+//   .gen typej|rand ...  generate synthetic relations (src/workload/)
 //   .quit
 //
 // SHOW METRICS renders the process-wide metrics registry, and the
@@ -78,6 +79,17 @@ class Shell {
   /// and counters are identical for every setting.
   void set_batch_size(size_t lanes) { batch_size_ = lanes; }
 
+  /// Cost-based physical planning (ExecOptions::cost_based; tool flag
+  /// --no-cbo clears it). Off reproduces the legacy fixed-rule plans
+  /// exactly; answers are bit-identical either way.
+  void set_cost_based(bool on) { cost_based_ = on; }
+
+  /// When set, every EXPLAIN ANALYZE also prints its per-operator
+  /// summary as a JSON array between "-- trace json begin" and
+  /// "-- trace json end" marker lines, for tools (estimate_check.py)
+  /// that parse estimates and actuals out of shell sessions.
+  void set_explain_json(bool on) { explain_json_ = on; }
+
   /// True once any statement has failed (parse, bind, or execution
   /// error). The fuzzydb_shell tool maps this to a non-zero exit code
   /// in -c mode.
@@ -109,6 +121,8 @@ class Shell {
   double timeout_ms_ = 0.0;
   uint64_t memory_budget_ = 0;
   size_t batch_size_ = 1024;
+  bool cost_based_ = true;
+  bool explain_json_ = false;
 };
 
 }  // namespace fuzzydb

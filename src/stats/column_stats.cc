@@ -1,0 +1,232 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace fuzzydb {
+
+namespace {
+
+/// Clamps to [0, 1]; the CDFs interpolate and may drift a hair outside.
+double Unit(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Linear position of `x` inside [lo, hi]; 0.5 for a degenerate range
+/// (all members equal: half the bucket is <= x when x lands on it).
+double Frac(double x, double lo, double hi) {
+  if (hi <= lo) return 0.5;
+  return Unit((x - lo) / (hi - lo));
+}
+
+}  // namespace
+
+double ColumnStats::CdfBeginLeq(double x) const {
+  if (fuzzy_rows == 0) return 0.0;
+  uint64_t below = 0;
+  for (const StatsBucket& b : begin_buckets) {
+    if (x >= b.begin_hi) {
+      below += b.count;
+    } else if (x >= b.begin_lo) {
+      below += static_cast<uint64_t>(
+          Frac(x, b.begin_lo, b.begin_hi) * static_cast<double>(b.count));
+      break;
+    } else {
+      break;
+    }
+  }
+  return Unit(static_cast<double>(below) / static_cast<double>(fuzzy_rows));
+}
+
+double ColumnStats::CdfEndLt(double x) const {
+  if (fuzzy_rows == 0 || end_edges.size() < 2) return 0.0;
+  const size_t segments = end_edges.size() - 1;
+  if (x <= end_edges.front()) return 0.0;
+  if (x > end_edges.back()) return 1.0;
+  double cdf = 0.0;
+  for (size_t j = 0; j < segments; ++j) {
+    if (x > end_edges[j + 1]) continue;
+    cdf = (static_cast<double>(j) + Frac(x, end_edges[j], end_edges[j + 1])) /
+          static_cast<double>(segments);
+    break;
+  }
+  return Unit(cdf);
+}
+
+double ColumnStats::OverlapFraction(double lo, double hi) const {
+  if (fuzzy_rows == 0) return 0.0;
+  // overlap([b, e], [lo, hi]) <=> b <= hi and e >= lo; and e < lo forces
+  // b <= hi, so the two counts subtract without inclusion-exclusion.
+  return Unit(CdfBeginLeq(hi) - CdfEndLt(lo));
+}
+
+ColumnStats BuildColumnStats(const std::vector<Trapezoid>& values,
+                             size_t buckets) {
+  ColumnStats stats;
+  stats.rows = values.size();
+  stats.fuzzy_rows = values.size();
+  if (values.empty()) return stats;
+
+  // Sort the corner pairs by (begin, end): the build is a pure function
+  // of the value multiset, so shuffled inputs yield identical summaries.
+  std::vector<std::pair<double, double>> corners;
+  corners.reserve(values.size());
+  for (const Trapezoid& t : values) {
+    corners.emplace_back(t.SupportBegin(), t.SupportEnd());
+  }
+  std::sort(corners.begin(), corners.end());
+  stats.min_begin = corners.front().first;
+  // Accumulated over the *sorted* corners: floating-point addition is
+  // order-sensitive, and the build promises bit-identical output for
+  // shuffled input.
+  double width_sum = 0.0;
+  for (const auto& [begin, end] : corners) width_sum += end - begin;
+  stats.avg_support_width = width_sum / static_cast<double>(corners.size());
+
+  stats.distinct_estimate = 1;
+  for (size_t i = 1; i < corners.size(); ++i) {
+    if (corners[i].first - corners[i - 1].first > kDistinctEpsilon) {
+      ++stats.distinct_estimate;
+    }
+  }
+
+  const size_t n = corners.size();
+  const size_t b = std::max<size_t>(1, std::min(buckets, n));
+  stats.begin_buckets.reserve(b);
+  for (size_t i = 0; i < b; ++i) {
+    // Equi-depth split: bucket i covers sorted ranks [i*n/b, (i+1)*n/b).
+    const size_t from = i * n / b;
+    const size_t to = (i + 1) * n / b;
+    StatsBucket bucket;
+    bucket.count = to - from;
+    bucket.begin_lo = corners[from].first;
+    bucket.begin_hi = corners[to - 1].first;
+    double begin_sum = 0.0, end_sum = 0.0;
+    for (size_t k = from; k < to; ++k) {
+      begin_sum += corners[k].first;
+      end_sum += corners[k].second;
+    }
+    bucket.mean_begin = begin_sum / static_cast<double>(bucket.count);
+    bucket.mean_end = end_sum / static_cast<double>(bucket.count);
+    stats.begin_buckets.push_back(bucket);
+  }
+
+  std::vector<double> ends;
+  ends.reserve(n);
+  for (const auto& [begin, end] : corners) ends.push_back(end);
+  std::sort(ends.begin(), ends.end());
+  stats.max_end = ends.back();
+  stats.end_edges.reserve(b + 1);
+  for (size_t i = 0; i <= b; ++i) {
+    // The i/b quantile of the sorted ends (edge 0 = min, edge b = max).
+    const size_t rank = i == b ? n - 1 : i * n / b;
+    stats.end_edges.push_back(ends[rank]);
+  }
+  return stats;
+}
+
+ColumnStats BuildColumnStats(const Relation& relation, size_t col,
+                             size_t buckets) {
+  std::vector<Trapezoid> values;
+  values.reserve(relation.NumTuples());
+  uint64_t rows = 0;
+  for (const Tuple& t : relation.tuples()) {
+    ++rows;
+    const Value& v = t.ValueAt(col);
+    if (v.is_fuzzy()) values.push_back(v.AsFuzzy());
+  }
+  ColumnStats stats = BuildColumnStats(values, buckets);
+  stats.rows = rows;
+  return stats;
+}
+
+double EstimateOverlapFanout(const ColumnStats& from, const ColumnStats& to) {
+  if (from.empty() || to.empty()) {
+    return static_cast<double>(to.fuzzy_rows);
+  }
+  // Average the overlap count over `from`'s equi-depth buckets. Each
+  // bucket is sampled at three supports -- its begin range's endpoints
+  // shifted by the bucket's mean width, and its mean support -- so the
+  // in-bucket spread of begins contributes instead of collapsing to one
+  // representative interval (Simpson weights 1:4:1).
+  double weighted = 0.0;
+  for (const StatsBucket& b : from.begin_buckets) {
+    const double width = std::max(0.0, b.mean_end - b.mean_begin);
+    const double lo_sample = to.OverlapFraction(b.begin_lo, b.begin_lo + width);
+    const double mid_sample = to.OverlapFraction(b.mean_begin, b.mean_end);
+    const double hi_sample = to.OverlapFraction(b.begin_hi, b.begin_hi + width);
+    const double mean_fraction =
+        (lo_sample + 4.0 * mid_sample + hi_sample) / 6.0;
+    weighted += static_cast<double>(b.count) * mean_fraction;
+  }
+  return weighted / static_cast<double>(from.fuzzy_rows) *
+         static_cast<double>(to.fuzzy_rows);
+}
+
+double EstimateJoinSelectivity(const ColumnStats& from,
+                               const ColumnStats& to) {
+  if (from.empty() || to.empty()) return 1.0;
+  return Unit(EstimateOverlapFanout(from, to) /
+              static_cast<double>(to.fuzzy_rows));
+}
+
+double EstimatePredicateSelectivity(const ColumnStats& stats, CompareOp op,
+                                    const Trapezoid& constant) {
+  if (stats.empty()) return 1.0;
+  switch (op) {
+    case CompareOp::kEq:
+    case CompareOp::kApproxEq:
+      // Positive equality possibility <=> support overlap.
+      return stats.OverlapFraction(constant.SupportBegin(),
+                                   constant.SupportEnd());
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      // v < c possible <=> inf supp(v) below sup supp(c).
+      return stats.CdfBeginLeq(constant.SupportEnd());
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      // v > c possible <=> sup supp(v) above inf supp(c).
+      return Unit(1.0 - stats.CdfEndLt(constant.SupportBegin()));
+    case CompareOp::kNe:
+      break;  // NOT (v = c) is almost always positive; keep everything.
+  }
+  return 1.0;
+}
+
+TableStats BuildTableStats(const Relation& relation, size_t buckets) {
+  TableStats stats;
+  stats.rows = relation.NumTuples();
+  const size_t cols = relation.schema().NumColumns();
+  // One pass over the tuples gathers every column's corners and the
+  // record bytes; the per-column sorts then run over the gathered
+  // arrays, never re-touching the relation.
+  std::vector<std::vector<Trapezoid>> per_column(cols);
+  for (auto& column : per_column) column.reserve(stats.rows);
+  uint64_t bytes = 0;
+  for (const Tuple& t : relation.tuples()) {
+    bytes += sizeof(double);  // membership degree
+    for (size_t c = 0; c < cols; ++c) {
+      const Value& v = t.ValueAt(c);
+      if (v.is_fuzzy()) {
+        per_column[c].push_back(v.AsFuzzy());
+        bytes += 4 * sizeof(double);
+      } else if (v.is_string()) {
+        bytes += v.AsString().size() + 1;
+      } else {
+        bytes += 1;  // null tag
+      }
+    }
+  }
+  stats.avg_record_bytes =
+      stats.rows == 0 ? 0.0
+                      : static_cast<double>(bytes) /
+                            static_cast<double>(stats.rows);
+  stats.columns.reserve(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    ColumnStats column = BuildColumnStats(per_column[c], buckets);
+    column.rows = stats.rows;
+    stats.columns.push_back(std::move(column));
+  }
+  return stats;
+}
+
+}  // namespace fuzzydb

@@ -141,11 +141,11 @@ TEST(ExplainAnalyzeTest, TypeJaGolden) {
       "execution trace:\n"
       "evaluate [JA] wall=<t> rows=->2 "
       "cpu={pairs=3 degrees=6 cmp=14 subq=0}\n"
-      "  filter [R] wall=<t> rows=3->3 "
+      "  filter [R] wall=<t> rows=3->3 est=3 "
       "cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
       "  subquery [AGG MAX] wall=<t> rows=3 "
       "cpu={pairs=3 degrees=6 cmp=14 subq=0}\n"
-      "    filter [S] wall=<t> rows=3->3 "
+      "    filter [S] wall=<t> rows=3->3 est=3 "
       "cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
       "    group-aggregate [merge t1=2] wall=<t> rows=3->2 "
       "cpu={pairs=3 degrees=3 cmp=14 subq=0}\n"
@@ -194,17 +194,18 @@ TEST(ExplainAnalyzeTest, BatchAnnotationsGolden) {
       "execution trace:\n"
       "evaluate [N] wall=<t> rows=->2 "
       "cpu={pairs=2 degrees=5 cmp=17 subq=0}\n"
-      "  filter [R] wall=<t> rows=3->3 batches=1 rows/batch=3 "
+      "  filter [R] wall=<t> rows=3->3 est=3 batches=1 rows/batch=3 "
       "cpu={pairs=0 degrees=3 cmp=0 subq=0}\n"
       "  subquery [IN] wall=<t> rows=3 "
       "cpu={pairs=2 degrees=2 cmp=17 subq=0}\n"
-      "    filter [S] wall=<t> rows=3->3 "
+      "    filter [S] wall=<t> rows=3->3 est=3 "
       "cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
       "    interval-sort [outer-view col1] wall=<t> rows=3 "
       "cpu={pairs=0 degrees=0 cmp=5 subq=0}\n"
       "    interval-sort [col0] wall=<t> rows=3 "
       "cpu={pairs=0 degrees=0 cmp=3 subq=0}\n"
-      "    merge-window [inner=3] wall=<t> rows=3 batches=1 rows/batch=2 "
+      "    merge-window [inner=3] wall=<t> rows=3->2 est=3 "
+      "batches=1 rows/batch=2 "
       "cpu={pairs=2 degrees=2 cmp=9 subq=0}\n"
       "  emit wall=<t> rows=3->2 cpu={pairs=0 degrees=0 cmp=0 subq=0}\n"
       "-- 2 answer tuples\n";

@@ -1,0 +1,281 @@
+#include "stats/column_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "fuzzy/trapezoid.h"
+#include "workload/generator.h"
+
+namespace fuzzydb {
+namespace {
+
+// Structural equality of two summaries, used by the determinism tests.
+// Exact double comparison is intended: the build must be a pure function
+// of the value multiset, bit for bit.
+void ExpectSameStats(const ColumnStats& a, const ColumnStats& b) {
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.fuzzy_rows, b.fuzzy_rows);
+  EXPECT_EQ(a.distinct_estimate, b.distinct_estimate);
+  EXPECT_EQ(a.min_begin, b.min_begin);
+  EXPECT_EQ(a.max_end, b.max_end);
+  EXPECT_EQ(a.avg_support_width, b.avg_support_width);
+  ASSERT_EQ(a.begin_buckets.size(), b.begin_buckets.size());
+  for (size_t i = 0; i < a.begin_buckets.size(); ++i) {
+    EXPECT_EQ(a.begin_buckets[i].begin_lo, b.begin_buckets[i].begin_lo);
+    EXPECT_EQ(a.begin_buckets[i].begin_hi, b.begin_buckets[i].begin_hi);
+    EXPECT_EQ(a.begin_buckets[i].mean_begin, b.begin_buckets[i].mean_begin);
+    EXPECT_EQ(a.begin_buckets[i].mean_end, b.begin_buckets[i].mean_end);
+    EXPECT_EQ(a.begin_buckets[i].count, b.begin_buckets[i].count);
+  }
+  EXPECT_EQ(a.end_edges, b.end_edges);
+}
+
+std::vector<Trapezoid> RandomValues(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, 100.0);
+  std::uniform_real_distribution<double> width(0.0, 5.0);
+  std::vector<Trapezoid> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = pos(rng);
+    const double w = width(rng);
+    values.push_back(Trapezoid(lo, lo + w / 3, lo + 2 * w / 3, lo + w));
+  }
+  return values;
+}
+
+TEST(ColumnStatsBuildTest, PermutationInvariant) {
+  std::vector<Trapezoid> values = RandomValues(17, 500);
+  const ColumnStats reference = BuildColumnStats(values);
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 3; ++round) {
+    std::shuffle(values.begin(), values.end(), rng);
+    ExpectSameStats(reference, BuildColumnStats(values));
+  }
+}
+
+TEST(ColumnStatsBuildTest, BucketsPartitionTheValues) {
+  const std::vector<Trapezoid> values = RandomValues(23, 333);
+  const ColumnStats stats = BuildColumnStats(values, 16);
+  ASSERT_FALSE(stats.begin_buckets.empty());
+  uint64_t total = 0;
+  double prev_hi = stats.begin_buckets.front().begin_lo;
+  for (const StatsBucket& b : stats.begin_buckets) {
+    EXPECT_GT(b.count, 0u);
+    EXPECT_LE(b.begin_lo, b.begin_hi);
+    EXPECT_LE(prev_hi, b.begin_hi);
+    EXPECT_GE(b.mean_begin, b.begin_lo);
+    EXPECT_LE(b.mean_begin, b.begin_hi);
+    EXPECT_GE(b.mean_end, b.mean_begin);  // end >= begin always
+    total += b.count;
+    prev_hi = b.begin_hi;
+  }
+  EXPECT_EQ(total, stats.fuzzy_rows);
+  EXPECT_EQ(stats.fuzzy_rows, values.size());
+  // Equi-depth: no bucket more than twice the ideal depth.
+  for (const StatsBucket& b : stats.begin_buckets) {
+    EXPECT_LE(b.count, 2 * (values.size() / 16 + 1));
+  }
+}
+
+TEST(ColumnStatsBuildTest, EmptyColumn) {
+  const ColumnStats stats = BuildColumnStats(std::vector<Trapezoid>{});
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.fuzzy_rows, 0u);
+  EXPECT_TRUE(stats.begin_buckets.empty());
+  // Estimators fall back to conservative answers instead of dividing
+  // by zero.
+  const ColumnStats other = BuildColumnStats(RandomValues(5, 20));
+  EXPECT_DOUBLE_EQ(EstimateOverlapFanout(stats, other),
+                   static_cast<double>(other.fuzzy_rows));
+  EXPECT_DOUBLE_EQ(EstimateJoinSelectivity(stats, other), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimatePredicateSelectivity(stats, CompareOp::kEq, Trapezoid::Crisp(1)),
+      1.0);
+}
+
+TEST(ColumnStatsBuildTest, SingleValueDegenerate) {
+  const std::vector<Trapezoid> one = {Trapezoid::Crisp(7.0)};
+  const ColumnStats stats = BuildColumnStats(one);
+  EXPECT_EQ(stats.fuzzy_rows, 1u);
+  EXPECT_EQ(stats.distinct_estimate, 1u);
+  EXPECT_DOUBLE_EQ(stats.min_begin, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max_end, 7.0);
+  // The whole mass overlaps its own support; none overlaps elsewhere.
+  EXPECT_DOUBLE_EQ(stats.OverlapFraction(6.9, 7.1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.OverlapFraction(8.0, 9.0), 0.0);
+}
+
+TEST(ColumnStatsBuildTest, AllIdenticalCrispValues) {
+  const std::vector<Trapezoid> same(64, Trapezoid::Crisp(3.0));
+  const ColumnStats stats = BuildColumnStats(same);
+  EXPECT_EQ(stats.fuzzy_rows, 64u);
+  EXPECT_EQ(stats.distinct_estimate, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_support_width, 0.0);
+  EXPECT_DOUBLE_EQ(stats.OverlapFraction(2.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.OverlapFraction(4.0, 5.0), 0.0);
+  // Self-join of a single-point column: everything joins everything.
+  const double fanout = EstimateOverlapFanout(stats, stats);
+  EXPECT_NEAR(fanout, 64.0, 1.0);
+}
+
+TEST(ColumnStatsBuildTest, DistinctEstimateOnSeparatedValues) {
+  std::vector<Trapezoid> values;
+  for (int i = 0; i < 10; ++i) {
+    for (int copy = 0; copy < 3; ++copy) {
+      values.push_back(Trapezoid::Crisp(10.0 * i));
+    }
+  }
+  const ColumnStats stats = BuildColumnStats(values);
+  EXPECT_EQ(stats.distinct_estimate, 10u);
+}
+
+TEST(ColumnStatsCdfTest, MonotoneAndBounded) {
+  const ColumnStats stats = BuildColumnStats(RandomValues(31, 400), 16);
+  double prev_begin = -1.0, prev_end = -1.0;
+  for (double x = -10.0; x <= 120.0; x += 0.5) {
+    const double cb = stats.CdfBeginLeq(x);
+    const double ce = stats.CdfEndLt(x);
+    EXPECT_GE(cb, 0.0);
+    EXPECT_LE(cb, 1.0);
+    EXPECT_GE(ce, 0.0);
+    EXPECT_LE(ce, 1.0);
+    EXPECT_GE(cb, prev_begin) << "CdfBeginLeq not monotone at " << x;
+    EXPECT_GE(ce, prev_end) << "CdfEndLt not monotone at " << x;
+    // begin <= end for every value, so count(begin <= x) >=
+    // count(end < x) pointwise.
+    EXPECT_GE(cb, ce - 1e-9) << "CDF ordering violated at " << x;
+    prev_begin = cb;
+    prev_end = ce;
+  }
+  EXPECT_DOUBLE_EQ(stats.CdfBeginLeq(stats.max_end + 1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.CdfEndLt(stats.min_begin - 1), 0.0);
+}
+
+TEST(ColumnStatsCdfTest, OverlapFractionMatchesExactCountOnRandomData) {
+  const std::vector<Trapezoid> values = RandomValues(47, 600);
+  const ColumnStats stats = BuildColumnStats(values);
+  // Compare the interpolated overlap against brute force on a few probe
+  // intervals. The summary is approximate; demand agreement within 10%
+  // of the population plus a small absolute slack for thin probes.
+  for (double lo : {5.0, 25.0, 50.0, 80.0}) {
+    const double hi = lo + 10.0;
+    size_t exact = 0;
+    for (const Trapezoid& t : values) {
+      if (t.SupportBegin() <= hi && t.SupportEnd() >= lo) ++exact;
+    }
+    const double est = stats.OverlapFraction(lo, hi) * values.size();
+    EXPECT_NEAR(est, static_cast<double>(exact), 0.10 * values.size() + 5)
+        << "probe [" << lo << ", " << hi << "]";
+  }
+}
+
+// ---- Fan-out estimation vs the generator's ground truth C ----------
+
+// The workload generator builds join columns in well-separated groups
+// with C = n_S / num_groups members each (see workload/generator.h), so
+// the true average fan-out is known by construction. The estimator only
+// sees the histograms; accept agreement within a factor of 3 (observed
+// ~1.5x on this data at the default bucket count).
+TEST(FanoutEstimateTest, TypeJWorkloadGroundTruth) {
+  for (double fanout : {3.0, 6.0, 12.0}) {
+    WorkloadConfig config;
+    config.seed = 7;
+    config.num_r = 200;
+    config.num_s = 300;
+    config.join_fanout = fanout;
+    const TypeJDataset dataset = GenerateTypeJDataset(config);
+
+    const ColumnStats y = BuildColumnStats(dataset.r, /*col=*/1);
+    const ColumnStats z = BuildColumnStats(dataset.s, /*col=*/0);
+    ASSERT_FALSE(y.empty());
+    ASSERT_FALSE(z.empty());
+
+    // Ground truth from the data itself (group membership is random, so
+    // measure rather than trust the nominal C exactly).
+    uint64_t pairs = 0;
+    for (size_t i = 0; i < dataset.r.NumTuples(); ++i) {
+      const Trapezoid& a = dataset.r.TupleAt(i).ValueAt(1).AsFuzzy();
+      for (size_t j = 0; j < dataset.s.NumTuples(); ++j) {
+        const Trapezoid& b = dataset.s.TupleAt(j).ValueAt(0).AsFuzzy();
+        if (a.SupportBegin() <= b.SupportEnd() &&
+            b.SupportBegin() <= a.SupportEnd()) {
+          ++pairs;
+        }
+      }
+    }
+    const double true_c =
+        static_cast<double>(pairs) / static_cast<double>(dataset.r.NumTuples());
+    const double est_c = EstimateOverlapFanout(y, z);
+    EXPECT_GE(est_c, true_c / 3.0) << "fanout=" << fanout;
+    EXPECT_LE(est_c, true_c * 3.0) << "fanout=" << fanout;
+
+    // Selectivity is the same number normalized by |S|.
+    EXPECT_NEAR(EstimateJoinSelectivity(y, z),
+                est_c / static_cast<double>(z.fuzzy_rows), 1e-12);
+  }
+}
+
+TEST(FanoutEstimateTest, DisjointColumnsEstimateNearZero) {
+  std::vector<Trapezoid> lows, highs;
+  for (int i = 0; i < 100; ++i) {
+    lows.push_back(Trapezoid::About(static_cast<double>(i % 10), 0.2));
+    highs.push_back(
+        Trapezoid::About(1000.0 + static_cast<double>(i % 10), 0.2));
+  }
+  const ColumnStats a = BuildColumnStats(lows);
+  const ColumnStats b = BuildColumnStats(highs);
+  EXPECT_LT(EstimateOverlapFanout(a, b), 1.0);
+  EXPECT_LT(EstimateJoinSelectivity(a, b), 0.01);
+}
+
+// ---- Predicate selectivity --------------------------------------------
+
+TEST(PredicateSelectivityTest, BoundedAndDirectionallyCorrect) {
+  const ColumnStats stats = BuildColumnStats(RandomValues(53, 500));
+  const Trapezoid mid = Trapezoid::About(50.0, 2.0);
+  const Trapezoid low = Trapezoid::About(-500.0, 1.0);
+  const Trapezoid high = Trapezoid::About(500.0, 1.0);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                       CompareOp::kGt, CompareOp::kGe, CompareOp::kNe}) {
+    const double s = EstimatePredicateSelectivity(stats, op, mid);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // Equality with a far-away constant keeps nothing; `< huge` and
+  // `> tiny` keep everything.
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(stats, CompareOp::kEq, high),
+                   0.0);
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(stats, CompareOp::kLt, high),
+                   1.0);
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(stats, CompareOp::kGt, low),
+                   1.0);
+  // A mid-domain equality keeps a strict subset.
+  const double eq_mid =
+      EstimatePredicateSelectivity(stats, CompareOp::kEq, mid);
+  EXPECT_GT(eq_mid, 0.0);
+  EXPECT_LT(eq_mid, 0.5);
+}
+
+// ---- TableStats -------------------------------------------------------
+
+TEST(TableStatsTest, OnePassOverTheWorkloadRelations) {
+  WorkloadConfig config;
+  config.seed = 11;
+  config.num_r = 50;
+  config.num_s = 80;
+  const TypeJDataset dataset = GenerateTypeJDataset(config);
+  const TableStats stats = BuildTableStats(dataset.s);
+  EXPECT_EQ(stats.rows, 80u);
+  ASSERT_EQ(stats.columns.size(), dataset.s.schema().NumColumns());
+  EXPECT_GT(stats.avg_record_bytes, 0.0);
+  for (const ColumnStats& col : stats.columns) {
+    EXPECT_EQ(col.rows, 80u);
+  }
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -3,7 +3,14 @@
 
 Usage:
   tools/bench_check.py RUN.json BASELINE.json [--warn-only]
+  tools/bench_check.py RUN_DIR BASELINE_DIR [--warn-only]
   tools/bench_check.py --self-test BASELINE.json
+
+In directory mode every BENCH_*.json in BASELINE_DIR must have a
+same-named report in RUN_DIR; a missing report is a failure, not a
+silent pass -- a bench that stops emitting its report must not look
+green. Extra reports in RUN_DIR (new suites without a baseline yet)
+are allowed.
 
 Reports are the BENCH_<suite>.json files written by bench binaries via
 `--json-out=PATH` (see bench/bench_common.h, BenchReport). Counter
@@ -18,7 +25,9 @@ catches it -- a guard against the checker itself rotting into a no-op.
 
 import argparse
 import copy
+import glob
 import json
+import os
 import sys
 
 # Metrics that must match the baseline exactly (deterministic counters;
@@ -117,14 +126,48 @@ def self_test(baseline):
     return 0
 
 
+def compare_files(run_path, baseline_path):
+    """Compares one report/baseline pair; returns problem strings."""
+    run, baseline = load(run_path), load(baseline_path)
+    problems = compare(run, baseline)
+    if not problems:
+        print(f"bench_check: {len(run.get('benches', []))} benches within "
+              f"tolerance of {baseline_path}")
+    return problems
+
+
+def compare_dirs(run_dir, baseline_dir):
+    """Every baseline suite must have a matching run report."""
+    problems = []
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        problems.append(f"no BENCH_*.json baselines found in {baseline_dir}")
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        run_path = os.path.join(run_dir, name)
+        if not os.path.exists(run_path):
+            problems.append(
+                f"{name}: baseline exists but the run produced no report "
+                f"in {run_dir} (bench not run, or stopped emitting "
+                f"--json-out)"
+            )
+            continue
+        problems.extend(
+            f"{name}: {p}" for p in compare_files(run_path, baseline_path)
+        )
+    return problems
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare a bench JSON report against a baseline."
     )
-    parser.add_argument("run", help="BENCH_<suite>.json from this run "
-                        "(or the baseline itself with --self-test)")
+    parser.add_argument("run", help="BENCH_<suite>.json from this run, or "
+                        "a directory of reports (or the baseline itself "
+                        "with --self-test)")
     parser.add_argument("baseline", nargs="?",
-                        help="committed baseline to compare against")
+                        help="committed baseline (or baseline directory) "
+                        "to compare against")
     parser.add_argument("--warn-only", action="store_true",
                         help="report violations but exit 0 (PR mode)")
     parser.add_argument("--self-test", action="store_true",
@@ -137,11 +180,14 @@ def main():
     if args.baseline is None:
         parser.error("BASELINE is required unless --self-test")
 
-    run, baseline = load(args.run), load(args.baseline)
-    problems = compare(run, baseline)
+    if os.path.isdir(args.run) != os.path.isdir(args.baseline):
+        parser.error("RUN and BASELINE must both be files or both be "
+                     "directories")
+    if os.path.isdir(args.run):
+        problems = compare_dirs(args.run, args.baseline)
+    else:
+        problems = compare_files(args.run, args.baseline)
     if not problems:
-        print(f"bench_check: {len(run.get('benches', []))} benches within "
-              f"tolerance of {args.baseline}")
         return 0
     for problem in problems:
         print(f"bench_check: {problem}")

@@ -14,6 +14,12 @@
 //   fuzzydb_shell --memory-budget=N[kmg] per-query memory budget
 //   fuzzydb_shell --cache-mb=N           cross-query cache capacity in
 //                                        MiB (0 = off, the default)
+//   fuzzydb_shell --no-cbo               disable cost-based planning
+//                                        (legacy fixed-rule plans;
+//                                        answers are bit-identical)
+//   fuzzydb_shell --explain-json         EXPLAIN ANALYZE also prints the
+//                                        per-operator JSON summary
+//                                        between marker lines
 //
 // With -c, the exit code is non-zero when any statement failed. Ctrl-C
 // during an interactive query cancels that query (CANCELLED) instead of
@@ -145,6 +151,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       shell.set_batch_size(static_cast<size_t>(lanes));
+    } else if (arg == "--no-cbo") {
+      shell.set_cost_based(false);
+    } else if (arg == "--explain-json") {
+      shell.set_explain_json(true);
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
     } else if (arg == "-c") {
@@ -159,7 +169,8 @@ int main(int argc, char** argv) {
                    "    [--trace-json=PATH] [--metrics-json=PATH|-]\n"
                    "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n"
                    "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n"
-                   "    [--cache-mb=N] [--batch-size=N]\n";
+                   "    [--cache-mb=N] [--batch-size=N] [--no-cbo]\n"
+                   "    [--explain-json]\n";
       return 2;
     }
   }
