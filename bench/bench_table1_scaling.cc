@@ -3,6 +3,7 @@
 // nested loop skipped beyond 8 MB ("takes too long to terminate");
 // speedups 12.5 -> 36.2 and growing.
 #include "bench_common.h"
+#include "obs/query_registry.h"
 
 int main(int argc, char** argv) {
   using namespace fuzzydb;
@@ -85,6 +86,79 @@ int main(int argc, char** argv) {
     }
     std::fflush(stdout);
   }
+  // Introspection A/B: the largest configured size, run once without and
+  // once with a live QueryProgress attached. The answer and the
+  // deterministic counters must be bit-identical (observation never
+  // perturbs the plan); the wall-clock delta is the overhead budget
+  // (target <= 2%, reported as a warning because single-run timing is
+  // noisy on shared CI hosts).
+  {
+    const size_t mb = paper_mb[num_mb - 1];
+    const size_t bytes = mb * 1024 * 1024 / kScaleDown;
+    WorkloadConfig config;
+    config.seed = 1000 + mb;
+    config.num_r = SmokeRows(bytes / 128, 512);
+    config.num_s = config.num_r;
+    config.join_fanout = 7;
+    auto files = MakeDatasetFiles(config, 128, "t1_ab");
+    if (!files.ok()) {
+      std::fprintf(stderr, "A/B setup failed: %s\n",
+                   files.status().ToString().c_str());
+      return 1;
+    }
+    TypeJQuerySpec spec;
+    ExecOptions off;
+    off.num_threads = 1;
+    auto baseline = RunTypeJMergeJoin(
+        files->r.get(), files->s.get(), spec, kBufferPages,
+        BenchDir() + "/fuzzydb_bench_t1_ab_off.tmp", files->tuple_bytes, &off);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "A/B baseline failed: %s\n",
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    QueryProgress progress;
+    ExecOptions on;
+    on.num_threads = 1;
+    on.progress = &progress;
+    auto observed = RunTypeJMergeJoin(
+        files->r.get(), files->s.get(), spec, kBufferPages,
+        BenchDir() + "/fuzzydb_bench_t1_ab_on.tmp", files->tuple_bytes, &on);
+    progress.FinishPhases();
+    if (!observed.ok()) {
+      std::fprintf(stderr, "A/B observed run failed: %s\n",
+                   observed.status().ToString().c_str());
+      return 1;
+    }
+    if (!baseline->answer.EquivalentTo(observed->answer, 0.0)) {
+      std::fprintf(stderr,
+                   "FAIL: introspection changed the answer "
+                   "(%zu vs %zu tuples)\n",
+                   baseline->answer.NumTuples(), observed->answer.NumTuples());
+      return 1;
+    }
+    for (auto counter : CpuStats::Counters()) {
+      if (baseline->stats.cpu.*counter != observed->stats.cpu.*counter) {
+        std::fprintf(stderr,
+                     "FAIL: introspection changed deterministic counters\n");
+        return 1;
+      }
+    }
+    const double base_s = baseline->stats.total_seconds;
+    const double obs_s = observed->stats.total_seconds;
+    const double overhead_pct =
+        base_s > 0 ? (obs_s - base_s) / base_s * 100.0 : 0.0;
+    std::printf(
+        "\nIntrospection A/B @ %zuMB: off %s, on %s, overhead %+.2f%% "
+        "(answers and counters bit-identical)\n",
+        mb, Seconds(base_s).c_str(), Seconds(obs_s).c_str(), overhead_pct);
+    if (overhead_pct > 2.0) {
+      std::printf("WARNING: overhead above the 2%% budget "
+                  "(timing noise is likely on shared hosts; re-run to "
+                  "confirm before acting)\n");
+    }
+  }
+
   if (!json_out.empty() && !report.Write(json_out)) return 1;
 
   std::printf(

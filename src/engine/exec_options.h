@@ -11,6 +11,7 @@ namespace fuzzydb {
 class CacheManager;
 class ExecTrace;
 class QueryContext;
+class QueryProgress;
 
 /// Options controlling how a query is executed. Every parallel path is
 /// deterministic: results and CpuStats are identical for every
@@ -75,6 +76,14 @@ struct ExecOptions {
   /// only from the coordinating thread, so cache stats are thread-count
   /// invariant like everything else here.
   CacheManager* cache = nullptr;  // not owned
+
+  /// Live progress publication for SHOW QUERIES / sys.queries (see
+  /// obs/query_registry.h). Operators bump its counters at morsel
+  /// granularity and switch its phase on the control thread; null (the
+  /// default) disables introspection at one pointer test per touch
+  /// point, the same discipline as `trace`. Progress counters are
+  /// thread-count-invariant; phase times are wall-clock.
+  QueryProgress* progress = nullptr;  // not owned
 
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;

@@ -12,6 +12,7 @@
 #include "engine/nested_loop_join.h"
 #include "fuzzy/interval_order.h"
 #include "obs/metrics.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "sort/external_sort.h"
@@ -121,11 +122,14 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   ParallelContext parallel_ctx;
   const ParallelContext* parallel = nullptr;
   QueryContext* query = options == nullptr ? nullptr : options->context;
+  QueryProgress* progress =
+      options == nullptr ? nullptr : options->progress;
   if (options != nullptr && options->ResolvedThreads() > 1) {
     workers = std::make_unique<ThreadPool>(options->ResolvedThreads());
     parallel_ctx.pool = workers.get();
     parallel_ctx.morsel_size = options->morsel_size;
     parallel_ctx.query = query;
+    parallel_ctx.progress = progress;
     parallel = &parallel_ctx;
   }
 
@@ -134,6 +138,7 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
   // (the [42] indicator optimization); the join window then prunes on
   // the same cuts.
   Stopwatch sort_watch;
+  PhaseScope sort_phase(progress, QueryPhase::kSort);
   SortStats sort_stats;
   // Both sorted temporaries are tracked until the success-path cleanup
   // below: if the second sort (or the join) fails, the first sort's
@@ -212,6 +217,7 @@ Result<RunResult> RunTypeJMergeJoin(PageFile* r_file, PageFile* s_file,
 
   // ---- Join phase ----------------------------------------------------
   Stopwatch join_watch;
+  PhaseScope join_phase(progress, QueryPhase::kJoin);
   pool.Clear();  // the paper's join phase starts with a cold buffer
 
   FuzzyJoinSpec join;

@@ -25,6 +25,8 @@
 #include "fuzzy/interval_order.h"
 #include "fuzzy/trapezoid_batch.h"
 #include "obs/metrics.h"
+#include "obs/query_journal.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -393,6 +395,7 @@ std::vector<FT> FilterBlock(const BoundQuery& block,
   TraceScope span(trace, "filter", cpu, nullptr,
                   block.tables[0].relation->name());
   span.SetThreads(WorkerSlots(ctx));
+  PhaseScope phase(ctx.progress, QueryPhase::kFilter);
   const std::vector<Tuple>& tuples = block.tables[0].relation->tuples();
   const size_t n = tuples.size();
   // Cross-query reuse: the survivors depend only on the block plan and
@@ -532,6 +535,7 @@ void SortByIntervalOrder(std::vector<FT>* tuples, size_t col,
                   "col" + std::to_string(col));
   span.SetInputRows(tuples->size());
   span.SetThreads(WorkerSlots(ctx));
+  PhaseScope phase(ctx.progress, QueryPhase::kSort);
   std::string cache_key;
   if (rel != nullptr && CacheOn(ctx)) {
     cache_key = "perm|" + std::to_string(rel->id()) + "@" +
@@ -642,6 +646,7 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
                   "inner=" + std::to_string(inner.size()));
   span.SetInputRows(outer.size());
   span.SetThreads(WorkerSlots(ctx));
+  PhaseScope phase(ctx.progress, QueryPhase::kWindow);
   // Declared after `span` so a throwing emit callback still folds the
   // worker tallies before the span records its delta (see CpuStatsFolder).
   CpuStatsFolder folder(worker_cpu, total_cpu);
@@ -701,9 +706,10 @@ void MergeWindow(const std::vector<FT>& outer, size_t outer_col,
     if (morsel_flush) morsel_flush(worker);
   });
   folder.Fold();
+  uint64_t emitted = 0;
+  for (uint64_t p : worker_pairs) emitted += p;
+  if (ctx.progress != nullptr) ctx.progress->AddPairs(emitted);
   if (span.enabled()) {
-    uint64_t emitted = 0;
-    for (uint64_t p : worker_pairs) emitted += p;
     span.SetOutputRows(emitted);
     if (est_pairs != TraceNode::kNoCount) {
       span.SetEstimatedRows(est_pairs);
@@ -1159,6 +1165,7 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     // relation optimization for type N -- and probe it per outer tuple.
     TraceScope probe_span(trace, "probe-materialized", cpu, nullptr);
     probe_span.SetInputRows(outer.size());
+    PhaseScope phase(ctx.progress, QueryPhase::kJoin);
     Relation t("", shape.inner->output_schema);
     for (const FT& s : inner) {
       FUZZYDB_RETURN_IF_ERROR(t.AppendOrMax(
@@ -1184,6 +1191,7 @@ Result<std::vector<double>> InFamilyDegrees(const std::vector<FT>& outer,
     TraceScope pairing_span(trace, "nested-pairing", cpu, nullptr,
                             "inner=" + std::to_string(inner.size()));
     pairing_span.SetInputRows(outer.size());
+    PhaseScope phase(ctx.progress, QueryPhase::kJoin);
     for (size_t i = 0; i < outer.size(); ++i) {
       FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
       for (const FT& s : inner) {
@@ -1294,6 +1302,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
     TraceScope group_span(trace, "group-aggregate", cpu, nullptr,
                           "merge t1=" + std::to_string(t1.size()));
     group_span.SetInputRows(inner.size());
+    PhaseScope phase(ctx.progress, QueryPhase::kJoin);
     std::vector<Value> t1_sorted;
     t1_sorted.reserve(t1.size());
     for (const auto& [u, unused] : t1) t1_sorted.push_back(u);
@@ -1338,6 +1347,7 @@ Result<std::vector<double>> AggregateFamilyDegrees(
     TraceScope group_span(trace, "group-aggregate", cpu, nullptr,
                           "nested t1=" + std::to_string(t1.size()));
     group_span.SetInputRows(inner.size());
+    PhaseScope phase(ctx.progress, QueryPhase::kJoin);
     for (const auto& [u, unused] : t1) {
       FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
       Relation group("", Schema{Column{"Z", ValueType::kFuzzy}});
@@ -1427,6 +1437,7 @@ Result<Relation> RunTwoLevel(const BoundQuery& query,
 
   TraceScope emit_span(trace, "emit", cpu, nullptr);
   emit_span.SetInputRows(outer.size());
+  PhaseScope phase(ctx.progress, QueryPhase::kEmit);
   Relation answer("", query.output_schema);
   for (size_t i = 0; i < outer.size(); ++i) {
     FUZZYDB_RETURN_IF_ERROR(CheckQuery(ctx.query));
@@ -1436,6 +1447,7 @@ Result<Relation> RunTwoLevel(const BoundQuery& query,
   }
   answer.EliminateDuplicates(query.with_threshold);
   emit_span.SetOutputRows(answer.NumTuples());
+  if (ctx.progress != nullptr) ctx.progress->AddRows(answer.NumTuples());
   return answer;
 }
 
@@ -1616,6 +1628,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
     TraceScope step_span(trace, "chain-join", cpu, nullptr,
                          "level=" + std::to_string(level));
     step_span.SetInputRows(rows.size());
+    PhaseScope step_phase(ctx.progress, QueryPhase::kJoin);
     const bool extend_left = level + 1 == joined_lo;
     if (!extend_left && level != joined_hi + 1) {
       return Status::Internal("non-contiguous chain join order");
@@ -1761,6 +1774,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
 
   TraceScope emit_span(trace, "emit", cpu, nullptr);
   emit_span.SetInputRows(rows.size());
+  PhaseScope emit_phase(ctx.progress, QueryPhase::kEmit);
   Relation answer("", query.output_schema);
   for (const Row& row : rows) {
     FUZZYDB_RETURN_IF_ERROR(
@@ -1768,6 +1782,7 @@ Result<Relation> RunChain(const BoundQuery& query, const ParallelContext& ctx,
   }
   answer.EliminateDuplicates(query.with_threshold);
   emit_span.SetOutputRows(answer.NumTuples());
+  if (ctx.progress != nullptr) ctx.progress->AddRows(answer.NumTuples());
   return answer;
 }
 
@@ -1788,6 +1803,7 @@ ParallelContext UnnestingEvaluator::MakeContext() {
   ctx.morsel_size = options_.morsel_size == 0 ? 1 : options_.morsel_size;
   ctx.batch_size = options_.batch_size;
   ctx.cost_based = options_.cost_based;
+  ctx.progress = options_.progress;
   const size_t threads = options_.ResolvedThreads();
   if (threads > 1) {
     if (pool_ == nullptr || pool_->size() != threads) {
@@ -1801,17 +1817,38 @@ ParallelContext UnnestingEvaluator::MakeContext() {
 }
 
 Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
-  // When the slow-query log is armed but the caller didn't ask for a
-  // trace, attach a private one for the duration of the query so an
-  // over-threshold query still yields its EXPLAIN ANALYZE tree.
+  // When the slow-query log or the query journal is armed but the caller
+  // didn't ask for a trace, attach a private one for the duration of the
+  // query so the EXPLAIN ANALYZE tree (slow log) and the planner's
+  // est_rows (journal) are still captured.
   ExecTrace local_trace;
   ExecTrace* const saved_trace = options_.trace;
   const bool slow_log_armed = options_.slow_query_ms > 0.0;
-  if (slow_log_armed && options_.trace == nullptr) {
+  const bool journal_armed = QueryJournal::Global().enabled();
+  if ((slow_log_armed || journal_armed) && options_.trace == nullptr) {
     options_.trace = &local_trace;
   }
+  // The journal reports the query's own CpuStats delta; when the caller
+  // supplied no accumulator, tally into a private one for the duration.
+  CpuStats local_cpu;
+  CpuStats* const saved_cpu = cpu_;
+  if (journal_armed && cpu_ == nullptr) cpu_ = &local_cpu;
+  const CpuStats cpu_before = cpu_ == nullptr ? CpuStats{} : *cpu_;
+  uint64_t cache_hits_before = 0;
+  uint64_t cache_misses_before = 0;
+  if (journal_armed) {
+    EngineMetrics* m = EngineMetrics::Instance();
+    cache_hits_before = m->cache_hits->Value();
+    cache_misses_before = m->cache_misses->Value();
+  }
   Stopwatch watch;
-  Result<Relation> result = EvaluateTraced(query);
+  Result<Relation> result = [&] {
+    // kPlan is the residual phase: everything EvaluateTraced does
+    // outside an operator's own PhaseScope (classification, planning,
+    // cache lookups) is charged here, so the phases sum to wall time.
+    PhaseScope plan_phase(options_.progress, QueryPhase::kPlan);
+    return EvaluateTraced(query);
+  }();
   const double elapsed_ms = watch.ElapsedSeconds() * 1e3;
 
   if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
@@ -1851,6 +1888,64 @@ Result<Relation> UnnestingEvaluator::Evaluate(const sql::BoundQuery& query) {
     entry.trace_text = options_.trace->ToString();
     SlowQueryLog::Global().Add(std::move(entry));
   }
+  if (journal_armed) {
+    QueryJournalRecord rec;
+    rec.query_id =
+        options_.progress == nullptr ? 0 : options_.progress->query_id();
+    rec.sql = options_.query_text;
+    rec.fingerprint =
+        PlanFingerprint(query, /*include_threshold=*/true, nullptr);
+    rec.type = QueryTypeName(last_type_);
+    rec.engine = last_was_unnested_ ? "unnested" : "naive-fallback";
+    switch (result.status().code()) {
+      case StatusCode::kOk:
+        rec.status = "OK";
+        break;
+      case StatusCode::kCancelled:
+        rec.status = "CANCELLED";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        rec.status = "DEADLINE_EXCEEDED";
+        break;
+      case StatusCode::kResourceExhausted:
+        rec.status = "RESOURCE_EXHAUSTED";
+        break;
+      default:
+        rec.status = "FAILED";
+        break;
+    }
+    if (result.ok()) rec.rows = result.value().NumTuples();
+    // The planner's top-most cardinality estimate: the first estimated
+    // span in preorder (nodes() append in open order).
+    if (options_.trace != nullptr) {
+      for (const TraceNode& node : options_.trace->nodes()) {
+        if (node.est_rows != TraceNode::kNoCount) {
+          rec.has_est_rows = true;
+          rec.est_rows = node.est_rows;
+          break;
+        }
+      }
+    }
+    rec.elapsed_ms = elapsed_ms;
+    rec.threads = options_.ResolvedThreads();
+    if (options_.progress != nullptr) {
+      rec.queue_wait_ms = options_.progress->queue_wait_micros() / 1e3;
+      for (size_t i = 0; i < kNumQueryPhases; ++i) {
+        rec.phase_micros[i] =
+            options_.progress->PhaseMicros(static_cast<QueryPhase>(i));
+      }
+    }
+    if (cpu_ != nullptr) rec.cpu = cpu_->CheckedDelta(cpu_before);
+    if (options_.context != nullptr) {
+      rec.mem_peak_bytes =
+          static_cast<int64_t>(options_.context->memory().peak());
+    }
+    EngineMetrics* m = EngineMetrics::Instance();
+    rec.cache_hits = m->cache_hits->Value() - cache_hits_before;
+    rec.cache_misses = m->cache_misses->Value() - cache_misses_before;
+    QueryJournal::Global().Append(rec);
+  }
+  cpu_ = saved_cpu;
   options_.trace = saved_trace;
   return result;
 }

@@ -87,6 +87,21 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snap;
 }
 
+HistogramSnapshot Histogram::SnapshotAndReset() {
+  HistogramSnapshot snap;
+  for (Shard& shard : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      snap.counts[i] += shard.counts[i].exchange(0, std::memory_order_relaxed);
+    }
+    snap.total_count +=
+        shard.total_count.exchange(0, std::memory_order_relaxed);
+    snap.sum += shard.sum.exchange(0, std::memory_order_relaxed);
+    const uint64_t m = shard.max.exchange(0, std::memory_order_relaxed);
+    if (m > snap.max) snap.max = m;
+  }
+  return snap;
+}
+
 void Histogram::Reset() {
   for (Shard& shard : shards_) {
     for (int i = 0; i < kBuckets; ++i) {

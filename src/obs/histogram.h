@@ -53,6 +53,16 @@ class Histogram {
   // before or after the reset.
   void Reset();
 
+  // Folds and zeroes in one pass using per-atomic exchange(0): every
+  // sample recorded before the call lands in exactly one snapshot --
+  // this one or a later one -- never both and never neither, even with
+  // Record() racing from workers mid-query. (A sample's count/sum/bucket
+  // triple may straddle the boundary between two snapshots; totals
+  // summed across consecutive snapshots are exact, which is what the
+  // SHOW METRICS RESET regression test asserts.) The max is exchanged
+  // too, so the new epoch's max reflects only post-reset samples.
+  HistogramSnapshot SnapshotAndReset();
+
  private:
   static constexpr int kBuckets = 65;
   static constexpr int kShards = 16;

@@ -2,23 +2,49 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "engine/exec_options.h"
+#include "obs/query_registry.h"
 
 namespace fuzzydb {
 namespace {
 
 // Formats a double the way both the text dump and sys.metrics should see
 // it: integers without a fraction, everything else with enough digits to
-// round-trip query latencies.
+// round-trip query latencies. Sub-millisecond magnitudes (time counters
+// render micros / 1e6) get six digits so short phases don't collapse
+// to 0.000.
 std::string FormatValue(double v) {
   char buf[64];
   if (v == static_cast<double>(static_cast<int64_t>(v))) {
     std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else if (std::fabs(v) < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
   } else {
     std::snprintf(buf, sizeof(buf), "%.3f", v);
   }
   return buf;
+}
+
+// Stamped by the build system (root CMakeLists.txt) from git rev-parse;
+// "unknown" covers source tarballs and exported checkouts.
+#ifndef FUZZYDB_GIT_SHA
+#define FUZZYDB_GIT_SHA "unknown"
+#endif
+
+std::string CompilerLabel() {
+#if defined(__clang_major__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
 }
 
 void AppendHistogramSeries(
@@ -97,12 +123,22 @@ MemoryTracker* MetricsRegistry::GetMemoryTracker(const std::string& name) {
   return t;
 }
 
+Counter* MetricsRegistry::GetTimeCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = time_counters_.find(name);
+  if (it != time_counters_.end()) return it->second;
+  Counter* c = &time_counter_storage_.emplace_back();
+  time_counters_.emplace(name, c);
+  return c;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
   for (auto& [name, t] : trackers_) t->Reset();
+  for (auto& [name, c] : time_counters_) c->Reset();
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::FoldSeries()
@@ -119,6 +155,10 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::FoldSeries()
     series.emplace_back(name + "_bytes", static_cast<double>(t->Current()));
     series.emplace_back(name + "_peak_bytes",
                         static_cast<double>(t->Peak()));
+  }
+  for (const auto& [name, c] : time_counters_) {
+    // Micros inside, seconds on every surface (_seconds_total names).
+    series.emplace_back(name, static_cast<double>(c->Value()) / 1e6);
   }
   for (const auto& [name, h] : histograms_) {
     AppendHistogramSeries(name, h->Snapshot(), &series);
@@ -137,40 +177,103 @@ std::string MetricsRegistry::ToText() const {
   return out.str();
 }
 
+std::string MetricsRegistry::ToTextAndReset() {
+  // FoldSeries() with draining reads: each counter shard and histogram
+  // bucket is claimed with exchange(0), so an Add racing this call lands
+  // either in the rendered text or in the fresh epoch -- never both.
+  std::vector<std::pair<std::string, double>> series;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) {
+      series.emplace_back(name, static_cast<double>(c->ValueAndReset()));
+    }
+    for (auto& [name, g] : gauges_) {
+      series.emplace_back(name, static_cast<double>(g->ValueAndReset()));
+    }
+    for (auto& [name, t] : trackers_) {
+      // Live charges survive a reset (Reset() restarts the peak from
+      // them), so render-then-reset is the honest drain for trackers.
+      series.emplace_back(name + "_bytes",
+                          static_cast<double>(t->Current()));
+      series.emplace_back(name + "_peak_bytes",
+                          static_cast<double>(t->Peak()));
+      t->Reset();
+    }
+    for (auto& [name, c] : time_counters_) {
+      series.emplace_back(name,
+                          static_cast<double>(c->ValueAndReset()) / 1e6);
+    }
+    for (auto& [name, h] : histograms_) {
+      AppendHistogramSeries(name, h->SnapshotAndReset(), &series);
+    }
+    std::sort(series.begin(), series.end());
+  }
+  std::ostringstream out;
+  for (const auto& [name, value] : series) {
+    out << name << " " << FormatValue(value) << "\n";
+  }
+  return out.str();
+}
+
 std::string MetricsRegistry::ToPrometheusText() const {
   // Render one block per series, then emit sorted by series name so the
   // exposition is stable regardless of metric kind -- ToText/ToJson/
   // sys.metrics sort via FoldSeries(); this surface must match so
   // goldens and docs examples don't depend on registration order.
-  std::vector<std::pair<std::string, std::string>> blocks;
+  //
+  // Labeled series embed their labels in the registry name
+  // (name{key="value"}); the TYPE line must carry the bare metric name
+  // (stripped at the brace), and consecutive blocks of the same label
+  // family must not repeat it -- the exposition format allows one TYPE
+  // line per metric.
+  struct Block {
+    std::string sort_key;
+    std::string type_line;
+    std::string body;
+    bool operator<(const Block& other) const {
+      return sort_key < other.sort_key;
+    }
+  };
+  const auto bare = [](const std::string& name) {
+    const size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+  };
+  std::vector<Block> blocks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, c] : counters_) {
       std::ostringstream b;
-      b << "# TYPE " << name << " counter\n"
-        << name << " " << c->Value() << "\n";
-      blocks.emplace_back(name, b.str());
+      b << name << " " << c->Value() << "\n";
+      blocks.push_back(
+          {name, "# TYPE " + bare(name) + " counter\n", b.str()});
     }
     for (const auto& [name, g] : gauges_) {
       std::ostringstream b;
-      b << "# TYPE " << name << " gauge\n"
-        << name << " " << g->Value() << "\n";
-      blocks.emplace_back(name, b.str());
+      b << name << " " << g->Value() << "\n";
+      blocks.push_back(
+          {name, "# TYPE " + bare(name) + " gauge\n", b.str()});
     }
     for (const auto& [name, t] : trackers_) {
       std::ostringstream b;
-      b << "# TYPE " << name << "_bytes gauge\n"
-        << name << "_bytes " << t->Current() << "\n";
-      blocks.emplace_back(name + "_bytes", b.str());
+      b << name << "_bytes " << t->Current() << "\n";
+      blocks.push_back({name + "_bytes",
+                        "# TYPE " + name + "_bytes gauge\n", b.str()});
       std::ostringstream p;
-      p << "# TYPE " << name << "_peak_bytes gauge\n"
-        << name << "_peak_bytes " << t->Peak() << "\n";
-      blocks.emplace_back(name + "_peak_bytes", p.str());
+      p << name << "_peak_bytes " << t->Peak() << "\n";
+      blocks.push_back({name + "_peak_bytes",
+                        "# TYPE " + name + "_peak_bytes gauge\n",
+                        p.str()});
+    }
+    for (const auto& [name, c] : time_counters_) {
+      std::ostringstream b;
+      b << name << " "
+        << FormatValue(static_cast<double>(c->Value()) / 1e6) << "\n";
+      blocks.push_back(
+          {name, "# TYPE " + bare(name) + " counter\n", b.str()});
     }
     for (const auto& [name, h] : histograms_) {
       const HistogramSnapshot snap = h->Snapshot();
       std::ostringstream b;
-      b << "# TYPE " << name << " summary\n";
       b << name << "{quantile=\"0.5\"} "
         << FormatValue(snap.Quantile(0.5)) << "\n";
       b << name << "{quantile=\"0.9\"} "
@@ -180,12 +283,19 @@ std::string MetricsRegistry::ToPrometheusText() const {
       b << name << "_sum " << snap.sum << "\n";
       b << name << "_count " << snap.total_count << "\n";
       b << name << "_max " << snap.max << "\n";
-      blocks.emplace_back(name, b.str());
+      blocks.push_back({name, "# TYPE " + name + " summary\n", b.str()});
     }
   }
   std::sort(blocks.begin(), blocks.end());
   std::ostringstream out;
-  for (const auto& [name, text] : blocks) out << text;
+  const std::string* last_type = nullptr;
+  for (const Block& block : blocks) {
+    if (last_type == nullptr || *last_type != block.type_line) {
+      out << block.type_line;
+    }
+    out << block.body;
+    last_type = &block.type_line;
+  }
   return out.str();
 }
 
@@ -276,6 +386,26 @@ EngineMetrics* EngineMetrics::Instance() {
     m->cache_inserts = reg.GetCounter("fuzzydb_cache_inserts_total");
     m->cache_evictions = reg.GetCounter("fuzzydb_cache_evictions_total");
     m->cache_bytes = reg.GetGauge("fuzzydb_cache_bytes");
+    m->journal_records = reg.GetCounter("fuzzydb_journal_records_total");
+    m->journal_errors = reg.GetCounter("fuzzydb_journal_errors_total");
+    m->journal_rotations =
+        reg.GetCounter("fuzzydb_journal_rotations_total");
+    m->queries_killed = reg.GetCounter("fuzzydb_queries_killed_total");
+    // One labeled series per pipeline phase; slot 0 (kNone) stays null.
+    m->phase_seconds[0] = nullptr;
+    for (size_t i = 1; i < kNumQueryPhases; ++i) {
+      m->phase_seconds[i] = reg.GetTimeCounter(
+          std::string("fuzzydb_phase_seconds_total") + "{phase=\"" +
+          QueryPhaseName(static_cast<QueryPhase>(i)) + "\"}");
+    }
+    const ExecOptions defaults;
+    m->build_info = reg.GetGauge(
+        std::string("fuzzydb_build_info") + "{git_sha=\"" +
+        FUZZYDB_GIT_SHA + "\",compiler=\"" + CompilerLabel() +
+        "\",batch_size=\"" + std::to_string(defaults.batch_size) +
+        "\",cost_based=\"" + (defaults.cost_based ? "on" : "off") +
+        "\"}");
+    m->build_info->Set(1);
     return m;
   }();
   return metrics;
@@ -310,6 +440,19 @@ void SlowQueryLog::Clear() {
 size_t SlowQueryLog::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+Relation SlowQueryLog::ToRelation() const {
+  Relation rel("sys.slowlog", Schema{{"elapsed_ms", ValueType::kFuzzy},
+                                     {"query", ValueType::kString},
+                                     {"trace", ValueType::kString}});
+  for (const Entry& entry : Entries()) {
+    (void)rel.Append(Tuple({Value::Number(entry.elapsed_ms),
+                            Value::String(entry.query_text),
+                            Value::String(entry.trace_text)},
+                           /*degree=*/1.0));
+  }
+  return rel;
 }
 
 }  // namespace fuzzydb

@@ -50,6 +50,17 @@ class Counter {
   void Reset() {
     for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
   }
+  /// Atomically drains every shard and returns the folded value.
+  /// Unlike Value()-then-Reset(), a concurrent Add can never land
+  /// between the read and the zeroing and be silently dropped: each
+  /// shard's exchange(0) claims exactly what was there.
+  uint64_t ValueAndReset() {
+    uint64_t total = 0;
+    for (Shard& s : shards_) {
+      total += s.v.exchange(0, std::memory_order_relaxed);
+    }
+    return total;
+  }
 
  private:
   static constexpr int kShards = 16;
@@ -72,6 +83,11 @@ class Gauge {
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { Set(0); }
+  /// Atomic read-and-zero (see Counter::ValueAndReset): a concurrent
+  /// Add lands in the returned value or in the fresh epoch, never both.
+  int64_t ValueAndReset() {
+    return value_.exchange(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> value_{0};
@@ -137,6 +153,11 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name);
   MemoryTracker* GetMemoryTracker(const std::string& name);
 
+  /// A counter of accumulated *microseconds* rendered as seconds
+  /// (value / 1e6) on every surface, so _seconds_total series names
+  /// stay truthful while the hot path remains an integer relaxed add.
+  Counter* GetTimeCounter(const std::string& name);
+
   // When disabled, EngineMetrics::IfEnabled() returns nullptr and no
   // engine call site records anything. Direct holders of metric pointers
   // may still record; disabling is a tap for the engine wiring, not a
@@ -153,6 +174,14 @@ class MetricsRegistry {
   // _count/_sum/_p50/_p90/_p99/_max, sorted by name. This is the text of
   // SHOW METRICS and the exact value set mirrored into sys.metrics.
   std::string ToText() const;
+
+  // ToText() and ResetAll() as one atomic step: every metric is drained
+  // with an exchange (counters) or snapshot-then-zero fold (histograms,
+  // Histogram::SnapshotAndReset), so a Record/Add racing the reset lands
+  // in exactly one of {the rendered text, the fresh epoch} -- never both,
+  // never neither. SHOW METRICS RESET uses this so mid-query resets do
+  // not skew in-flight folds.
+  std::string ToTextAndReset();
 
   // Prometheus exposition format (counters, gauges, histogram summaries).
   std::string ToPrometheusText() const;
@@ -178,10 +207,12 @@ class MetricsRegistry {
   std::map<std::string, Gauge*> gauges_;
   std::map<std::string, Histogram*> histograms_;
   std::map<std::string, MemoryTracker*> trackers_;
+  std::map<std::string, Counter*> time_counters_;
   std::deque<Counter> counter_storage_;
   std::deque<Gauge> gauge_storage_;
   std::deque<Histogram> histogram_storage_;
   std::deque<MemoryTracker> tracker_storage_;
+  std::deque<Counter> time_counter_storage_;
 };
 
 // The engine's fixed metric set, resolved once from the global registry.
@@ -262,6 +293,24 @@ struct EngineMetrics {
   Counter* cache_evictions;
   Gauge* cache_bytes;
 
+  // Live query introspection (obs/query_registry.h, obs/query_journal.h):
+  // journal records written / write failures swallowed / file rotations,
+  // queries cancelled through KILL, and the cumulative per-phase
+  // execution time folded at query unregistration. phase_seconds is
+  // indexed by QueryPhase; slot 0 (kNone) is null -- it is not a
+  // pipeline phase. The series are time counters: microseconds inside,
+  // seconds on every rendered surface.
+  Counter* journal_records;
+  Counter* journal_errors;
+  Counter* journal_rotations;
+  Counter* queries_killed;
+  Counter* phase_seconds[7];
+
+  // Build identity for self-describing scrapes and bench artifacts:
+  // constant 1, with the git sha, compiler, and the batch/cbo defaults
+  // as labels on the series name.
+  Gauge* build_info;
+
   // Null when MetricsRegistry::Global() is disabled.
   static EngineMetrics* IfEnabled();
   // Always non-null; for tests and renderers that bypass the tap.
@@ -284,6 +333,11 @@ class SlowQueryLog {
   std::vector<Entry> Entries() const;  // oldest first
   void Clear();
   size_t Size() const;
+
+  /// The sys.slowlog system relation: (elapsed_ms FUZZY, query STRING,
+  /// trace STRING), oldest first, every row with degree 1 -- the same
+  /// render discipline as sys.metrics / sys.queries.
+  Relation ToRelation() const;
 
  private:
   static constexpr size_t kCapacity = 32;

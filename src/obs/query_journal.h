@@ -1,0 +1,110 @@
+// The structured query journal: an always-on, bounded JSONL audit log
+// with one record per completed query.
+//
+// The slow-query log only sees queries over a threshold; the journal
+// sees every query (or every Nth with sampling), so post-hoc triage --
+// "what ran before the latency spike", "which plans mis-estimated" --
+// has complete data. Each record carries the query's identity (SQL,
+// plan fingerprint, registry id), outcome (status, rows, est vs actual),
+// resource profile (phase timings, cpu/io counters, peak memory, cache
+// hits), and timing. tools/journal_check.py validates the schema in CI.
+//
+// Disabled (no path set, the default) the cost is one relaxed atomic
+// load per query. Enabled, appends happen on the query's control thread
+// under one mutex -- per query, not per tuple. A write failure (full
+// disk, fail point "journal/write") increments
+// fuzzydb_journal_errors_total and NEVER fails the query: the journal
+// is observability, not durability. Rotation keeps the log bounded: at
+// max_bytes the file is renamed to PATH.1 (replacing any previous .1)
+// and a fresh PATH is started, so disk use never exceeds ~2x max_bytes.
+#ifndef FUZZYDB_OBS_QUERY_JOURNAL_H_
+#define FUZZYDB_OBS_QUERY_JOURNAL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "engine/exec_stats.h"
+#include "obs/query_registry.h"
+#include "storage/io_stats.h"
+
+namespace fuzzydb {
+
+/// Everything one journal line records. The evaluator fills what it
+/// knows; zero/empty fields render as such (the schema is fixed).
+struct QueryJournalRecord {
+  uint64_t query_id = 0;     // ActiveQueryRegistry id; 0 = unregistered
+  std::string sql;           // statement text (may be empty)
+  std::string fingerprint;   // canonical plan fingerprint (may be empty)
+  std::string type;          // classified query type, e.g. "J"
+  std::string engine = "unnested";  // "unnested" | "naive-fallback"
+  std::string status = "OK";        // OK | CANCELLED | DEADLINE_EXCEEDED
+                                    // | RESOURCE_EXHAUSTED | FAILED
+  uint64_t rows = 0;                // answer cardinality
+  bool has_est_rows = false;
+  uint64_t est_rows = 0;            // planner estimate, when produced
+  double elapsed_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  size_t threads = 1;
+  /// Flushed per-phase micros, indexed by QueryPhase (0 = none, unused).
+  std::array<uint64_t, kNumQueryPhases> phase_micros{};
+  CpuStats cpu;
+  IoStats io;
+  int64_t mem_peak_bytes = 0;
+  uint64_t cache_hits = 0;    // process-level delta over the query
+  uint64_t cache_misses = 0;
+};
+
+/// Process-wide journal sink. All members are thread-safe.
+class QueryJournal {
+ public:
+  static QueryJournal& Global();
+
+  /// Opens (appending) the journal at `path`; empty closes and disables.
+  /// Existing records are kept -- restarting a session extends the log.
+  Status SetPath(const std::string& path);
+  std::string path() const;
+
+  /// Journal every Nth query (1 = every query, the default; 0 behaves
+  /// as 1). Skipped queries still advance the id sequence, so sampled
+  /// logs stay monotonic and gaps are visible.
+  void set_sample_every(uint64_t n);
+
+  /// Rotation threshold in bytes (default 64 MiB; 0 = never rotate).
+  void set_max_bytes(uint64_t bytes);
+
+  /// One relaxed load; the evaluator's "should I assemble a record"
+  /// gate, mirroring EngineMetrics::IfEnabled().
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Assigns the next journal id and, unless sampled out, writes one
+  /// JSONL record. Never fails: errors are counted, not raised.
+  void Append(const QueryJournalRecord& record);
+
+  /// Records written since the journal opened (sampling and write
+  /// failures excluded); for tests and the CI gate.
+  uint64_t records_written() const;
+
+ private:
+  QueryJournal() = default;
+
+  void RotateLocked();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::string path_;
+  std::ofstream out_;
+  uint64_t seq_ = 0;
+  uint64_t sample_every_ = 1;
+  uint64_t max_bytes_ = 64ull << 20;
+  uint64_t bytes_written_ = 0;
+  uint64_t records_written_ = 0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_OBS_QUERY_JOURNAL_H_

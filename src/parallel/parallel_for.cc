@@ -3,6 +3,8 @@
 #include <exception>
 #include <future>
 
+#include "obs/query_registry.h"
+
 namespace fuzzydb {
 
 size_t WorkerSlots(const ParallelContext& ctx) {
@@ -26,6 +28,7 @@ void ParallelFor(const ParallelContext& ctx, size_t total, size_t morsel_size,
     size_t begin = 0, end = 0;
     while (!QueryStopRequested(ctx.query) && cursor.Next(&begin, &end)) {
       body(0, begin, end);
+      if (ctx.progress != nullptr) ctx.progress->AddMorsel(end - begin);
     }
     return;
   }
@@ -38,6 +41,7 @@ void ParallelFor(const ParallelContext& ctx, size_t total, size_t morsel_size,
       size_t begin = 0, end = 0;
       while (!QueryStopRequested(ctx.query) && cursor.Next(&begin, &end)) {
         body(w, begin, end);
+        if (ctx.progress != nullptr) ctx.progress->AddMorsel(end - begin);
       }
     }));
   }

@@ -25,6 +25,7 @@
 namespace fuzzydb {
 
 class CacheManager;
+class QueryProgress;
 
 /// How an operator should parallelize: the pool to run on (null = run on
 /// the calling thread) and the morsel granularity.
@@ -58,6 +59,13 @@ struct ParallelContext {
   /// inputs are thread-count invariant, so this knob never changes
   /// results -- see engine/cost_model.h.
   bool cost_based = true;
+
+  /// Live progress for SHOW QUERIES (see obs/query_registry.h): every
+  /// completed morsel bumps its morsel/item counters with one relaxed
+  /// add from whichever worker finished it. The counted totals are a
+  /// pure function of the morsel decomposition, hence thread-count
+  /// invariant. Null (the default) costs one pointer test per morsel.
+  QueryProgress* progress = nullptr;  // not owned
 };
 
 /// Number of distinct worker slots a ParallelFor body may observe; size

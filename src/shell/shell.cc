@@ -15,6 +15,7 @@
 #include "engine/naive_evaluator.h"
 #include "engine/unnested_evaluator.h"
 #include "obs/metrics.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "sql/binder.h"
 #include "sql/statement.h"
@@ -132,6 +133,8 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
            "  DEFINE TERM \"name\" AS TRAP(a,b,c,d);\n"
            "  DROP TABLE name;\n"
            "  SHOW METRICS [RESET];  (also queryable as sys.metrics)\n"
+           "  SHOW QUERIES;  (in-flight queries; also sys.queries)\n"
+           "  KILL <id>;  (cancel a running query by sys.queries id)\n"
            "  CACHE CLEAR;  (drop cache entries; contents: sys.cache)\n"
            "commands:\n"
            "  .tables .schema <t> .terms .explain on|off\n"
@@ -301,6 +304,12 @@ void Shell::RefreshSystemRelations(const std::string& statement_text) {
   if (lowered.find("sys.cache") != std::string::npos) {
     catalog_.PutRelation(CacheManager::Global().ToRelation());
   }
+  if (lowered.find("sys.queries") != std::string::npos) {
+    catalog_.PutRelation(ActiveQueryRegistry::Global().ToRelation());
+  }
+  if (lowered.find("sys.slowlog") != std::string::npos) {
+    catalog_.PutRelation(SlowQueryLog::Global().ToRelation());
+  }
 }
 
 void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
@@ -315,11 +324,33 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
 
   switch (statement.kind) {
     case sql::Statement::Kind::kShowMetrics: {
-      out << MetricsRegistry::Global().ToText();
       if (statement.metrics_reset) {
-        MetricsRegistry::Global().ResetAll();
+        // Snapshot-then-reset as one atomic drain: concurrent updates
+        // land either in the rendered text or in the fresh epoch, so
+        // consecutive RESET dumps sum exactly (no histogram-shard skew).
+        out << MetricsRegistry::Global().ToTextAndReset();
         SlowQueryLog::Global().Clear();
+        // build_info is a constant-1 series; restore it after the drain.
+        EngineMetrics::Instance()->build_info->Set(1);
         out << "-- metrics reset\n";
+      } else {
+        out << MetricsRegistry::Global().ToText();
+      }
+      return;
+    }
+    case sql::Statement::Kind::kShowQueries: {
+      const std::string text_dump = ActiveQueryRegistry::Global().ToText();
+      out << text_dump;
+      out << "-- " << ActiveQueryRegistry::Global().Size()
+          << " active queries\n";
+      return;
+    }
+    case sql::Statement::Kind::kKill: {
+      if (ActiveQueryRegistry::Global().Kill(statement.kill_id)) {
+        out << "-- kill requested for query " << statement.kill_id << "\n";
+      } else {
+        had_error_ = true;
+        out << "no active query with id " << statement.kill_id << "\n";
       }
       return;
     }
@@ -344,8 +375,10 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       if (timeout_ms_ > 0) qctx.set_deadline_after_ms(timeout_ms_);
       if (memory_budget_ > 0) qctx.memory().set_limit(memory_budget_);
       ActiveQueryScope active(&qctx);
+      QueryProgress progress;
       Result<Relation> answer = Status::Internal("unset");
       if (use_naive_) {
+        ActiveQueryRegistration registration(text, &qctx, &progress, 1);
         NaiveEvaluator naive(&cpu, &trace, &qctx);
         answer = naive.Evaluate(**bound);
       } else {
@@ -357,6 +390,9 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         options.context = &qctx;
         options.cache = &CacheManager::Global();
         options.cost_based = cost_based_;
+        options.progress = &progress;
+        ActiveQueryRegistration registration(text, &qctx, &progress,
+                                             options.ResolvedThreads());
         UnnestingEvaluator engine(options, &cpu);
         answer = engine.Evaluate(**bound);
       }
@@ -369,6 +405,8 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
           << trace.ToString()
           << "-- " << answer->NumTuples() << " answer tuple"
           << (answer->NumTuples() == 1 ? "" : "s") << "\n";
+      const std::string phases = progress.PhasesText();
+      if (!phases.empty()) out << "-- phases=" << phases << "\n";
       if (explain_json_) {
         out << "-- trace json begin\n"
             << trace.ToJsonSummary() << "\n"
@@ -397,10 +435,12 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       if (timeout_ms_ > 0) qctx.set_deadline_after_ms(timeout_ms_);
       if (memory_budget_ > 0) qctx.memory().set_limit(memory_budget_);
       ActiveQueryScope active(&qctx);
+      QueryProgress progress;
       Result<Relation> answer = Status::Internal("unset");
       QueryType type = Classify(**bound);
       bool unnested = false;
       if (use_naive_) {
+        ActiveQueryRegistration registration(text, &qctx, &progress, 1);
         NaiveEvaluator naive(nullptr, nullptr, &qctx);
         answer = naive.Evaluate(**bound);
       } else {
@@ -411,6 +451,9 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         options.context = &qctx;
         options.cache = &CacheManager::Global();
         options.cost_based = cost_based_;
+        options.progress = &progress;
+        ActiveQueryRegistration registration(text, &qctx, &progress,
+                                             options.ResolvedThreads());
         UnnestingEvaluator engine(options);
         answer = engine.Evaluate(**bound);
         unnested = engine.last_was_unnested();

@@ -63,12 +63,28 @@ class Parser {
       statement.kind = Statement::Kind::kDropTable;
       FUZZYDB_ASSIGN_OR_RETURN(statement.drop_table, ParseDropTable());
     } else if (MatchKeyword("show")) {
-      // SHOW and METRICS are contextual (non-reserved) words: they only
-      // act as keywords at statement position, so relations or columns
-      // named "show" keep working.
-      FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("metrics"));
-      statement.kind = Statement::Kind::kShowMetrics;
-      statement.metrics_reset = MatchKeyword("reset");
+      // SHOW, METRICS, and QUERIES are contextual (non-reserved) words:
+      // they only act as keywords at statement position, so relations or
+      // columns named "show" keep working.
+      if (MatchKeyword("queries")) {
+        statement.kind = Statement::Kind::kShowQueries;
+      } else {
+        FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("metrics"));
+        statement.kind = Statement::Kind::kShowMetrics;
+        statement.metrics_reset = MatchKeyword("reset");
+      }
+    } else if (MatchKeyword("kill")) {
+      // KILL is contextual like SHOW: only a keyword at statement
+      // position. The operand is the sys.queries / SHOW QUERIES id.
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected query id after KILL");
+      }
+      const double id = Advance().number;
+      if (id < 1 || id != static_cast<double>(static_cast<uint64_t>(id))) {
+        return Error("KILL requires a positive integer query id");
+      }
+      statement.kind = Statement::Kind::kKill;
+      statement.kill_id = static_cast<uint64_t>(id);
     } else if (MatchKeyword("cache")) {
       // CACHE is contextual like SHOW: only a keyword at statement
       // position.
@@ -76,7 +92,8 @@ class Parser {
       statement.kind = Statement::Kind::kCacheClear;
     } else {
       return Error(
-          "expected SELECT, CREATE, INSERT, DEFINE, DROP, SHOW, or CACHE");
+          "expected SELECT, CREATE, INSERT, DEFINE, DROP, SHOW, KILL, or "
+          "CACHE");
     }
     if (Peek().type != TokenType::kEnd) {
       return Error("trailing input after statement");

@@ -8,6 +8,8 @@
 //   DEFINE TERM "name" AS TRAP(a,b,c,d)          (or ABOUT(v, spread))
 //   DROP TABLE name
 //   SHOW METRICS [RESET]                         metrics registry dump
+//   SHOW QUERIES                                 active-query registry
+//   KILL id                                      cancel a running query
 //   CACHE CLEAR                                  drop all cache entries
 //
 // INSERT values are literals: numbers, 'strings', "linguistic terms"
@@ -16,6 +18,7 @@
 #ifndef FUZZYDB_SQL_STATEMENT_H_
 #define FUZZYDB_SQL_STATEMENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,11 +61,14 @@ struct Statement {
     kDefineTerm,
     kDropTable,
     kShowMetrics,  // SHOW METRICS [RESET]
+    kShowQueries,  // SHOW QUERIES
+    kKill,         // KILL <query id>
     kCacheClear    // CACHE CLEAR
   };
   Kind kind = Kind::kSelect;
   bool analyze = false;  // kExplain only: EXPLAIN ANALYZE executes
   bool metrics_reset = false;  // kShowMetrics only: RESET after rendering
+  uint64_t kill_id = 0;        // kKill only: the registry id to cancel
   std::unique_ptr<Query> select;
   CreateTableStatement create_table;
   InsertStatement insert;

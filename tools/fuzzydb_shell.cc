@@ -14,6 +14,11 @@
 //   fuzzydb_shell --memory-budget=N[kmg] per-query memory budget
 //   fuzzydb_shell --cache-mb=N           cross-query cache capacity in
 //                                        MiB (0 = off, the default)
+//   fuzzydb_shell --query-log=PATH       append one JSONL record per
+//                                        query to PATH (the structured
+//                                        query journal)
+//   fuzzydb_shell --query-log-sample=N   journal every Nth query
+//                                        (1 = all, the default)
 //   fuzzydb_shell --no-cbo               disable cost-based planning
 //                                        (legacy fixed-rule plans;
 //                                        answers are bit-identical)
@@ -37,6 +42,7 @@
 
 #include "cache/cache_manager.h"
 #include "obs/metrics.h"
+#include "obs/query_journal.h"
 #include "shell/shell.h"
 
 namespace {
@@ -108,6 +114,8 @@ int main(int argc, char** argv) {
     const std::string kBudgetFlag = "--memory-budget=";
     const std::string kCacheFlag = "--cache-mb=";
     const std::string kBatchFlag = "--batch-size=";
+    const std::string kQueryLogFlag = "--query-log=";
+    const std::string kQueryLogSampleFlag = "--query-log-sample=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
     } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
@@ -151,6 +159,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       shell.set_batch_size(static_cast<size_t>(lanes));
+    } else if (arg.rfind(kQueryLogFlag, 0) == 0) {
+      const fuzzydb::Status status = fuzzydb::QueryJournal::Global().SetPath(
+          arg.substr(kQueryLogFlag.size()));
+      if (!status.ok()) {
+        std::cerr << status.ToString() << "\n";
+        return 2;
+      }
+    } else if (arg.rfind(kQueryLogSampleFlag, 0) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long every = std::strtoull(
+          arg.c_str() + kQueryLogSampleFlag.size(), &end, 10);
+      if (errno != 0 || end == arg.c_str() + kQueryLogSampleFlag.size() ||
+          *end != '\0') {
+        std::cerr << "bad --query-log-sample value (want N >= 1): " << arg
+                  << "\n";
+        return 2;
+      }
+      fuzzydb::QueryJournal::Global().set_sample_every(
+          static_cast<uint64_t>(every));
     } else if (arg == "--no-cbo") {
       shell.set_cost_based(false);
     } else if (arg == "--explain-json") {
@@ -170,6 +198,7 @@ int main(int argc, char** argv) {
                    "    [--metrics-prom=PATH|-] [--slow-query-ms=N]\n"
                    "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n"
                    "    [--cache-mb=N] [--batch-size=N] [--no-cbo]\n"
+                   "    [--query-log=PATH] [--query-log-sample=N]\n"
                    "    [--explain-json]\n";
       return 2;
     }

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Query-journal schema gate: validates a JSONL journal produced with
+--query-log=PATH (run from anywhere; CI runs it on the bench journal).
+
+Checks, per line:
+
+ 1. The line parses as a single JSON object.
+ 2. Every required key is present with the right type (see SCHEMA),
+    including the nested phases_us / cpu / io objects.
+ 3. status is one of the termination statuses the engine emits.
+ 4. est_rows is a non-negative integer or null (null = the planner
+    produced no estimate for this plan shape).
+
+And across the file:
+
+ 5. ids are strictly increasing within a session (gaps are fine --
+    sampling skips ids on purpose, so monotonicity is the invariant,
+    not density). A restart back to id 1 marks a new session appending
+    to the same file and resets the check.
+
+Usage: journal_check.py PATH [--min-records=N]
+
+--min-records fails the run when fewer than N records validated; the CI
+bench job uses it to catch a journal that silently stopped writing.
+
+Exit code 0 = clean, 1 = findings (each printed as path:line message).
+"""
+
+import json
+import sys
+
+STATUSES = {
+    "OK",
+    "CANCELLED",
+    "DEADLINE_EXCEEDED",
+    "RESOURCE_EXHAUSTED",
+    "FAILED",
+}
+
+PHASES = ("plan", "filter", "sort", "window", "join", "emit")
+
+# key -> (type check, description)
+SCHEMA = {
+    "id": (lambda v: isinstance(v, int) and v >= 1, "integer >= 1"),
+    "query_id": (lambda v: isinstance(v, int) and v >= 0, "integer >= 0"),
+    "sql": (lambda v: isinstance(v, str), "string"),
+    "fingerprint": (lambda v: isinstance(v, str), "string"),
+    "type": (lambda v: isinstance(v, str), "string"),
+    "engine": (
+        lambda v: v in ("unnested", "naive-fallback"),
+        "unnested | naive-fallback",
+    ),
+    "status": (lambda v: v in STATUSES, " | ".join(sorted(STATUSES))),
+    "rows": (lambda v: isinstance(v, int) and v >= 0, "integer >= 0"),
+    "est_rows": (
+        lambda v: v is None or (isinstance(v, int) and v >= 0),
+        "integer >= 0 or null",
+    ),
+    "elapsed_ms": (
+        lambda v: isinstance(v, (int, float)) and v >= 0,
+        "number >= 0",
+    ),
+    "queue_wait_ms": (
+        lambda v: isinstance(v, (int, float)) and v >= 0,
+        "number >= 0",
+    ),
+    "threads": (lambda v: isinstance(v, int) and v >= 1, "integer >= 1"),
+    "phases_us": (lambda v: isinstance(v, dict), "object"),
+    "cpu": (lambda v: isinstance(v, dict), "object"),
+    "io": (lambda v: isinstance(v, dict), "object"),
+    "mem_peak_bytes": (
+        lambda v: isinstance(v, int) and v >= 0,
+        "integer >= 0",
+    ),
+    "cache_hits": (lambda v: isinstance(v, int) and v >= 0, "integer >= 0"),
+    "cache_misses": (lambda v: isinstance(v, int) and v >= 0, "integer >= 0"),
+}
+
+CPU_KEYS = ("pairs", "degrees", "cmp", "subq")
+IO_KEYS = ("page_reads", "page_writes", "buffer_hits")
+
+
+def check_counts(record, key, subkeys, where, findings):
+    obj = record.get(key)
+    if not isinstance(obj, dict):
+        return
+    for sub in subkeys:
+        value = obj.get(sub)
+        if not isinstance(value, int) or value < 0:
+            findings.append(
+                f"{where}: {key}.{sub} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+    for sub in obj:
+        if sub not in subkeys:
+            findings.append(f"{where}: unexpected key {key}.{sub}")
+
+
+def check_file(path, min_records):
+    findings = []
+    records = 0
+    prev_id = 0
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as error:
+        return [f"{path}: {error}"], 0
+    for number, line in enumerate(lines, start=1):
+        where = f"{path}:{number}"
+        if not line.strip():
+            findings.append(f"{where}: blank line in JSONL stream")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            findings.append(f"{where}: not valid JSON ({error})")
+            continue
+        if not isinstance(record, dict):
+            findings.append(f"{where}: line is not a JSON object")
+            continue
+        records += 1
+        for key, (check, expected) in SCHEMA.items():
+            if key not in record:
+                findings.append(f"{where}: missing key {key}")
+            elif not check(record[key]):
+                findings.append(
+                    f"{where}: {key} must be {expected}, "
+                    f"got {record[key]!r}"
+                )
+        for key in record:
+            if key not in SCHEMA:
+                findings.append(f"{where}: unexpected key {key}")
+        check_counts(record, "phases_us", PHASES, where, findings)
+        check_counts(record, "cpu", CPU_KEYS, where, findings)
+        check_counts(record, "io", IO_KEYS, where, findings)
+        record_id = record.get("id")
+        if isinstance(record_id, int):
+            if record_id <= prev_id and record_id != 1:
+                findings.append(
+                    f"{where}: id {record_id} not greater than "
+                    f"previous id {prev_id} (and not a session restart)"
+                )
+            prev_id = record_id
+    if records < min_records:
+        findings.append(
+            f"{path}: {records} record(s) validated, expected at least "
+            f"{min_records}"
+        )
+    return findings, records
+
+
+def main(argv):
+    min_records = 0
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-records="):
+            min_records = int(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: journal_check.py PATH [--min-records=N]",
+              file=sys.stderr)
+        return 2
+
+    all_findings = []
+    total = 0
+    for path in paths:
+        findings, records = check_file(path, min_records)
+        all_findings.extend(findings)
+        total += records
+    if all_findings:
+        for finding in all_findings:
+            print(finding)
+        print(f"journal_check: {len(all_findings)} finding(s)")
+        return 1
+    print(f"journal_check: OK ({total} record(s) validated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
