@@ -2,6 +2,8 @@
 
 namespace fuzzydb {
 
+std::atomic<uint64_t> GlobalInterrupt::epoch_{0};
+
 Status MemoryBudget::Charge(uint64_t bytes) {
   const int64_t now = used_.fetch_add(static_cast<int64_t>(bytes),
                                       std::memory_order_relaxed) +
@@ -21,7 +23,9 @@ Status MemoryBudget::Charge(uint64_t bytes) {
 }
 
 Status QueryContext::Check() const {
-  if (cancelled_.load(std::memory_order_relaxed)) {
+  if (cancelled_.load(std::memory_order_relaxed) ||
+      GlobalInterrupt::Epoch() != interrupt_epoch_) {
+    cancelled_.store(true, std::memory_order_relaxed);
     return Status::Cancelled("query cancelled");
   }
   if (has_deadline_ &&

@@ -25,6 +25,24 @@
 
 namespace fuzzydb {
 
+/// Process-wide interrupt epoch backing "cancel everything in flight"
+/// (SIGINT in the shell, graceful drain in the server). Raise() is a
+/// single relaxed fetch_add -- async-signal-safe -- and touches no
+/// QueryContext memory, so there is no lifetime race with queries
+/// finishing concurrently: each QueryContext captures the epoch at
+/// construction and treats a later epoch as a cancel request. Queries
+/// started after the interrupt see the new epoch at construction and
+/// are unaffected.
+class GlobalInterrupt {
+ public:
+  /// Requests cancellation of every query in flight. Async-signal-safe.
+  static void Raise() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  static uint64_t Epoch() { return epoch_.load(std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<uint64_t> epoch_;
+};
+
 /// A per-query memory ceiling with checked accounting. Limit 0 (the
 /// default) means unlimited; Charge still tracks usage so tests can
 /// assert balanced accounting (used() == 0 after the query finishes,
@@ -94,6 +112,12 @@ class QueryContext {
   /// fires, after which the result is latched.
   bool StopRequested() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (GlobalInterrupt::Epoch() != interrupt_epoch_) {
+      // A process-wide interrupt raised after this query started:
+      // latch it as a plain cancel so Check() reports CANCELLED.
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
     if (exhausted_.load(std::memory_order_relaxed)) return true;
     if (!has_deadline_) return false;
     if (deadline_hit_.load(std::memory_order_relaxed)) return true;
@@ -121,9 +145,11 @@ class QueryContext {
   const MemoryBudget& memory() const { return memory_; }
 
  private:
-  std::atomic<bool> cancelled_{false};
+  // mutable: StopRequested() (const) latches a global interrupt here.
+  mutable std::atomic<bool> cancelled_{false};
   std::atomic<bool> exhausted_{false};
   mutable std::atomic<bool> deadline_hit_{false};
+  const uint64_t interrupt_epoch_ = GlobalInterrupt::Epoch();
   bool has_deadline_ = false;  // set before execution, read-only after
   std::chrono::steady_clock::time_point deadline_{};
   MemoryBudget memory_;

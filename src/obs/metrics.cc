@@ -388,8 +388,15 @@ EngineMetrics* EngineMetrics::Instance() {
     m->cache_bytes = reg.GetGauge("fuzzydb_cache_bytes");
     m->journal_records = reg.GetCounter("fuzzydb_journal_records_total");
     m->journal_errors = reg.GetCounter("fuzzydb_journal_errors_total");
+    // Two labeled outcomes of one series: "rotated" counts rotations
+    // performed, "dropped" counts files deleted because they fell past
+    // the keep-N generation window.
     m->journal_rotations =
-        reg.GetCounter("fuzzydb_journal_rotations_total");
+        reg.GetCounter(std::string("fuzzydb_journal_rotations_total") +
+                       "{outcome=\"rotated\"}");
+    m->journal_rotations_dropped =
+        reg.GetCounter(std::string("fuzzydb_journal_rotations_total") +
+                       "{outcome=\"dropped\"}");
     m->queries_killed = reg.GetCounter("fuzzydb_queries_killed_total");
     // One labeled series per pipeline phase; slot 0 (kNone) stays null.
     m->phase_seconds[0] = nullptr;

@@ -302,7 +302,8 @@ struct EngineMetrics {
   // seconds on every rendered surface.
   Counter* journal_records;
   Counter* journal_errors;
-  Counter* journal_rotations;
+  Counter* journal_rotations;          // {outcome="rotated"}
+  Counter* journal_rotations_dropped;  // {outcome="dropped"}, per file
   Counter* queries_killed;
   Counter* phase_seconds[7];
 

@@ -92,6 +92,11 @@ Status QueryJournal::SetPath(const std::string& path) {
   if (out_.is_open()) out_.close();
   path_ = path;
   bytes_written_ = 0;
+  // New id session: ids restart at 1 (journal_check.py treats that as a
+  // session boundary) and the sampling epoch restarts with them, so the
+  // first record of the new session is always written.
+  seq_ = 0;
+  sample_seq_ = 0;
   if (path_.empty()) {
     enabled_.store(false, std::memory_order_relaxed);
     return Status::OK();
@@ -113,11 +118,25 @@ std::string QueryJournal::path() const {
 void QueryJournal::set_sample_every(uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   sample_every_ = n == 0 ? 1 : n;
+  // Restart the sampling epoch: the next record always logs. Deciding
+  // from the id instead (the old id % N != 1 test) could go silent for
+  // an entire epoch when the rate changed mid-stream or ids restarted.
+  sample_seq_ = 0;
 }
 
 void QueryJournal::set_max_bytes(uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   max_bytes_ = bytes;
+}
+
+void QueryJournal::set_keep_files(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  keep_files_ = n;
+}
+
+uint64_t QueryJournal::keep_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keep_files_;
 }
 
 uint64_t QueryJournal::records_written() const {
@@ -127,13 +146,28 @@ uint64_t QueryJournal::records_written() const {
 
 void QueryJournal::RotateLocked() {
   out_.close();
-  const std::string backup = path_ + ".1";
-  std::remove(backup.c_str());
-  std::rename(path_.c_str(), backup.c_str());
+  uint64_t dropped = 0;
+  if (keep_files_ == 0) {
+    // No generations kept: the live file is simply discarded.
+    if (std::remove(path_.c_str()) == 0) ++dropped;
+  } else {
+    // Shift PATH.(keep-1) .. PATH.1 down one generation, dropping the
+    // file that falls off the end, then the live file becomes PATH.1.
+    const std::string oldest =
+        path_ + "." + std::to_string(keep_files_);
+    if (std::remove(oldest.c_str()) == 0) ++dropped;
+    for (uint64_t gen = keep_files_; gen > 1; --gen) {
+      const std::string from = path_ + "." + std::to_string(gen - 1);
+      const std::string to = path_ + "." + std::to_string(gen);
+      std::rename(from.c_str(), to.c_str());
+    }
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+  }
   out_.open(path_, std::ios::out | std::ios::trunc);
   bytes_written_ = 0;
   if (EngineMetrics* m = EngineMetrics::IfEnabled()) {
     m->journal_rotations->Add();
+    if (dropped > 0) m->journal_rotations_dropped->Add(dropped);
   }
 }
 
@@ -142,7 +176,11 @@ void QueryJournal::Append(const QueryJournalRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
   const uint64_t id = ++seq_;
-  if (sample_every_ > 1 && id % sample_every_ != 1) return;
+  // The sampling decision comes from its own monotonic counter, not the
+  // id: slot 0 of every epoch logs, so the first record after SetPath or
+  // a rate change is always written.
+  const uint64_t slot = sample_seq_++;
+  if (sample_every_ > 1 && slot % sample_every_ != 0) return;
   const std::string line = RenderRecord(id, record) + "\n";
   // Failure -- injected ("journal/write") or real (closed/full sink) --
   // is counted and swallowed: the query's result is already computed

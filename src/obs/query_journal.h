@@ -15,8 +15,11 @@
 // disk, fail point "journal/write") increments
 // fuzzydb_journal_errors_total and NEVER fails the query: the journal
 // is observability, not durability. Rotation keeps the log bounded: at
-// max_bytes the file is renamed to PATH.1 (replacing any previous .1)
-// and a fresh PATH is started, so disk use never exceeds ~2x max_bytes.
+// max_bytes the file is renamed to PATH.1 (older generations shifting
+// to PATH.2 .. PATH.keep_files) and a fresh PATH is started, so disk
+// use never exceeds ~(keep_files + 1) x max_bytes. Files shifted past
+// the keep limit are deleted and counted in
+// fuzzydb_journal_rotations_total{outcome="dropped"}.
 #ifndef FUZZYDB_OBS_QUERY_JOURNAL_H_
 #define FUZZYDB_OBS_QUERY_JOURNAL_H_
 
@@ -66,16 +69,30 @@ class QueryJournal {
 
   /// Opens (appending) the journal at `path`; empty closes and disables.
   /// Existing records are kept -- restarting a session extends the log.
+  /// Starts a new id session: record ids restart at 1, which
+  /// tools/journal_check.py recognizes as a session boundary.
   Status SetPath(const std::string& path);
   std::string path() const;
 
   /// Journal every Nth query (1 = every query, the default; 0 behaves
   /// as 1). Skipped queries still advance the id sequence, so sampled
-  /// logs stay monotonic and gaps are visible.
+  /// logs stay monotonic and gaps are visible. The sampling decision
+  /// comes from a dedicated monotonic record counter, not the id: ids
+  /// may restart at 1 (new session appending to the same file) without
+  /// disturbing the cadence, and changing the rate resets the sampling
+  /// epoch so the very next record is always written -- a rate change
+  /// or id restart can never silence the journal for a whole epoch.
   void set_sample_every(uint64_t n);
 
   /// Rotation threshold in bytes (default 64 MiB; 0 = never rotate).
   void set_max_bytes(uint64_t bytes);
+
+  /// Rotated generations to keep as PATH.1 (newest) .. PATH.n (oldest);
+  /// default 3. 0 deletes the live file on rotation instead of renaming
+  /// it. Every file deleted by rotation is counted in
+  /// fuzzydb_journal_rotations_total{outcome="dropped"}.
+  void set_keep_files(uint64_t n);
+  uint64_t keep_files() const;
 
   /// One relaxed load; the evaluator's "should I assemble a record"
   /// gate, mirroring EngineMetrics::IfEnabled().
@@ -98,9 +115,11 @@ class QueryJournal {
   std::atomic<bool> enabled_{false};
   std::string path_;
   std::ofstream out_;
-  uint64_t seq_ = 0;
+  uint64_t seq_ = 0;          // record ids; restarts at SetPath
+  uint64_t sample_seq_ = 0;   // sampling epoch position, id-independent
   uint64_t sample_every_ = 1;
   uint64_t max_bytes_ = 64ull << 20;
+  uint64_t keep_files_ = 3;
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;
 };

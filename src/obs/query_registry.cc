@@ -128,6 +128,7 @@ uint64_t ActiveQueryRegistry::Register(std::string sql, QueryContext* ctx,
   entry.threads = threads;
   entry.start = std::chrono::steady_clock::now();
   entries_.emplace(id, std::move(entry));
+  approx_size_.store(entries_.size(), std::memory_order_relaxed);
   if (progress != nullptr) progress->set_query_id(id);
   return id;
 }
@@ -140,6 +141,7 @@ void ActiveQueryRegistry::Unregister(uint64_t id) {
     if (it == entries_.end()) return;
     progress = it->second.progress;
     entries_.erase(it);
+    approx_size_.store(entries_.size(), std::memory_order_relaxed);
   }
   // Fold the finished query's phase timers into the cumulative
   // per-phase counters. The progress object is owned by the caller
@@ -204,6 +206,17 @@ bool ActiveQueryRegistry::Kill(uint64_t id) {
     m->queries_killed->Add();
   }
   return true;
+}
+
+size_t ActiveQueryRegistry::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t cancelled = 0;
+  for (auto& [id, entry] : entries_) {
+    if (entry.ctx == nullptr) continue;
+    entry.ctx->Cancel();
+    ++cancelled;
+  }
+  return cancelled;
 }
 
 size_t ActiveQueryRegistry::Size() const {

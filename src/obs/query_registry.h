@@ -232,7 +232,22 @@ class ActiveQueryRegistry {
   /// (registered without a context).
   bool Kill(uint64_t id);
 
+  /// Cancels every registered query through its QueryContext and
+  /// returns how many were cancelled. Thread-safe (takes the registry
+  /// mutex, so it never races a context's destruction -- Unregister
+  /// precedes that on the query thread) but NOT async-signal-safe;
+  /// signal handlers use GlobalInterrupt::Raise() instead. The server's
+  /// graceful-drain path calls this from its shutdown thread.
+  size_t CancelAll();
+
   size_t Size() const;
+
+  /// Lock-free registered-query count for async-signal-safe callers
+  /// (the SIGINT handler asks "is anything in flight" before raising
+  /// the global interrupt). May lag Register/Unregister by a moment.
+  size_t ApproxSize() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
 
   /// The sys.queries system relation: (id, phase, elapsed_ms, queue_ms,
   /// items, rows, pairs, mem_bytes, threads, query), degree 1 per row.
@@ -257,6 +272,7 @@ class ActiveQueryRegistry {
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
   std::map<uint64_t, Entry> entries_;
+  std::atomic<size_t> approx_size_{0};
 };
 
 /// RAII registration for one query execution: registers in the

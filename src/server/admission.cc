@@ -1,0 +1,74 @@
+#include "server/admission.h"
+
+#include "server/server_metrics.h"
+
+namespace fuzzydb {
+namespace server {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : queue_depth_(config.queue_depth == 0 ? 1 : config.queue_depth),
+      fair_share_budget_(
+          config.memory_budget_total == 0
+              ? 0
+              : config.memory_budget_total /
+                    (config.workers == 0 ? 1 : config.workers)) {
+  const size_t workers = config.workers == 0 ? 1 : config.workers;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionController::~AdmissionController() { Shutdown(); }
+
+bool AdmissionController::Submit(
+    std::function<void(double queue_wait_ms)> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_depth_) return false;
+    queue_.push_back(
+        Queued{std::move(job), std::chrono::steady_clock::now()});
+    ServerMetrics::Instance()->queue_depth->Set(
+        static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void AdmissionController::WorkerLoop() {
+  while (true) {
+    Queued item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ServerMetrics::Instance()->queue_depth->Set(
+          static_cast<int64_t>(queue_.size()));
+    }
+    const auto waited = std::chrono::steady_clock::now() - item.enqueued;
+    const uint64_t wait_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(waited)
+            .count());
+    ServerMetrics* metrics = ServerMetrics::Instance();
+    metrics->queue_wait_seconds->Add(wait_us);
+    metrics->queue_wait_us->Record(wait_us);
+    item.job(static_cast<double>(wait_us) / 1e3);
+  }
+}
+
+}  // namespace server
+}  // namespace fuzzydb

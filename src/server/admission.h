@@ -1,0 +1,88 @@
+// Admission control for the multi-session server: a bounded request
+// queue in front of a fixed worker pool, with fair-share memory
+// budgeting and clean overload shedding.
+//
+// Every request line a connection reads is submitted here; workers pop
+// requests in FIFO order and run them (one Session never has more than
+// one request in flight, so per-session ordering is the connection
+// loop's, not the scheduler's). When the queue is full, Submit refuses
+// immediately -- the server answers that frame RESOURCE_EXHAUSTED
+// without blocking the connection or touching the engine, so an
+// overloaded server stays responsive and never deadlocks on its own
+// backlog.
+//
+// Fair-share memory: the server's total budget divided by the worker
+// count bounds what any single admitted query may charge against its
+// QueryContext memory budget (sessions SET a smaller budget if they
+// want; they cannot SET a larger one). Since at most `workers` queries
+// execute concurrently, the process-wide budget holds without any
+// global accounting.
+//
+// Queue waits are recorded per request into
+// fuzzydb_server_queue_wait_seconds_total / _us and surfaced in each
+// reply frame's queue_wait_ms.
+#ifndef FUZZYDB_SERVER_ADMISSION_H_
+#define FUZZYDB_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fuzzydb {
+namespace server {
+
+struct AdmissionConfig {
+  size_t workers = 2;
+  size_t queue_depth = 16;         // pending requests beyond the workers
+  uint64_t memory_budget_total = 0;  // bytes; 0 = unconstrained
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+  ~AdmissionController();
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Enqueues a request. The job receives its queue wait in
+  /// milliseconds. Returns false without running anything when the
+  /// queue is at capacity or the controller is shutting down -- the
+  /// caller sheds the request as RESOURCE_EXHAUSTED.
+  bool Submit(std::function<void(double queue_wait_ms)> job);
+
+  /// Stops admitting, runs every queued job to completion, and joins
+  /// the workers. Idempotent.
+  void Shutdown();
+
+  /// The per-query fair-share memory budget (total / workers); 0 when
+  /// the server is unconstrained.
+  uint64_t fair_share_budget() const { return fair_share_budget_; }
+
+  size_t workers() const { return threads_.size(); }
+
+ private:
+  struct Queued {
+    std::function<void(double)> job;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+
+  const size_t queue_depth_;
+  const uint64_t fair_share_budget_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Queued> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace server
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SERVER_ADMISSION_H_

@@ -1,0 +1,318 @@
+#include "server/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fuzzydb {
+namespace server {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest decimal form that parses back to exactly the same double:
+/// answer degrees cross the wire bit-identical (the multi-session
+/// determinism matrix compares them against an in-process baseline),
+/// while common values still render compactly ("0.5", not 17 digits).
+std::string RoundTripDouble(double value) {
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderReplyFrame(const ReplyFrame& frame) {
+  std::ostringstream out;
+  out << "{\"session\":" << frame.session_id << ",\"seq\":" << frame.seq
+      << ",\"status\":\"" << JsonEscape(frame.status) << "\",\"error\":\""
+      << JsonEscape(frame.error) << "\",\"text\":\""
+      << JsonEscape(frame.text)
+      << "\",\"elapsed_ms\":" << RoundTripDouble(frame.elapsed_ms)
+      << ",\"queue_wait_ms\":" << RoundTripDouble(frame.queue_wait_ms);
+  if (frame.has_answer) {
+    out << ",\"columns\":[";
+    for (size_t i = 0; i < frame.columns.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << JsonEscape(frame.columns[i]) << "\"";
+    }
+    out << "],\"rows\":[";
+    for (size_t i = 0; i < frame.rows.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "[";
+      for (size_t j = 0; j < frame.rows[i].size(); ++j) {
+        if (j > 0) out << ",";
+        out << "\"" << JsonEscape(frame.rows[i][j]) << "\"";
+      }
+      out << "]";
+    }
+    out << "],\"degrees\":[";
+    for (size_t i = 0; i < frame.degrees.size(); ++i) {
+      if (i > 0) out << ",";
+      out << RoundTripDouble(frame.degrees[i]);
+    }
+    out << "]";
+  }
+  if (frame.goodbye) out << ",\"goodbye\":true";
+  out << "}";
+  return out.str();
+}
+
+namespace {
+
+// A pocket parser for exactly the JSON this codec emits: objects with
+// string/number/bool values plus the columns/rows/degrees arrays. No
+// nesting beyond rows' array-of-arrays, no unicode surrogate pairs
+// (JsonEscape never emits them for the byte strings we carry).
+class FrameParser {
+ public:
+  explicit FrameParser(const std::string& text) : text_(text) {}
+
+  bool Parse(ReplyFrame* frame) {
+    SkipSpace();
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return AtEnd();
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      if (!ParseValue(key, frame)) return false;
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      if (Consume('}')) return AtEnd();
+      return false;
+    }
+  }
+
+ private:
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code < 0 || code > 0xff) {
+            return false;  // the emitter only escapes control bytes
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(double* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool ParseValue(const std::string& key, ReplyFrame* frame) {
+    if (key == "session" || key == "seq" || key == "elapsed_ms" ||
+        key == "queue_wait_ms") {
+      double number = 0;
+      if (!ParseNumber(&number)) return false;
+      if (key == "session") {
+        frame->session_id = static_cast<uint64_t>(number);
+      } else if (key == "seq") {
+        frame->seq = static_cast<uint64_t>(number);
+      } else if (key == "elapsed_ms") {
+        frame->elapsed_ms = number;
+      } else {
+        frame->queue_wait_ms = number;
+      }
+      return true;
+    }
+    if (key == "status") return ParseString(&frame->status);
+    if (key == "error") return ParseString(&frame->error);
+    if (key == "text") return ParseString(&frame->text);
+    if (key == "goodbye") {
+      if (text_.compare(pos_, 4, "true") == 0) {
+        pos_ += 4;
+        frame->goodbye = true;
+        return true;
+      }
+      if (text_.compare(pos_, 5, "false") == 0) {
+        pos_ += 5;
+        return true;
+      }
+      return false;
+    }
+    if (key == "columns") {
+      frame->has_answer = true;
+      return ParseStringArray(&frame->columns);
+    }
+    if (key == "degrees") {
+      frame->has_answer = true;
+      return ParseNumberArray(&frame->degrees);
+    }
+    if (key == "rows") {
+      frame->has_answer = true;
+      if (!Consume('[')) return false;
+      SkipSpace();
+      frame->rows.clear();
+      if (Consume(']')) return true;
+      while (true) {
+        std::vector<std::string> row;
+        if (!ParseStringArray(&row)) return false;
+        frame->rows.push_back(std::move(row));
+        SkipSpace();
+        if (Consume(',')) {
+          SkipSpace();
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    return false;  // unknown key: not this codec's schema
+  }
+
+  bool ParseStringArray(std::vector<std::string>* out) {
+    if (!Consume('[')) return false;
+    SkipSpace();
+    out->clear();
+    if (Consume(']')) return true;
+    while (true) {
+      std::string value;
+      if (!ParseString(&value)) return false;
+      out->push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseNumberArray(std::vector<double>* out) {
+    if (!Consume('[')) return false;
+    SkipSpace();
+    out->clear();
+    if (Consume(']')) return true;
+    while (true) {
+      double value = 0;
+      if (!ParseNumber(&value)) return false;
+      out->push_back(value);
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseReplyFrame(const std::string& line, ReplyFrame* frame) {
+  *frame = ReplyFrame();
+  return FrameParser(line).Parse(frame);
+}
+
+}  // namespace server
+}  // namespace fuzzydb

@@ -1,0 +1,57 @@
+// The line-protocol frame codec shared by the server, the client tool,
+// and the tests.
+//
+// Requests are one statement per line of plain text (SQL ending in ';',
+// a shell dot-command, or a session-level SET); replies are exactly one
+// JSON object per line (JSONL), so a client can pair every request with
+// its reply by reading one line back. A reply frame carries the
+// statement's machine-readable outcome (status code + error text), the
+// shell's rendered text output, and -- for successful SELECTs -- the
+// answer relation as structured columns/rows/degrees, captured through
+// ShellResultSink without re-running anything.
+//
+// The codec is deliberately self-contained (no third-party JSON): the
+// emitter writes the fixed schema below, and the parser reads exactly
+// that schema back, so fuzzydb_client and the bench harness round-trip
+// frames without guessing.
+#ifndef FUZZYDB_SERVER_WIRE_H_
+#define FUZZYDB_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fuzzydb {
+namespace server {
+
+/// One reply frame: everything the server says about one request line.
+struct ReplyFrame {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;            // per-session request counter, from 1
+  std::string status = "OK";   // StatusCodeName(): OK, CANCELLED, ...
+  std::string error;           // rendered error text; empty when OK
+  std::string text;            // the shell's rendered output
+  bool has_answer = false;     // SELECT answered: columns/rows/degrees set
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;  // rendered values
+  std::vector<double> degrees;                 // one per row
+  double elapsed_ms = 0.0;     // execution wall time
+  double queue_wait_ms = 0.0;  // admission-queue wait
+  bool goodbye = false;        // .quit: the server closes after this
+};
+
+/// Serializes one frame as a single JSON line (no trailing newline).
+std::string RenderReplyFrame(const ReplyFrame& frame);
+
+/// Parses a frame rendered by RenderReplyFrame. Returns false (leaving
+/// `frame` default-initialized fields unspecified) when the line is not
+/// a well-formed frame of this codec's schema.
+bool ParseReplyFrame(const std::string& line, ReplyFrame* frame);
+
+/// JSON string escaping used by the codec (exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace server
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SERVER_WIRE_H_

@@ -1,8 +1,9 @@
 #include "shell/shell.h"
 
-#include <atomic>
 #include <fstream>
 #include <istream>
+#include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -35,33 +36,37 @@ std::vector<std::string> Words(const std::string& line) {
   return words;
 }
 
-// The QueryContext of the query currently executing, if any; SIGINT
-// routes Cancel() here. Published/cleared by ActiveQueryScope on the
-// executing thread, so a handler delivered to that thread can never see
-// a pointer to a destroyed context.
-std::atomic<QueryContext*> g_active_query{nullptr};
-
-// Publishes a QueryContext as the process's active query for the
-// duration of one statement.
-class ActiveQueryScope {
- public:
-  explicit ActiveQueryScope(QueryContext* query) {
-    g_active_query.store(query, std::memory_order_release);
-  }
-  ~ActiveQueryScope() {
-    g_active_query.store(nullptr, std::memory_order_release);
-  }
-  ActiveQueryScope(const ActiveQueryScope&) = delete;
-  ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+// Extra sys.* relations contributed by higher layers (the server's
+// sys.sessions). Guarded by a mutex for registration; reads copy the
+// provider under the lock, then materialize outside it.
+struct SystemRelationProviders {
+  std::mutex mu;
+  std::map<std::string, std::function<Relation()>> providers;
 };
+
+SystemRelationProviders& Providers() {
+  static SystemRelationProviders* providers = new SystemRelationProviders();
+  return *providers;
+}
 
 }  // namespace
 
 bool Shell::CancelActiveQuery() {
-  QueryContext* query = g_active_query.load(std::memory_order_acquire);
-  if (query == nullptr) return false;
-  query->Cancel();  // a single relaxed store: async-signal-safe
+  // Registered queries only: the lock-free gate keeps this
+  // async-signal-safe, and every shell/server statement registers. The
+  // interrupt epoch reaches each in-flight QueryContext without touching
+  // any context pointer, so a racing unregister cannot null out or free
+  // anything under us.
+  if (ActiveQueryRegistry::Global().ApproxSize() == 0) return false;
+  GlobalInterrupt::Raise();
   return true;
+}
+
+void Shell::RegisterSystemRelationProvider(
+    const std::string& name, std::function<Relation()> provider) {
+  SystemRelationProviders& reg = Providers();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.providers[ToLower(name)] = std::move(provider);
 }
 
 Shell::Shell() {
@@ -310,13 +315,34 @@ void Shell::RefreshSystemRelations(const std::string& statement_text) {
   if (lowered.find("sys.slowlog") != std::string::npos) {
     catalog_.PutRelation(SlowQueryLog::Global().ToRelation());
   }
+  SystemRelationProviders& reg = Providers();
+  std::vector<std::function<Relation()>> to_refresh;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& [name, provider] : reg.providers) {
+      if (lowered.find(name) != std::string::npos) {
+        to_refresh.push_back(provider);
+      }
+    }
+  }
+  // Materialize outside the lock: a provider may itself take locks
+  // (e.g. the server's session registry).
+  for (const auto& provider : to_refresh) {
+    catalog_.PutRelation(provider());
+  }
+}
+
+void Shell::FailStatement(const Status& status, std::ostream& out) {
+  had_error_ = true;
+  last_status_ = status;
+  out << status.ToString() << "\n";
 }
 
 void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
+  last_status_ = Status::OK();
   auto parsed = sql::ParseStatement(text);
   if (!parsed.ok()) {
-    had_error_ = true;
-    out << parsed.status().ToString() << "\n";
+    FailStatement(parsed.status(), out);
     return;
   }
   sql::Statement& statement = *parsed;
@@ -350,6 +376,8 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         out << "-- kill requested for query " << statement.kill_id << "\n";
       } else {
         had_error_ = true;
+        last_status_ = Status::NotFound(
+            "no active query with id " + std::to_string(statement.kill_id));
         out << "no active query with id " << statement.kill_id << "\n";
       }
       return;
@@ -362,8 +390,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kExplain: {
       auto bound = sql::Bind(*statement.select, catalog_);
       if (!bound.ok()) {
-        had_error_ = true;
-        out << bound.status().ToString() << "\n";
+        FailStatement(bound.status(), out);
         return;
       }
       out << "-- type " << QueryTypeName(Classify(**bound)) << "\n"
@@ -374,7 +401,6 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       QueryContext qctx;
       if (timeout_ms_ > 0) qctx.set_deadline_after_ms(timeout_ms_);
       if (memory_budget_ > 0) qctx.memory().set_limit(memory_budget_);
-      ActiveQueryScope active(&qctx);
       QueryProgress progress;
       Result<Relation> answer = Status::Internal("unset");
       if (use_naive_) {
@@ -384,11 +410,12 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       } else {
         ExecOptions options;
         options.trace = &trace;
+        options.num_threads = num_threads_;
         options.batch_size = batch_size_;
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
         options.context = &qctx;
-        options.cache = &CacheManager::Global();
+        options.cache = cache_enabled_ ? &CacheManager::Global() : nullptr;
         options.cost_based = cost_based_;
         options.progress = &progress;
         ActiveQueryRegistration registration(text, &qctx, &progress,
@@ -397,8 +424,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         answer = engine.Evaluate(**bound);
       }
       if (!answer.ok()) {
-        had_error_ = true;
-        out << answer.status().ToString() << "\n";
+        FailStatement(answer.status(), out);
         return;
       }
       out << "execution trace:\n"
@@ -426,15 +452,13 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kSelect: {
       auto bound = sql::Bind(*statement.select, catalog_);
       if (!bound.ok()) {
-        had_error_ = true;
-        out << bound.status().ToString() << "\n";
+        FailStatement(bound.status(), out);
         return;
       }
       Stopwatch watch;
       QueryContext qctx;
       if (timeout_ms_ > 0) qctx.set_deadline_after_ms(timeout_ms_);
       if (memory_budget_ > 0) qctx.memory().set_limit(memory_budget_);
-      ActiveQueryScope active(&qctx);
       QueryProgress progress;
       Result<Relation> answer = Status::Internal("unset");
       QueryType type = Classify(**bound);
@@ -445,11 +469,12 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         answer = naive.Evaluate(**bound);
       } else {
         ExecOptions options;
+        options.num_threads = num_threads_;
         options.batch_size = batch_size_;
         options.slow_query_ms = slow_query_ms_;
         options.query_text = text;
         options.context = &qctx;
-        options.cache = &CacheManager::Global();
+        options.cache = cache_enabled_ ? &CacheManager::Global() : nullptr;
         options.cost_based = cost_based_;
         options.progress = &progress;
         ActiveQueryRegistration registration(text, &qctx, &progress,
@@ -459,8 +484,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         unnested = engine.last_was_unnested();
       }
       if (!answer.ok()) {
-        had_error_ = true;
-        out << answer.status().ToString() << "\n";
+        FailStatement(answer.status(), out);
         return;
       }
       if (explain_) {
@@ -471,13 +495,17 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
             << " ms\n"
             << DescribePlan(**bound);
       }
+      if (result_sink_ != nullptr) result_sink_->OnAnswer(*answer);
       out << answer->ToString(100);
       return;
     }
     case sql::Statement::Kind::kCreateTable: {
       const Status status = catalog_.AddRelation(Relation(
           statement.create_table.name, statement.create_table.schema));
-      if (!status.ok()) had_error_ = true;
+      if (!status.ok()) {
+        had_error_ = true;
+        last_status_ = status;
+      }
       out << (status.ok() ? "created " + statement.create_table.name
                           : status.ToString())
           << "\n";
@@ -486,8 +514,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kInsert: {
       auto relation = catalog_.GetMutableRelation(statement.insert.table);
       if (!relation.ok()) {
-        had_error_ = true;
-        out << relation.status().ToString() << "\n";
+        FailStatement(relation.status(), out);
         return;
       }
       std::vector<Value> values;
@@ -495,8 +522,7 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
         if (!literal.term.empty()) {
           auto term = catalog_.terms().Lookup(literal.term);
           if (!term.ok()) {
-            had_error_ = true;
-            out << term.status().ToString() << "\n";
+            FailStatement(term.status(), out);
             return;
           }
           values.push_back(Value::Fuzzy(*term));
@@ -506,7 +532,10 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       }
       const Status status = (*relation)->Append(
           Tuple(std::move(values), statement.insert.degree));
-      if (!status.ok()) had_error_ = true;
+      if (!status.ok()) {
+        had_error_ = true;
+        last_status_ = status;
+      }
       // Version bumping already makes stale cache keys unreachable; the
       // explicit invalidation reclaims their memory immediately.
       if (status.ok()) {
@@ -524,6 +553,8 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
     case sql::Statement::Kind::kDropTable: {
       if (!catalog_.HasRelation(statement.drop_table.name)) {
         had_error_ = true;
+        last_status_ = Status::NotFound(
+            "no relation named '" + statement.drop_table.name + "'");
         out << "no relation named '" << statement.drop_table.name << "'\n";
         return;
       }

@@ -25,12 +25,25 @@
 #define FUZZYDB_SHELL_SHELL_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
+#include "common/status.h"
 #include "relational/catalog.h"
 
 namespace fuzzydb {
+
+/// Receives the answer relation of each successful SELECT executed by a
+/// Shell, before it is rendered as text. The server's session layer
+/// installs one to serialize rows and degrees into structured reply
+/// frames without re-running or re-parsing anything; the text output is
+/// unchanged whether or not a sink is installed.
+class ShellResultSink {
+ public:
+  virtual ~ShellResultSink() = default;
+  virtual void OnAnswer(const Relation& answer) = 0;
+};
 
 /// Interprets statements against an owned catalog.
 class Shell {
@@ -72,6 +85,7 @@ class Shell {
   /// Per-query memory budget in bytes for budget-tracked operator state
   /// (sort batches, join windows/blocks/partitions); 0 = unlimited.
   void set_memory_budget(uint64_t bytes) { memory_budget_ = bytes; }
+  uint64_t memory_budget() const { return memory_budget_; }
 
   /// Lanes per batch for the batch-at-a-time degree kernels
   /// (ExecOptions::batch_size): 0 forces the scalar tuple-at-a-time
@@ -84,6 +98,18 @@ class Shell {
   /// exactly; answers are bit-identical either way.
   void set_cost_based(bool on) { cost_based_ = on; }
 
+  /// Worker threads for the parallel operators (ExecOptions::
+  /// num_threads): 0 (the default) resolves to hardware_concurrency().
+  /// Answers are bit-identical at every setting; server sessions SET
+  /// this per session so the determinism matrix can pin thread counts.
+  void set_num_threads(size_t n) { num_threads_ = n; }
+
+  /// Whether this shell's queries consult the process-wide cross-query
+  /// cache (default true; capacity 0 keeps the cache inert regardless).
+  /// Off, queries behave exactly as if the cache layer did not exist --
+  /// the per-session `SET cache off` A/B switch in server mode.
+  void set_cache_enabled(bool on) { cache_enabled_ = on; }
+
   /// When set, every EXPLAIN ANALYZE also prints its per-operator
   /// summary as a JSON array between "-- trace json begin" and
   /// "-- trace json end" marker lines, for tools (estimate_check.py)
@@ -95,15 +121,52 @@ class Shell {
   /// in -c mode.
   bool had_error() const { return had_error_; }
 
-  /// Cancels the query currently executing in any Shell in this process
-  /// (cooperatively, via its QueryContext). Returns false when no query
-  /// is in flight. Async-signal-safe: the SIGINT handler calls this so
-  /// Ctrl-C cancels the query instead of killing the session.
+  /// Resets the error latch; server sessions clear it between
+  /// statements so each reply frame reports its own statement's outcome.
+  void clear_error() {
+    had_error_ = false;
+    last_status_ = Status::OK();
+  }
+
+  /// The most recent statement's outcome: OK, or the Status whose
+  /// rendered text went to the output stream. The server's session
+  /// layer maps this to the machine-readable status code of each reply
+  /// frame (CANCELLED, RESOURCE_EXHAUSTED, ...) without parsing text.
+  const Status& last_status() const { return last_status_; }
+
+  /// When set, every successful SELECT also hands its answer relation
+  /// to `sink` (see ShellResultSink). Not owned; null disables.
+  void set_result_sink(ShellResultSink* sink) { result_sink_ = sink; }
+
+  /// Cancels every query in flight in this process, routed through
+  /// ActiveQueryRegistry: the registry's lock-free size gate decides
+  /// whether anything is running, and GlobalInterrupt::Raise() lands as
+  /// CANCELLED in each registered query's QueryContext. Returns false
+  /// when no query is in flight. Async-signal-safe (one atomic load +
+  /// one atomic add, no locks, no context pointers): the SIGINT handler
+  /// calls this so Ctrl-C cancels in-flight queries instead of killing
+  /// the session -- with concurrent sessions, ALL of them, not just the
+  /// last one registered (the old single-slot design missed the rest
+  /// and could be nulled out by a racing unregister).
   static bool CancelActiveQuery();
+
+  /// Registers a lazily materialized system relation: any statement
+  /// whose text references `name` (case-insensitive, e.g.
+  /// "sys.sessions") gets `provider()` put into the catalog first, the
+  /// same refresh discipline as the built-in sys.metrics/sys.queries.
+  /// Process-wide; later registrations for the same name win. The
+  /// server uses this to expose sys.sessions without the shell layer
+  /// depending on the server layer.
+  static void RegisterSystemRelationProvider(
+      const std::string& name, std::function<Relation()> provider);
 
  private:
   void ExecuteDotCommand(const std::string& line, std::ostream& out);
   void ExecuteStatement(const std::string& text, std::ostream& out);
+
+  /// Latches a statement failure (had_error_, last_status_) and prints
+  /// the rendered status.
+  void FailStatement(const Status& status, std::ostream& out);
 
   /// Re-materializes the sys.metrics relation from the registry when the
   /// statement text references it, so queries read current values.
@@ -117,12 +180,16 @@ class Shell {
   bool done_ = false;
   bool quiet_ = false;
   bool had_error_ = false;
+  Status last_status_;
   double slow_query_ms_ = 0.0;
   double timeout_ms_ = 0.0;
   uint64_t memory_budget_ = 0;
   size_t batch_size_ = 1024;
+  size_t num_threads_ = 0;
   bool cost_based_ = true;
+  bool cache_enabled_ = true;
   bool explain_json_ = false;
+  ShellResultSink* result_sink_ = nullptr;  // not owned
 };
 
 }  // namespace fuzzydb

@@ -412,8 +412,9 @@ TEST_F(JournalTest, SamplingKeepsEveryNthQueryAndMonotonicIds) {
   }
   QueryJournal::Global().set_sample_every(1);
 
-  // Any window of 6 consecutive journal ids holds exactly two with
-  // id % 3 == 1; the skipped ids stay visible as gaps.
+  // SetPath started a new id session (ids 1..6) and the sampling epoch
+  // with it, so the first record always logs: ids 1 and 4 survive and
+  // the skipped ids stay visible as gaps.
   std::vector<std::string> lines = Lines();
   ASSERT_EQ(lines.size(), 2u);
   uint64_t prev_id = 0;
@@ -427,18 +428,62 @@ TEST_F(JournalTest, SamplingKeepsEveryNthQueryAndMonotonicIds) {
   }
 }
 
-TEST_F(JournalTest, RotationBoundsTheLogAndKeepsOneGeneration) {
+TEST_F(JournalTest, SamplingSurvivesIdRestartAndRateChanges) {
+  // Regression: the old decision (id % N != 1) went silent for a whole
+  // epoch whenever the cadence and the id stream fell out of phase --
+  // e.g. after a rate change mid-stream. The decision now comes from a
+  // monotonic per-process record counter that restarts with the epoch,
+  // so the first record after SetPath or set_sample_every always logs.
+  Catalog catalog = MakeJoinCatalog();
+  ASSERT_OK_AND_ASSIGN(auto bound, sql::ParseAndBind(kJoinQuery, catalog));
+  auto run_one = [&]() {
+    ExecOptions options;
+    options.num_threads = 1;
+    options.query_text = kJoinQuery;
+    UnnestingEvaluator engine(options);
+    ASSERT_OK(engine.Evaluate(*bound).status());
+  };
+
+  ASSERT_OK(QueryJournal::Global().SetPath(path_));
+  QueryJournal::Global().set_sample_every(1);
+  run_one();
+  run_one();  // ids 1, 2 -- both logged
+  // Rate change mid-stream: under the old id-phase rule the next logged
+  // id would have to satisfy id % 5 == 1, i.e. nothing until id 6.
+  QueryJournal::Global().set_sample_every(5);
+  run_one();  // id 3 -- first record of the new epoch, must log
+  run_one();  // id 4 -- sampled out
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[2].find("\"id\":3,"), std::string::npos) << lines[2];
+
+  // Process restart simulation: a new SetPath session appends to the
+  // same file with ids restarting at 1, and its first record logs even
+  // though the sampling rate is still 5.
+  ASSERT_OK(QueryJournal::Global().SetPath(path_));
+  run_one();  // id 1 of the new session
+  lines = Lines();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[3].find("\"id\":1,"), std::string::npos) << lines[3];
+  QueryJournal::Global().set_sample_every(1);
+}
+
+TEST_F(JournalTest, RotationBoundsTheLogAndKeepsNGenerations) {
   Catalog catalog = MakeJoinCatalog();
   ASSERT_OK_AND_ASSIGN(auto bound, sql::ParseAndBind(kJoinQuery, catalog));
   ASSERT_OK(QueryJournal::Global().SetPath(path_));
   QueryJournal::Global().set_sample_every(1);
-  QueryJournal::Global().set_max_bytes(2048);
+  QueryJournal::Global().set_max_bytes(1024);
+  QueryJournal::Global().set_keep_files(2);
   EngineMetrics* metrics = EngineMetrics::Instance();
   const uint64_t rotations_before = metrics->journal_rotations->Value();
+  const uint64_t dropped_before =
+      metrics->journal_rotations_dropped->Value();
 
-  // Each record is a few hundred bytes; a dozen queries forces at least
-  // one rotation at a 2 KiB threshold.
-  for (int i = 0; i < 12; ++i) {
+  // Each record is a few hundred bytes; two dozen queries forces at
+  // least four rotations at a 1 KiB threshold, so with keep_files=2 at
+  // least one generation must fall off the end and be dropped.
+  for (int i = 0; i < 24; ++i) {
     ExecOptions options;
     options.num_threads = 1;
     options.query_text = kJoinQuery;
@@ -446,11 +491,38 @@ TEST_F(JournalTest, RotationBoundsTheLogAndKeepsOneGeneration) {
     ASSERT_OK(engine.Evaluate(*bound).status());
   }
   QueryJournal::Global().set_max_bytes(64ull << 20);
+  QueryJournal::Global().set_keep_files(3);
 
-  EXPECT_GT(metrics->journal_rotations->Value(), rotations_before);
+  const uint64_t rotations =
+      metrics->journal_rotations->Value() - rotations_before;
+  EXPECT_GE(rotations, 4u);
+  // Both kept generations exist, nothing past the keep limit survives,
+  // and every file shifted off the end was counted as dropped.
   EXPECT_TRUE(fs::exists(path_ + ".1"));
-  // Disk stays bounded: live file under threshold + one rotated file.
-  EXPECT_LE(fs::file_size(path_), 2048u + 1024u);
+  EXPECT_TRUE(fs::exists(path_ + ".2"));
+  EXPECT_FALSE(fs::exists(path_ + ".3"));
+  EXPECT_EQ(metrics->journal_rotations_dropped->Value() - dropped_before,
+            rotations - 2);
+  // Disk stays bounded: live file under threshold plus one record.
+  EXPECT_LE(fs::file_size(path_), 1024u + 1024u);
+  // Generation continuity: ids across PATH.2, PATH.1, PATH read as one
+  // strictly increasing sequence (rotation never reorders or drops
+  // records inside the kept window).
+  uint64_t prev_id = 0;
+  for (const std::string& file :
+       {path_ + ".2", path_ + ".1", path_}) {
+    std::ifstream in(file);
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t at = line.find("\"id\":");
+      ASSERT_NE(at, std::string::npos);
+      const uint64_t id = std::strtoull(line.c_str() + at + 5, nullptr, 10);
+      if (prev_id != 0) {
+        EXPECT_EQ(id, prev_id + 1) << file << ": " << line;
+      }
+      prev_id = id;
+    }
+  }
 }
 
 TEST_F(JournalTest, WriteFaultNeverFailsTheQueryAndRecovers) {

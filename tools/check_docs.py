@@ -11,9 +11,9 @@ docs/*.md:
     ../../actions/... URL, which is resolved by the GitHub website, not
     the working tree) are skipped.
 
- 2. Every metric name registered in src/obs/metrics.cc appears in
-    docs/operations.md, so the operator-facing catalog cannot silently
-    drift from the code.
+ 2. Every metric name registered in src/obs/metrics.cc or
+    src/server/server_metrics.cc appears in docs/operations.md, so the
+    operator-facing catalog cannot silently drift from the code.
 
 Exit code 0 = clean, 1 = findings (each printed as file:line message).
 """
@@ -111,22 +111,30 @@ def check_links(path, findings):
                         f"no heading for anchor '#{fragment}' in {rel}")
 
 
+METRIC_SOURCES = (
+    os.path.join("src", "obs", "metrics.cc"),
+    os.path.join("src", "server", "server_metrics.cc"),
+)
+
+
 def check_metrics_coverage(findings):
-    metrics_cc = os.path.join(REPO, "src", "obs", "metrics.cc")
     operations = os.path.join(REPO, "docs", "operations.md")
-    if not os.path.exists(metrics_cc) or not os.path.exists(operations):
-        findings.append("metrics coverage: missing metrics.cc or "
+    sources = [s for s in METRIC_SOURCES
+               if os.path.exists(os.path.join(REPO, s))]
+    if not sources or not os.path.exists(operations):
+        findings.append("metrics coverage: missing metric sources or "
                         "docs/operations.md")
         return
-    with open(metrics_cc, encoding="utf-8") as f:
-        registered = sorted(set(METRIC_RE.findall(f.read())))
     with open(operations, encoding="utf-8") as f:
         catalog = f.read()
-    for name in registered:
-        if name not in catalog:
-            findings.append(
-                f"docs/operations.md: registered metric '{name}' "
-                f"(src/obs/metrics.cc) is missing from the catalog")
+    for source in sources:
+        with open(os.path.join(REPO, source), encoding="utf-8") as f:
+            registered = sorted(set(METRIC_RE.findall(f.read())))
+        for name in registered:
+            if name not in catalog:
+                findings.append(
+                    f"docs/operations.md: registered metric '{name}' "
+                    f"({source}) is missing from the catalog")
 
 
 def main():

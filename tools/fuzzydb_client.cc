@@ -1,0 +1,186 @@
+// Line-protocol client for the FuzzyDB server (docs/operations.md).
+//
+//   fuzzydb_client --port=N               connect to 127.0.0.1:N
+//   fuzzydb_client --port=N -c "stmts"    run statements and exit
+//   fuzzydb_client --port=N --raw         print raw JSON frames
+//   fuzzydb_client --port=N < script.sql  pipe a script
+//
+// Each input line is sent as one request; the client blocks for the
+// matching reply frame (the protocol pairs them one-to-one) and renders
+// the frame's text output -- so a transcript looks like the serial
+// shell's. With --raw the JSON frame itself is printed instead, which
+// is what the stress/CI harnesses diff. Exits nonzero when any frame
+// carried a non-OK status or the server spoke malformed frames.
+//
+// With -c, statements are split on ';' boundaries and newlines so
+// `-c "CREATE ...; SELECT ...;"` works like two script lines.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: fuzzydb_client --port=N [--host=ADDR] [--raw] "
+               "[-c \"statements\"]\n";
+  return 2;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one reply line (the server speaks JSONL). Returns false on EOF
+/// or error before a full line arrived.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// Splits -c text into one statement per line: ';' ends a statement
+/// (kept), and literal newlines also separate them.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      if (!current.empty()) lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+      if (c == ';') {
+        lines.push_back(current);
+        current.clear();
+      }
+    }
+  }
+  if (current.find_first_not_of(" \t") != std::string::npos) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+void RenderFrame(const fuzzydb::server::ReplyFrame& frame, bool raw,
+                 const std::string& raw_line) {
+  if (raw) {
+    std::cout << raw_line << "\n";
+    return;
+  }
+  if (!frame.text.empty()) std::cout << frame.text;
+  if (!frame.error.empty() && frame.text.find(frame.error) ==
+                                  std::string::npos) {
+    std::cout << frame.error << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::string host = "127.0.0.1";
+  bool raw = false;
+  std::string command;
+  bool have_command = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "-c" && i + 1 < argc) {
+      command = argv[++i];
+      have_command = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (port <= 0 || port > 65535) return Usage();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "socket() failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::cerr << "bad host " << host << "\n";
+    return Usage();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::cerr << "cannot connect to " << host << ":" << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  std::vector<std::string> lines;
+  if (have_command) {
+    lines = SplitStatements(command);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) lines.push_back(line);
+  }
+
+  std::string buffer;
+  bool any_error = false;
+  bool protocol_error = false;
+  for (const std::string& line : lines) {
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (!SendAll(fd, line + "\n")) {
+      std::cerr << "connection lost while sending\n";
+      protocol_error = true;
+      break;
+    }
+    std::string reply;
+    if (!ReadLine(fd, &buffer, &reply)) {
+      std::cerr << "connection closed before reply\n";
+      protocol_error = true;
+      break;
+    }
+    fuzzydb::server::ReplyFrame frame;
+    if (!fuzzydb::server::ParseReplyFrame(reply, &frame)) {
+      std::cerr << "malformed frame: " << reply << "\n";
+      protocol_error = true;
+      break;
+    }
+    RenderFrame(frame, raw, reply);
+    if (frame.status != "OK") any_error = true;
+    if (frame.goodbye) break;
+  }
+  ::close(fd);
+  if (protocol_error) return 2;
+  return any_error ? 1 : 0;
+}

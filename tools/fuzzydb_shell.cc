@@ -19,6 +19,9 @@
 //                                        query journal)
 //   fuzzydb_shell --query-log-sample=N   journal every Nth query
 //                                        (1 = all, the default)
+//   fuzzydb_shell --query-log-keep=N     rotated journal generations to
+//                                        keep as PATH.1..PATH.N
+//                                        (default 3)
 //   fuzzydb_shell --no-cbo               disable cost-based planning
 //                                        (legacy fixed-rule plans;
 //                                        answers are bit-identical)
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
     const std::string kBatchFlag = "--batch-size=";
     const std::string kQueryLogFlag = "--query-log=";
     const std::string kQueryLogSampleFlag = "--query-log-sample=";
+    const std::string kQueryLogKeepFlag = "--query-log-keep=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
     } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
@@ -179,6 +183,19 @@ int main(int argc, char** argv) {
       }
       fuzzydb::QueryJournal::Global().set_sample_every(
           static_cast<uint64_t>(every));
+    } else if (arg.rfind(kQueryLogKeepFlag, 0) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long keep = std::strtoull(
+          arg.c_str() + kQueryLogKeepFlag.size(), &end, 10);
+      if (errno != 0 || end == arg.c_str() + kQueryLogKeepFlag.size() ||
+          *end != '\0') {
+        std::cerr << "bad --query-log-keep value (want N >= 0): " << arg
+                  << "\n";
+        return 2;
+      }
+      fuzzydb::QueryJournal::Global().set_keep_files(
+          static_cast<uint64_t>(keep));
     } else if (arg == "--no-cbo") {
       shell.set_cost_based(false);
     } else if (arg == "--explain-json") {
@@ -199,7 +216,7 @@ int main(int argc, char** argv) {
                    "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n"
                    "    [--cache-mb=N] [--batch-size=N] [--no-cbo]\n"
                    "    [--query-log=PATH] [--query-log-sample=N]\n"
-                   "    [--explain-json]\n";
+                   "    [--query-log-keep=N] [--explain-json]\n";
       return 2;
     }
   }

@@ -18,7 +18,16 @@ And across the file:
     not density). A restart back to id 1 marks a new session appending
     to the same file and resets the check.
 
-Usage: journal_check.py PATH [--min-records=N]
+With --generations, rotated files PATH.N (oldest) .. PATH.1 (newest)
+are validated too, read oldest-first ahead of the live PATH, and:
+
+ 6. the generation numbering is contiguous (PATH.3 existing without
+    PATH.2 means a rotation lost a file), and
+ 7. ids keep the same monotonic-per-session discipline ACROSS the
+    generation boundaries -- rotation must never reorder, duplicate,
+    or drop records inside the kept window.
+
+Usage: journal_check.py PATH [--min-records=N] [--generations]
 
 --min-records fails the run when fewer than N records validated; the CI
 bench job uses it to catch a journal that silently stopped writing.
@@ -27,6 +36,8 @@ Exit code 0 = clean, 1 = findings (each printed as path:line message).
 """
 
 import json
+import os
+import re
 import sys
 
 STATUSES = {
@@ -96,14 +107,48 @@ def check_counts(record, key, subkeys, where, findings):
             findings.append(f"{where}: unexpected key {key}.{sub}")
 
 
-def check_file(path, min_records):
+def generation_chain(path):
+    """Rotated generations of `path`, oldest first, then `path` itself.
+
+    Returns (chain, findings): findings report holes in the numbering
+    (PATH.3 without PATH.2 means a rotation lost a file).
+    """
+    suffix_re = re.compile(r"\.(\d+)$")
+    generations = []
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        if not name.startswith(base + "."):
+            continue
+        match = suffix_re.search(name[len(base):])
+        if match and name == base + "." + match.group(1):
+            generations.append(int(match.group(1)))
+    generations.sort()
+    findings = []
+    if generations:
+        present = set(generations)
+        for missing in range(1, generations[-1]):
+            if missing not in present:
+                findings.append(
+                    f"{path}: generation hole -- {path}.{missing} is "
+                    f"missing but {path}.{generations[-1]} exists"
+                )
+    chain = [f"{path}.{gen}" for gen in reversed(generations)]
+    chain.append(path)
+    return chain, findings
+
+
+def check_file(path, min_records, prev_id=0):
     findings = []
     records = 0
-    prev_id = 0
     try:
         lines = open(path, encoding="utf-8").read().splitlines()
     except OSError as error:
-        return [f"{path}: {error}"], 0
+        return [f"{path}: {error}"], 0, prev_id
     for number, line in enumerate(lines, start=1):
         where = f"{path}:{number}"
         if not line.strip():
@@ -145,15 +190,18 @@ def check_file(path, min_records):
             f"{path}: {records} record(s) validated, expected at least "
             f"{min_records}"
         )
-    return findings, records
+    return findings, records, prev_id
 
 
 def main(argv):
     min_records = 0
+    generations = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--min-records="):
             min_records = int(arg.split("=", 1)[1])
+        elif arg == "--generations":
+            generations = True
         elif arg.startswith("--"):
             print(f"unknown flag {arg}", file=sys.stderr)
             return 2
@@ -161,16 +209,38 @@ def main(argv):
             paths.append(arg)
     if not paths:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print("usage: journal_check.py PATH [--min-records=N]",
+        print("usage: journal_check.py PATH [--min-records=N]"
+              " [--generations]",
               file=sys.stderr)
         return 2
 
     all_findings = []
     total = 0
     for path in paths:
-        findings, records = check_file(path, min_records)
-        all_findings.extend(findings)
-        total += records
+        if generations:
+            # Validate the whole rotation chain oldest-first, threading
+            # the id cursor through so continuity holds ACROSS the
+            # generation boundaries; --min-records applies to the chain
+            # as a whole, not to each generation.
+            chain, findings = generation_chain(path)
+            all_findings.extend(findings)
+            prev_id = 0
+            chain_records = 0
+            for file in chain:
+                findings, records, prev_id = check_file(file, 0, prev_id)
+                all_findings.extend(findings)
+                chain_records += records
+            if chain_records < min_records:
+                all_findings.append(
+                    f"{path}: {chain_records} record(s) validated across "
+                    f"{len(chain)} generation(s), expected at least "
+                    f"{min_records}"
+                )
+            total += chain_records
+        else:
+            findings, records, _ = check_file(path, min_records)
+            all_findings.extend(findings)
+            total += records
     if all_findings:
         for finding in all_findings:
             print(finding)

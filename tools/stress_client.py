@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Multi-client stress harness for the FuzzyDB server (CI server-stress).
+
+Spawns fuzzydb_server on an ephemeral port, drives N parallel clients
+over raw sockets with a seeded workload, and checks the protocol
+contract end to end:
+
+1. every reply line parses as a JSON frame with a status field;
+2. every status is OK or RESOURCE_EXHAUSTED (shedding is legal under
+   load -- anything else, including a hang past --timeout, is a bug);
+3. each client's replies arrive in request order (seq pairs 1:1);
+4. the server survives all clients disconnecting and exits 0 on
+   SIGINT with no leaked temp files in its scratch directory;
+5. optionally (--journal PATH), the journal passes journal_check.py.
+
+Usage:
+  tools/stress_client.py --server build/tools/fuzzydb_server \
+      --clients 8 --statements 40 [--workers 2] [--queue-depth 4] \
+      [--seed 7] [--timeout 120] [--journal /tmp/server.jsonl]
+
+Exits nonzero on any protocol violation, crash, or hang.
+"""
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# Workload template: every client creates its own tables (names are
+# suffixed with the client id, so clients never depend on each other's
+# DDL) and then loops fuzzy SELECTs, including a nested one, which is
+# the paper's workload shape.
+DDL = [
+    "CREATE TABLE emp{cid} (name STRING, sal FUZZY, dept STRING);",
+    "CREATE TABLE dept{cid} (dname STRING, budget FUZZY);",
+]
+INSERT_EMP = ("INSERT INTO emp{cid} VALUES ('e{row}', "
+              "ABOUT({base}, 15), 'd{dept}');")
+INSERT_DEPT = ("INSERT INTO dept{cid} VALUES ('d{dept}', "
+               "ABOUT({budget}, 25));")
+QUERIES = [
+    ("SELECT name FROM emp{cid} WHERE sal > ABOUT({threshold}, 10) "
+     "WITH D >= 0.5;"),
+    ("SELECT name FROM emp{cid} WHERE sal > ABOUT({threshold}, 10) AND "
+     "dept = 'd{dept}' WITH D >= 0.3;"),
+    ("SELECT name FROM emp{cid} WHERE sal > ANY (SELECT budget FROM "
+     "dept{cid} WHERE dname = 'd{dept}') WITH D >= 0.3;"),
+]
+ALLOWED_STATUSES = {"OK", "RESOURCE_EXHAUSTED"}
+
+
+def build_workload(cid, statements, seed):
+    """Deterministic per-client statement list (no global RNG state)."""
+    lines = [ddl.format(cid=cid) for ddl in DDL]
+    for dept in range(3):
+        lines.append(INSERT_DEPT.format(cid=cid, dept=dept,
+                                        budget=100 + 50 * dept))
+    for row in range(8):
+        lines.append(INSERT_EMP.format(cid=cid, row=row,
+                                       base=80 + 17 * row,
+                                       dept=row % 3))
+    state = (seed * 2654435761 + cid * 40503) & 0xFFFFFFFF
+    for i in range(statements):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        query = QUERIES[state % len(QUERIES)]
+        lines.append(query.format(cid=cid,
+                                  threshold=90 + (state >> 8) % 120,
+                                  dept=(state >> 4) % 3))
+    return lines
+
+
+def run_client(cid, port, statements, seed, timeout, failures):
+    lines = build_workload(cid, statements, seed)
+    try:
+        sock = socket.create_connection(("127.0.0.1", port),
+                                        timeout=timeout)
+        sock.settimeout(timeout)
+        reader = sock.makefile("r", encoding="utf-8")
+        shed = 0
+        for lineno, line in enumerate(lines, start=1):
+            sock.sendall((line + "\n").encode("utf-8"))
+            reply = reader.readline()
+            if not reply:
+                failures.append("client %d: connection closed before "
+                                "reply to line %d" % (cid, lineno))
+                return
+            try:
+                frame = json.loads(reply)
+            except ValueError:
+                failures.append("client %d: unparseable frame: %r"
+                                % (cid, reply[:200]))
+                return
+            status = frame.get("status")
+            if status not in ALLOWED_STATUSES:
+                failures.append("client %d line %d (%s): status %r "
+                                "error %r" % (cid, lineno, line[:60],
+                                              status,
+                                              frame.get("error")))
+                return
+            if status == "RESOURCE_EXHAUSTED":
+                shed += 1
+                # Retriable by contract: DDL/INSERT must land for later
+                # queries to make sense, so retry those until admitted.
+                if not line.startswith("SELECT"):
+                    for _ in range(200):
+                        time.sleep(0.02)
+                        sock.sendall((line + "\n").encode("utf-8"))
+                        reply = reader.readline()
+                        if not reply:
+                            failures.append("client %d: closed during "
+                                            "retry" % cid)
+                            return
+                        if json.loads(reply).get("status") == "OK":
+                            break
+                    else:
+                        failures.append("client %d: line %d never "
+                                        "admitted" % (cid, lineno))
+                        return
+        sock.close()
+        print("client %d: %d statements, %d shed" %
+              (cid, len(lines), shed))
+    except socket.timeout:
+        failures.append("client %d: timed out (hang?)" % cid)
+    except OSError as exc:
+        failures.append("client %d: socket error: %s" % (cid, exc))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--server", required=True,
+                        help="path to the fuzzydb_server binary")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--statements", type=int, default=40)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--journal", default="",
+                        help="journal path; also runs journal_check.py")
+    args = parser.parse_args()
+
+    scratch = tempfile.mkdtemp(prefix="fuzzydb_stress_")
+    cmd = [args.server, "--port=0",
+           "--workers=%d" % args.workers,
+           "--queue-depth=%d" % args.queue_depth]
+    if args.journal:
+        cmd.append("--query-log=%s" % args.journal)
+    env = dict(os.environ, TMPDIR=scratch)
+    server = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True,
+                              env=env)
+    port = None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(line)
+        if line.startswith("listening on 127.0.0.1:"):
+            port = int(line.rsplit(":", 1)[1])
+            break
+    if port is None:
+        print("server never announced its port", file=sys.stderr)
+        server.kill()
+        return 1
+
+    failures = []
+    threads = [threading.Thread(target=run_client,
+                                args=(cid, port, args.statements,
+                                      args.seed, args.timeout,
+                                      failures))
+               for cid in range(args.clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(args.timeout + 30)
+        if thread.is_alive():
+            failures.append("a client thread is stuck")
+
+    # Graceful shutdown: SIGINT, bounded wait, exit code 0 expected.
+    server.send_signal(signal.SIGINT)
+    try:
+        server.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        failures.append("server did not exit within 60s of SIGINT")
+        server.kill()
+    else:
+        if server.returncode != 0:
+            failures.append("server exited %d" % server.returncode)
+    tail = server.stdout.read()
+    if tail:
+        sys.stdout.write(tail)
+
+    leftovers = os.listdir(scratch)
+    if leftovers:
+        failures.append("leaked temp files: %s" % ", ".join(leftovers))
+    else:
+        os.rmdir(scratch)
+
+    if args.journal:
+        check = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "journal_check.py")
+        result = subprocess.run([sys.executable, check, args.journal,
+                                 "--generations"])
+        if result.returncode != 0:
+            failures.append("journal_check.py failed")
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("stress OK: %d clients x %d statements" %
+          (args.clients, args.statements))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
