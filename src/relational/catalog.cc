@@ -1,52 +1,161 @@
 #include "relational/catalog.h"
 
+#include <utility>
+
 #include "common/string_util.h"
 
 namespace fuzzydb {
 
+Catalog::Catalog(const Catalog& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  relations_ = other.relations_;  // shares versions (snapshot semantics)
+  terms_ = other.terms_;
+}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this != &other) {
+    std::map<std::string, std::shared_ptr<Relation>> relations;
+    TermDictionary terms;
+    {
+      std::lock_guard<std::mutex> lock(other.mu_);
+      relations = other.relations_;
+      terms = other.terms_;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    relations_ = std::move(relations);
+    terms_ = std::move(terms);
+  }
+  return *this;
+}
+
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  relations_ = std::move(other.relations_);
+  terms_ = std::move(other.terms_);
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) {
+    std::map<std::string, std::shared_ptr<Relation>> relations;
+    TermDictionary terms;
+    {
+      std::lock_guard<std::mutex> lock(other.mu_);
+      relations = std::move(other.relations_);
+      terms = std::move(other.terms_);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    relations_ = std::move(relations);
+    terms_ = std::move(terms);
+  }
+  return *this;
+}
+
 Status Catalog::AddRelation(Relation relation) {
   const std::string key = ToLower(relation.name());
+  std::lock_guard<std::mutex> lock(mu_);
   if (relations_.count(key) > 0) {
     return Status::AlreadyExists("relation '" + relation.name() +
                                  "' already exists");
   }
-  relations_.emplace(key, std::move(relation));
+  relations_.emplace(key, std::make_shared<Relation>(std::move(relation)));
   return Status::OK();
 }
 
 void Catalog::PutRelation(Relation relation) {
-  relations_[ToLower(relation.name())] = std::move(relation);
+  const std::string key = ToLower(relation.name());
+  std::lock_guard<std::mutex> lock(mu_);
+  relations_[key] = std::make_shared<Relation>(std::move(relation));
 }
 
 Result<const Relation*> Catalog::GetRelation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = relations_.find(ToLower(name));
   if (it == relations_.end()) {
     return Status::NotFound("no relation named '" + name + "'");
   }
-  return &it->second;
+  return static_cast<const Relation*>(it->second.get());
+}
+
+Result<std::shared_ptr<const Relation>> Catalog::GetRelationRef(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return std::shared_ptr<const Relation>(it->second);
 }
 
 Result<Relation*> Catalog::GetMutableRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = relations_.find(ToLower(name));
   if (it == relations_.end()) {
     return Status::NotFound("no relation named '" + name + "'");
   }
-  return &it->second;
+  if (it->second.use_count() > 1) {
+    // A snapshot pins the current version: keep it intact and hand the
+    // caller an exclusively-owned copy-on-write successor.
+    it->second = std::make_shared<Relation>(it->second->CopyForWrite());
+  }
+  return it->second.get();
+}
+
+Status Catalog::MutateRelation(
+    const std::string& name, const std::function<Status(Relation*)>& fn) {
+  const std::string key = ToLower(name);
+  std::shared_ptr<Relation> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = relations_.find(key);
+    if (it == relations_.end()) {
+      return Status::NotFound("no relation named '" + name + "'");
+    }
+    if (it->second.use_count() == 1) {
+      // Unpinned: no snapshot can pin it without this lock, so an
+      // in-place write is invisible to readers until we return. Keeps
+      // O(1) appends O(1) -- WAL replay of N inserts stays linear.
+      return fn(it->second.get());
+    }
+    pinned = it->second;
+  }
+  // Pinned by a snapshot: copy-on-write outside the lock so in-flight
+  // readers are never blocked on the copy, then publish atomically.
+  // External writer serialization guarantees `pinned` is still current.
+  auto successor = std::make_shared<Relation>(pinned->CopyForWrite());
+  FUZZYDB_RETURN_IF_ERROR(fn(successor.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  relations_[key] = std::move(successor);
+  return Status::OK();
 }
 
 bool Catalog::HasRelation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return relations_.count(ToLower(name)) > 0;
 }
 
 void Catalog::DropRelation(const std::string& name) {
-  relations_.erase(ToLower(name));
+  std::shared_ptr<Relation> doomed;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = relations_.find(ToLower(name));
+  if (it != relations_.end()) {
+    // Move the ref out before erasing so a version pinned by snapshots
+    // is destroyed by the last snapshot, not under our lock.
+    doomed = std::move(it->second);
+    relations_.erase(it);
+  }
 }
 
 std::vector<std::string> Catalog::RelationNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(relations_.size());
-  for (const auto& [key, rel] : relations_) names.push_back(rel.name());
+  for (const auto& [key, rel] : relations_) names.push_back(rel->name());
   return names;
+}
+
+void Catalog::DefineTerm(const std::string& name, const Trapezoid& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  terms_.Define(name, value);
 }
 
 }  // namespace fuzzydb

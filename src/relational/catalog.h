@@ -1,9 +1,35 @@
 // The catalog: named relations plus the linguistic term dictionary.
+//
+// Relations are stored as shared, immutable-once-published versions
+// (std::shared_ptr<Relation>), which is what gives the system MVCC
+// snapshot reads (docs/durability.md, "MVCC snapshots"):
+//
+//  - Readers call Snapshot() and get a catalog whose map shares the
+//    current relation versions. The snapshot *pins* those versions: a
+//    concurrent INSERT or DROP installs a new version (or erases the
+//    name) in the source catalog, while the snapshot keeps serving the
+//    pinned contents until it is destroyed. Readers therefore never
+//    block on writers and never see a half-applied write.
+//  - Writers go through MutateRelation / DefineTerm / AddRelation /
+//    DropRelation, which update the map under an internal mutex. When
+//    the targeted version is pinned by a snapshot, MutateRelation
+//    copies on write (Relation::CopyForWrite: same id, fresh
+//    process-unique version) so cache entries keyed (id, version)
+//    invalidate for free; when it is unpinned, it mutates in place
+//    under the lock (O(1) appends stay O(1), e.g. WAL replay).
+//
+// Writer/writer serialization is the caller's job (the shell holds the
+// WAL commit lock around mutating statements); this class only
+// guarantees reader/writer safety. Catalog copies share relation
+// versions (snapshot semantics) -- mutating either side afterwards
+// installs fresh versions and never disturbs the other.
 #ifndef FUZZYDB_RELATIONAL_CATALOG_H_
 #define FUZZYDB_RELATIONAL_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,19 +45,54 @@ class Catalog {
  public:
   Catalog() : terms_(TermDictionary::BuiltIn()) {}
 
+  /// Copies share relation versions with the source (MVCC snapshot
+  /// semantics); the term dictionary is copied by value.
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
+
+  /// A pinned read view of the catalog as of now: shares the current
+  /// relation versions, so concurrent writers cannot disturb it and it
+  /// cannot block them. Bind queries against the snapshot and keep it
+  /// alive for the duration of execution.
+  Catalog Snapshot() const { return Catalog(*this); }
+
   /// Registers a relation; fails if the name is taken.
   Status AddRelation(Relation relation);
 
   /// Replaces or registers a relation.
   void PutRelation(Relation relation);
 
-  /// Looks up a relation by name.
+  /// Looks up a relation by name. The pointer stays valid while this
+  /// catalog (or any snapshot of it) still holds the version; on a
+  /// shared catalog, take a Snapshot() first and look up through it.
   Result<const Relation*> GetRelation(const std::string& name) const;
+
+  /// A pinning reference to the current version of `name`.
+  Result<std::shared_ptr<const Relation>> GetRelationRef(
+      const std::string& name) const;
+
+  /// Mutable access for single-threaded callers (tests, benches). When
+  /// the current version is pinned by a snapshot the catalog installs a
+  /// copy-on-write version first, so the returned pointer is exclusively
+  /// owned by this catalog; it stays valid until the next catalog call
+  /// for the same name.
   Result<Relation*> GetMutableRelation(const std::string& name);
+
+  /// Applies `fn` to the relation as one atomic write: in place (under
+  /// the catalog lock) when the current version is unpinned, or on a
+  /// CopyForWrite copy installed after `fn` succeeds when a snapshot
+  /// pins it. On failure the catalog is unchanged. Concurrent readers
+  /// observe either the pre-write or the post-write version, never an
+  /// intermediate state. Writers must be serialized externally.
+  Status MutateRelation(const std::string& name,
+                        const std::function<Status(Relation*)>& fn);
 
   bool HasRelation(const std::string& name) const;
 
-  /// Removes a relation if present.
+  /// Removes a relation if present. Snapshots taken earlier keep
+  /// serving the dropped version.
   void DropRelation(const std::string& name);
 
   std::vector<std::string> RelationNames() const;
@@ -39,8 +100,16 @@ class Catalog {
   const TermDictionary& terms() const { return terms_; }
   TermDictionary& mutable_terms() { return terms_; }
 
+  /// Thread-safe term definition (the WAL-logged DEFINE TERM path):
+  /// readers resolve terms through a Snapshot(), whose dictionary was
+  /// copied under the same lock.
+  void DefineTerm(const std::string& name, const Trapezoid& value);
+
  private:
-  std::map<std::string, Relation> relations_;  // keys lower-cased
+  mutable std::mutex mu_;
+  // Values are shared with snapshots; an entry is replaced (never
+  // mutated) while shared. Keys lower-cased.
+  std::map<std::string, std::shared_ptr<Relation>> relations_;
   TermDictionary terms_;
 };
 

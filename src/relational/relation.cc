@@ -13,6 +13,18 @@ uint64_t Relation::NextId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+uint64_t Relation::NextVersion() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Relation Relation::CopyForWrite() const {
+  Relation copy(*this);       // deep content copy (fresh id, version 0)
+  copy.id_ = id_;             // ...but keep the chain identity
+  copy.version_ = NextVersion();
+  return copy;
+}
+
 namespace {
 
 /// Orders tuples by value content (total order), used to group duplicates.
@@ -38,7 +50,7 @@ Status Relation::Append(Tuple tuple) {
   }
   if (tuple.degree() <= 0.0) return Status::OK();
   tuples_.push_back(std::move(tuple));
-  ++version_;
+  version_ = NextVersion();
   return Status::OK();
 }
 
@@ -47,7 +59,7 @@ Status Relation::AppendOrMax(Tuple tuple) {
   for (Tuple& existing : tuples_) {
     if (existing.SameValues(tuple)) {
       existing.set_degree(std::max(existing.degree(), tuple.degree()));
-      ++version_;
+      version_ = NextVersion();
       return Status::OK();
     }
   }
@@ -68,7 +80,7 @@ void Relation::EliminateDuplicates(double min_degree) {
       tuples_.push_back(std::move(copy));
     }
   }
-  ++version_;
+  version_ = NextVersion();
 }
 
 void Relation::ApplyThreshold(double min_degree) {
@@ -77,13 +89,13 @@ void Relation::ApplyThreshold(double min_degree) {
                                  return t.degree() < min_degree;
                                }),
                 tuples_.end());
-  ++version_;
+  version_ = NextVersion();
 }
 
 void Relation::Sort(
     const std::function<bool(const Tuple&, const Tuple&)>& less) {
   std::stable_sort(tuples_.begin(), tuples_.end(), less);
-  ++version_;
+  version_ = NextVersion();
 }
 
 bool Relation::EquivalentTo(const Relation& other, double tolerance) const {

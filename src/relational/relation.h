@@ -20,14 +20,19 @@ namespace fuzzydb {
 
 /// A named, in-memory fuzzy relation.
 ///
-/// Every relation object carries a process-unique `id` and a monotonically
-/// increasing `version`. The pair identifies the *contents* of a relation
-/// at a point in time: every mutation (Append, duplicate elimination,
-/// threshold, sort, handing out mutable_tuples()) bumps the version, and a
-/// copied relation gets a fresh id. The cross-query caches (src/cache/)
-/// key cached artifacts by (id, version), so a cached entry can never be
-/// served after its source relation changed -- invalidation-on-write is
-/// structural, not advisory.
+/// Every relation object carries a process-unique `id` and a `version`
+/// drawn from a process-wide monotonic counter. The pair identifies the
+/// *contents* of a relation at a point in time: every mutation (Append,
+/// duplicate elimination, threshold, sort, handing out mutable_tuples())
+/// stamps a fresh version, and a copied relation gets a fresh id. The
+/// cross-query caches (src/cache/) key cached artifacts by (id, version),
+/// so a cached entry can never be served after its source relation
+/// changed -- invalidation-on-write is structural, not advisory.
+///
+/// Versions are process-unique (not per-object sequential) so that two
+/// divergent copies of the same relation -- e.g. an MVCC copy-on-write
+/// (CopyForWrite) racing a legacy deep copy -- can never both reach the
+/// same (id, version) with different contents.
 class Relation {
  public:
   Relation() : id_(NextId()) {}
@@ -83,8 +88,18 @@ class Relation {
 
   /// Process-unique identity of this relation object (fresh per copy).
   uint64_t id() const { return id_; }
-  /// Bumped on every mutation; (id, version) identifies the contents.
+  /// Stamped fresh on every mutation; (id, version) identifies the
+  /// contents.
   uint64_t version() const { return version_; }
+
+  /// A copy that *keeps* this relation's id (the MVCC version chain:
+  /// same logical relation, next version) but stamps a fresh
+  /// process-unique version. The snapshot catalog (relational/catalog.h)
+  /// installs such copies on write while in-flight readers keep pinning
+  /// the old version; cache entries keyed (id, old version) become
+  /// unreachable through the new version for free, and id-keyed explicit
+  /// invalidation still reaches every version of the chain.
+  Relation CopyForWrite() const;
 
   size_t NumTuples() const { return tuples_.size(); }
   bool Empty() const { return tuples_.empty(); }
@@ -93,7 +108,7 @@ class Relation {
   std::vector<Tuple>& mutable_tuples() {
     // Conservative: the caller may mutate through the reference, so any
     // cached artifact derived from the old contents must stop matching.
-    ++version_;
+    version_ = NextVersion();
     return tuples_;
   }
 
@@ -127,6 +142,8 @@ class Relation {
  private:
   /// Hands out process-unique relation ids (thread-safe).
   static uint64_t NextId();
+  /// Hands out process-unique content versions (thread-safe).
+  static uint64_t NextVersion();
 
   std::string name_;
   Schema schema_;

@@ -13,6 +13,7 @@
 #include "obs/query_registry.h"
 #include "server/server_metrics.h"
 #include "server/wire.h"
+#include "wal/recovery.h"
 
 namespace fuzzydb {
 namespace server {
@@ -80,6 +81,16 @@ Server::Server(const ServerConfig& config)
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
+  if (!config_.wal_dir.empty()) {
+    // Recover the shared durable database before accepting anyone:
+    // every session attaches to this catalog + WAL pair.
+    BufferPool pool(64);
+    auto recovered =
+        wal::OpenWalDatabase(config_.wal_dir, config_.wal_options, &pool);
+    FUZZYDB_RETURN_IF_ERROR(recovered.status());
+    shared_catalog_ = std::move(recovered->catalog);
+    wal_ = std::move(recovered->manager);
+  }
   RegisterSessionsProvider();
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::IoError("socket() failed");
@@ -199,7 +210,8 @@ void Server::AcceptLoop(int listen_fd) {
     connection->connected = std::chrono::steady_clock::now();
     connection->peer = PeerName(fd);
     connection->session = std::make_unique<Session>(
-        id, config_.session_defaults, admission_.fair_share_budget());
+        id, config_.session_defaults, admission_.fair_share_budget(),
+        shared_catalog(), wal_.get());
     Connection* raw = connection.get();
     {
       std::lock_guard<std::mutex> lock(connections_mu_);

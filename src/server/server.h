@@ -50,6 +50,12 @@ struct ServerConfig {
   size_t queue_depth = 16;
   uint64_t memory_budget_total = 0;  // bytes; 0 = unconstrained
   SessionDefaults session_defaults;
+  /// When non-empty, Start() recovers the WAL database in this
+  /// directory and every session shares it: writes are logged and
+  /// durable, reads are MVCC snapshots. When empty (the default), each
+  /// session keeps its own private in-memory catalog.
+  std::string wal_dir;
+  wal::WalOptions wal_options;
 };
 
 class Server {
@@ -73,6 +79,13 @@ class Server {
 
   bool running() const { return running_.load(std::memory_order_relaxed); }
   size_t active_sessions() const;
+
+  /// The shared durable catalog (WAL mode only; null otherwise). Test
+  /// hooks: production access goes through the sessions.
+  Catalog* shared_catalog() {
+    return config_.wal_dir.empty() ? nullptr : &shared_catalog_;
+  }
+  wal::WalManager* wal() { return wal_.get(); }
 
   /// The sys.sessions relation over every live session: (id, state,
   /// statements, errors, age_ms, peer), degree 1 per row. The provider
@@ -98,6 +111,8 @@ class Server {
 
   const ServerConfig config_;
   AdmissionController admission_;
+  Catalog shared_catalog_;  // WAL mode: every session's database
+  std::unique_ptr<wal::WalManager> wal_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};

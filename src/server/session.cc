@@ -100,10 +100,14 @@ const char* WireStatusName(StatusCode code) {
 }  // namespace
 
 Session::Session(uint64_t id, const SessionDefaults& defaults,
-                 uint64_t fair_share_budget)
+                 uint64_t fair_share_budget, Catalog* shared_catalog,
+                 wal::WalManager* wal)
     : id_(id), fair_share_budget_(fair_share_budget), options_(defaults) {
   shell_.set_quiet(true);
   shell_.set_result_sink(this);
+  if (shared_catalog != nullptr) {
+    shell_.AttachSharedDatabase(shared_catalog, wal);
+  }
   ApplyOptions();
 }
 

@@ -46,9 +46,13 @@ class Session : public ShellResultSink {
  public:
   /// `fair_share_budget` is the admission controller's per-query memory
   /// share (0 = unconstrained): the effective per-query budget is the
-  /// session's SET value clamped to it.
+  /// session's SET value clamped to it. When `shared_catalog` is
+  /// non-null, statements execute against it (the server's durable WAL
+  /// database) instead of a private per-session catalog; MVCC snapshot
+  /// reads and the WAL commit lock make the sharing safe.
   Session(uint64_t id, const SessionDefaults& defaults,
-          uint64_t fair_share_budget);
+          uint64_t fair_share_budget, Catalog* shared_catalog = nullptr,
+          wal::WalManager* wal = nullptr);
 
   /// Executes one request line (a SET, a dot-command, or SQL) and
   /// returns its reply frame. Not thread-safe: the server serializes

@@ -141,6 +141,7 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
            "  SHOW QUERIES;  (in-flight queries; also sys.queries)\n"
            "  KILL <id>;  (cancel a running query by sys.queries id)\n"
            "  CACHE CLEAR;  (drop cache entries; contents: sys.cache)\n"
+           "  CHECKPOINT;  (WAL shells: durable image; segments: sys.wal)\n"
            "commands:\n"
            "  .tables .schema <t> .terms .explain on|off\n"
            "  .engine naive|unnested .slowlog .save <dir> .open <dir>\n"
@@ -165,8 +166,8 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
     return;
   }
   if (command == ".tables") {
-    for (const std::string& name : catalog_.RelationNames()) {
-      auto relation = catalog_.GetRelation(name);
+    for (const std::string& name : db().RelationNames()) {
+      auto relation = db().GetRelation(name);
       out << name << " (" << (*relation)->NumTuples() << " tuples)\n";
     }
     return;
@@ -176,7 +177,7 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
       out << "usage: .schema <table>\n";
       return;
     }
-    auto relation = catalog_.GetRelation(words[1]);
+    auto relation = db().GetRelation(words[1]);
     if (!relation.ok()) {
       out << relation.status().ToString() << "\n";
       return;
@@ -186,8 +187,8 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
     return;
   }
   if (command == ".terms") {
-    for (const std::string& name : catalog_.terms().Names()) {
-      auto term = catalog_.terms().Lookup(name);
+    for (const std::string& name : db().terms().Names()) {
+      auto term = db().terms().Lookup(name);
       out << "\"" << name << "\" = " << term->ToString() << "\n";
     }
     return;
@@ -206,6 +207,20 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
     use_naive_ = EqualsIgnoreCase(words[1], "naive");
     out << "engine: " << (use_naive_ ? "naive" : "unnested") << "\n";
     return;
+  }
+  if (command == ".gen" || command == ".save" || command == ".open") {
+    if (wal() != nullptr) {
+      // These mutate or replace the catalog without writing the log;
+      // allowing them would desynchronize the durable history from the
+      // in-memory state.
+      out << command
+          << " is unavailable while a WAL is attached; use CHECKPOINT "
+             "for durable images\n";
+      had_error_ = true;
+      last_status_ = Status::Unsupported(
+          command + " is unavailable while a WAL is attached");
+      return;
+    }
   }
   if (command == ".gen") {
     // Deterministic synthetic datasets (src/workload/generator.h) so
@@ -230,15 +245,15 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
       config.join_fanout = static_cast<double>(fanout);
       TypeJDataset dataset = GenerateTypeJDataset(config);
       for (const char* name : {"R", "S"}) {
-        if (catalog_.HasRelation(name)) {
-          if (auto old = catalog_.GetRelation(name); old.ok()) {
+        if (db().HasRelation(name)) {
+          if (auto old = db().GetRelation(name); old.ok()) {
             CacheManager::Global().InvalidateRelation((*old)->id());
           }
-          catalog_.DropRelation(name);
+          db().DropRelation(name);
         }
       }
-      const Status status_r = catalog_.AddRelation(std::move(dataset.r));
-      const Status status_s = catalog_.AddRelation(std::move(dataset.s));
+      const Status status_r = db().AddRelation(std::move(dataset.r));
+      const Status status_s = db().AddRelation(std::move(dataset.s));
       if (!status_r.ok() || !status_s.ok()) {
         out << (status_r.ok() ? status_s : status_r).ToString() << "\n";
         return;
@@ -255,13 +270,13 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
         out << "usage: .gen rand <name> <seed> <cols> <rows>\n";
         return;
       }
-      if (catalog_.HasRelation(name)) {
-        if (auto old = catalog_.GetRelation(name); old.ok()) {
+      if (db().HasRelation(name)) {
+        if (auto old = db().GetRelation(name); old.ok()) {
           CacheManager::Global().InvalidateRelation((*old)->id());
         }
-        catalog_.DropRelation(name);
+        db().DropRelation(name);
       }
-      const Status status = catalog_.AddRelation(
+      const Status status = db().AddRelation(
           GenerateRandomRelation(seed, name, cols, rows));
       if (!status.ok()) {
         out << status.ToString() << "\n";
@@ -282,14 +297,14 @@ void Shell::ExecuteDotCommand(const std::string& line, std::ostream& out) {
     }
     BufferPool pool(64);
     if (command == ".save") {
-      const Status status = SaveDatabase(catalog_, words[1], &pool);
+      const Status status = SaveDatabase(db(), words[1], &pool);
       out << (status.ok() ? "saved " + words[1] : status.ToString()) << "\n";
     } else {
       auto loaded = LoadDatabase(words[1], &pool);
       if (!loaded.ok()) {
         out << loaded.status().ToString() << "\n";
       } else {
-        catalog_ = std::move(loaded).value();
+        db() = std::move(loaded).value();
         out << "opened " << words[1] << "\n";
       }
     }
@@ -304,16 +319,19 @@ void Shell::RefreshSystemRelations(const std::string& statement_text) {
   // unless the session actually queried them.
   const std::string lowered = ToLower(statement_text);
   if (lowered.find("sys.metrics") != std::string::npos) {
-    catalog_.PutRelation(MetricsRegistry::Global().ToRelation());
+    db().PutRelation(MetricsRegistry::Global().ToRelation());
   }
   if (lowered.find("sys.cache") != std::string::npos) {
-    catalog_.PutRelation(CacheManager::Global().ToRelation());
+    db().PutRelation(CacheManager::Global().ToRelation());
   }
   if (lowered.find("sys.queries") != std::string::npos) {
-    catalog_.PutRelation(ActiveQueryRegistry::Global().ToRelation());
+    db().PutRelation(ActiveQueryRegistry::Global().ToRelation());
   }
   if (lowered.find("sys.slowlog") != std::string::npos) {
-    catalog_.PutRelation(SlowQueryLog::Global().ToRelation());
+    db().PutRelation(SlowQueryLog::Global().ToRelation());
+  }
+  if (lowered.find("sys.wal") != std::string::npos && wal() != nullptr) {
+    db().PutRelation(wal()->ToRelation());
   }
   SystemRelationProviders& reg = Providers();
   std::vector<std::function<Relation()>> to_refresh;
@@ -328,7 +346,7 @@ void Shell::RefreshSystemRelations(const std::string& statement_text) {
   // Materialize outside the lock: a provider may itself take locks
   // (e.g. the server's session registry).
   for (const auto& provider : to_refresh) {
-    catalog_.PutRelation(provider());
+    db().PutRelation(provider());
   }
 }
 
@@ -388,7 +406,13 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       return;
     }
     case sql::Statement::Kind::kExplain: {
-      auto bound = sql::Bind(*statement.select, catalog_);
+      // Bind against a snapshot and keep it alive for the whole
+      // execution: the snapshot pins the relation versions it resolved,
+      // so a concurrent writer (server mode) can never mutate or drop
+      // them under the running query (MVCC reader-pinning rule,
+      // docs/durability.md).
+      const Catalog snapshot = db().Snapshot();
+      auto bound = sql::Bind(*statement.select, snapshot);
       if (!bound.ok()) {
         FailStatement(bound.status(), out);
         return;
@@ -450,7 +474,10 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       return;
     }
     case sql::Statement::Kind::kSelect: {
-      auto bound = sql::Bind(*statement.select, catalog_);
+      // Snapshot-bound like kExplain: the read pins its versions and
+      // never blocks writers.
+      const Catalog snapshot = db().Snapshot();
+      auto bound = sql::Bind(*statement.select, snapshot);
       if (!bound.ok()) {
         FailStatement(bound.status(), out);
         return;
@@ -500,8 +527,17 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       return;
     }
     case sql::Statement::Kind::kCreateTable: {
-      const Status status = catalog_.AddRelation(Relation(
-          statement.create_table.name, statement.create_table.schema));
+      Status status;
+      if (wal() != nullptr) {
+        wal::WalRecord record;
+        record.type = wal::WalRecordType::kCreateTable;
+        record.table = statement.create_table.name;
+        record.schema = statement.create_table.schema;
+        status = CommitMutation(&record);
+      } else {
+        status = db().AddRelation(Relation(statement.create_table.name,
+                                           statement.create_table.schema));
+      }
       if (!status.ok()) {
         had_error_ = true;
         last_status_ = status;
@@ -512,15 +548,20 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
       return;
     }
     case sql::Statement::Kind::kInsert: {
-      auto relation = catalog_.GetMutableRelation(statement.insert.table);
-      if (!relation.ok()) {
-        FailStatement(relation.status(), out);
+      // Resolve linguistic terms against a snapshot before anything is
+      // logged: the WAL record carries the resolved trapezoid, so replay
+      // is exact even if the term is redefined later.
+      const Catalog snapshot = db().Snapshot();
+      if (!snapshot.HasRelation(statement.insert.table)) {
+        FailStatement(Status::NotFound("no relation named '" +
+                                       statement.insert.table + "'"),
+                      out);
         return;
       }
       std::vector<Value> values;
       for (const sql::Literal& literal : statement.insert.values) {
         if (!literal.term.empty()) {
-          auto term = catalog_.terms().Lookup(literal.term);
+          auto term = snapshot.terms().Lookup(literal.term);
           if (!term.ok()) {
             FailStatement(term.status(), out);
             return;
@@ -530,43 +571,186 @@ void Shell::ExecuteStatement(const std::string& text, std::ostream& out) {
           values.push_back(literal.value);
         }
       }
-      const Status status = (*relation)->Append(
-          Tuple(std::move(values), statement.insert.degree));
+      Tuple tuple(std::move(values), statement.insert.degree);
+      Status status;
+      uint64_t relation_id = 0;
+      if (wal() != nullptr) {
+        wal::WalRecord record;
+        record.type = wal::WalRecordType::kInsert;
+        record.table = statement.insert.table;
+        record.tuple = std::move(tuple);
+        status = CommitMutation(&record);
+        if (status.ok()) {
+          if (auto rel = db().GetRelationRef(statement.insert.table);
+              rel.ok()) {
+            relation_id = (*rel)->id();
+          }
+        }
+      } else {
+        auto relation = db().GetMutableRelation(statement.insert.table);
+        if (!relation.ok()) {
+          FailStatement(relation.status(), out);
+          return;
+        }
+        status = (*relation)->Append(std::move(tuple));
+        relation_id = (*relation)->id();
+      }
       if (!status.ok()) {
         had_error_ = true;
         last_status_ = status;
       }
       // Version bumping already makes stale cache keys unreachable; the
-      // explicit invalidation reclaims their memory immediately.
-      if (status.ok()) {
-        CacheManager::Global().InvalidateRelation((*relation)->id());
+      // explicit invalidation reclaims their memory immediately. The id
+      // survives copy-on-write (the MVCC chain keeps it), so this
+      // reaches cache entries for every version of the relation.
+      if (status.ok() && relation_id != 0) {
+        CacheManager::Global().InvalidateRelation(relation_id);
       }
       out << (status.ok() ? "inserted 1 tuple" : status.ToString()) << "\n";
       return;
     }
     case sql::Statement::Kind::kDefineTerm: {
-      catalog_.mutable_terms().Define(statement.define_term.name,
-                                      statement.define_term.value);
+      if (wal() != nullptr) {
+        wal::WalRecord record;
+        record.type = wal::WalRecordType::kDefineTerm;
+        record.term = statement.define_term.name;
+        record.shape = statement.define_term.value;
+        const Status status = CommitMutation(&record);
+        if (!status.ok()) {
+          FailStatement(status, out);
+          return;
+        }
+      } else {
+        db().mutable_terms().Define(statement.define_term.name,
+                                    statement.define_term.value);
+      }
       out << "defined \"" << statement.define_term.name << "\"\n";
       return;
     }
     case sql::Statement::Kind::kDropTable: {
-      if (!catalog_.HasRelation(statement.drop_table.name)) {
+      if (!db().HasRelation(statement.drop_table.name)) {
         had_error_ = true;
         last_status_ = Status::NotFound(
             "no relation named '" + statement.drop_table.name + "'");
         out << "no relation named '" << statement.drop_table.name << "'\n";
         return;
       }
-      if (auto dropped = catalog_.GetRelation(statement.drop_table.name);
+      if (auto dropped = db().GetRelationRef(statement.drop_table.name);
           dropped.ok()) {
         CacheManager::Global().InvalidateRelation((*dropped)->id());
       }
-      catalog_.DropRelation(statement.drop_table.name);
+      if (wal() != nullptr) {
+        wal::WalRecord record;
+        record.type = wal::WalRecordType::kDropTable;
+        record.table = statement.drop_table.name;
+        const Status status = CommitMutation(&record);
+        if (!status.ok()) {
+          FailStatement(status, out);
+          return;
+        }
+      } else {
+        db().DropRelation(statement.drop_table.name);
+      }
       out << "dropped " << statement.drop_table.name << "\n";
       return;
     }
+    case sql::Statement::Kind::kCheckpoint: {
+      wal::WalManager* manager = wal();
+      if (manager == nullptr) {
+        FailStatement(
+            Status::Unsupported(
+                "CHECKPOINT requires write-ahead durability (--wal-dir)"),
+            out);
+        return;
+      }
+      // Quiesce writers for the sync-then-image window so the saved
+      // catalog matches the covered LSN exactly.
+      auto commit_lock = manager->AcquireCommitLock();
+      Catalog snapshot = db().Snapshot();
+      // sys.* relations are session-materialized views, not durable
+      // state: keep them out of the checkpoint image.
+      for (const std::string& name : snapshot.RelationNames()) {
+        if (ToLower(name).compare(0, 4, "sys.") == 0) {
+          snapshot.DropRelation(name);
+        }
+      }
+      BufferPool pool(64);
+      uint64_t checkpoint_lsn = 0;
+      const Status status =
+          manager->Checkpoint(snapshot, &pool, &checkpoint_lsn);
+      if (!status.ok()) {
+        FailStatement(status, out);
+        return;
+      }
+      out << "-- checkpoint at lsn " << checkpoint_lsn << "\n";
+      return;
+    }
   }
+}
+
+Status Shell::EnableWal(const std::string& dir,
+                        const wal::WalOptions& options, std::ostream& out) {
+  BufferPool pool(64);
+  auto recovered = wal::OpenWalDatabase(dir, options, &pool);
+  FUZZYDB_RETURN_IF_ERROR(recovered.status());
+  catalog_ = std::move(recovered->catalog);
+  owned_wal_ = std::move(recovered->manager);
+  external_catalog_ = nullptr;
+  external_wal_ = nullptr;
+  if (!quiet_) {
+    out << "-- wal " << dir << ": recovered "
+        << recovered->records_replayed << " record"
+        << (recovered->records_replayed == 1 ? "" : "s")
+        << " past checkpoint lsn " << recovered->checkpoint_lsn;
+    if (recovered->torn_tail_bytes > 0) {
+      out << ", truncated " << recovered->torn_tail_bytes
+          << "-byte torn tail";
+    }
+    if (recovered->orphans_swept > 0) {
+      out << ", swept " << recovered->orphans_swept << " orphan"
+          << (recovered->orphans_swept == 1 ? "" : "s");
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status Shell::CommitMutation(wal::WalRecord* record) {
+  wal::WalManager* manager = wal();
+  auto commit_lock = manager->AcquireCommitLock();
+  // Validate first: a statement that cannot apply must never be logged,
+  // or replay would diverge from the acknowledged history.
+  switch (record->type) {
+    case wal::WalRecordType::kCreateTable:
+      if (db().HasRelation(record->table)) {
+        return Status::AlreadyExists("relation '" + record->table +
+                                     "' already exists");
+      }
+      break;
+    case wal::WalRecordType::kInsert: {
+      auto relation = db().GetRelationRef(record->table);
+      FUZZYDB_RETURN_IF_ERROR(relation.status());
+      const size_t arity = (*relation)->schema().NumColumns();
+      if (arity != 0 && record->tuple.NumValues() != arity) {
+        return Status::InvalidArgument(
+            "tuple arity " + std::to_string(record->tuple.NumValues()) +
+            " does not match schema arity " + std::to_string(arity) +
+            " of relation '" + (*relation)->name() + "'");
+      }
+      break;
+    }
+    case wal::WalRecordType::kDropTable:
+      if (!db().HasRelation(record->table)) {
+        return Status::NotFound("no relation named '" + record->table +
+                                "'");
+      }
+      break;
+    case wal::WalRecordType::kDefineTerm:
+    case wal::WalRecordType::kCheckpoint:
+      break;
+  }
+  FUZZYDB_RETURN_IF_ERROR(manager->Append(record));
+  return wal::ApplyWalRecord(*record, &db());
 }
 
 }  // namespace fuzzydb

@@ -27,10 +27,13 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "relational/catalog.h"
+#include "wal/recovery.h"
+#include "wal/wal_manager.h"
 
 namespace fuzzydb {
 
@@ -60,7 +63,32 @@ class Shell {
   /// .quit. When `interactive`, prints prompts to `out`.
   void Run(std::istream& in, std::ostream& out, bool interactive);
 
-  Catalog& catalog() { return catalog_; }
+  /// The catalog statements execute against: the shell's own unless a
+  /// shared database was attached (AttachSharedDatabase).
+  Catalog& catalog() { return db(); }
+
+  /// Attaches write-ahead durability: recovers the database in `dir`
+  /// (creating it when empty), replaces this shell's catalog with the
+  /// recovered one, and routes every subsequent mutating statement
+  /// through the log. Prints a recovery summary line to `out`. While a
+  /// WAL is attached, .save/.open/.gen are refused (their mutations
+  /// would bypass the log) and CHECKPOINT becomes available.
+  Status EnableWal(const std::string& dir, const wal::WalOptions& options,
+                   std::ostream& out);
+
+  /// Routes this shell's statements to a catalog + WAL owned by someone
+  /// else (the server's shared durable database). Neither pointer is
+  /// owned; both must outlive the shell. Pass a null `manager` to share
+  /// a catalog without durability.
+  void AttachSharedDatabase(Catalog* catalog, wal::WalManager* manager) {
+    external_catalog_ = catalog;
+    external_wal_ = manager;
+  }
+
+  /// The attached WAL (owned or shared); null when none.
+  wal::WalManager* wal() {
+    return external_wal_ != nullptr ? external_wal_ : owned_wal_.get();
+  }
 
   /// When set, every EXPLAIN ANALYZE additionally writes its trace as
   /// Chrome trace_event JSON (chrome://tracing, Perfetto) to this path,
@@ -164,6 +192,19 @@ class Shell {
   void ExecuteDotCommand(const std::string& line, std::ostream& out);
   void ExecuteStatement(const std::string& text, std::ostream& out);
 
+  Catalog& db() {
+    return external_catalog_ != nullptr ? *external_catalog_ : catalog_;
+  }
+
+  /// The WAL commit protocol for one mutating statement: under the
+  /// commit lock, validate against the current catalog, append to the
+  /// log, then apply through wal::ApplyWalRecord -- the same function
+  /// recovery replays with. Validation runs first so a statement that
+  /// would fail (duplicate CREATE, arity mismatch, missing table) is
+  /// never logged: the durable log holds exactly the acknowledged
+  /// mutations.
+  Status CommitMutation(wal::WalRecord* record);
+
   /// Latches a statement failure (had_error_, last_status_) and prints
   /// the rendered status.
   void FailStatement(const Status& status, std::ostream& out);
@@ -173,6 +214,9 @@ class Shell {
   void RefreshSystemRelations(const std::string& statement_text);
 
   Catalog catalog_;
+  Catalog* external_catalog_ = nullptr;      // not owned (server mode)
+  wal::WalManager* external_wal_ = nullptr;  // not owned (server mode)
+  std::unique_ptr<wal::WalManager> owned_wal_;
   std::string pending_;   // partial statement across lines
   std::string trace_json_path_;
   bool explain_ = false;

@@ -90,10 +90,14 @@ class Parser {
       // position.
       FUZZYDB_RETURN_IF_ERROR(ExpectKeyword("clear"));
       statement.kind = Statement::Kind::kCacheClear;
+    } else if (MatchKeyword("checkpoint")) {
+      // CHECKPOINT is contextual like SHOW: only a keyword at statement
+      // position.
+      statement.kind = Statement::Kind::kCheckpoint;
     } else {
       return Error(
-          "expected SELECT, CREATE, INSERT, DEFINE, DROP, SHOW, KILL, or "
-          "CACHE");
+          "expected SELECT, CREATE, INSERT, DEFINE, DROP, SHOW, KILL, "
+          "CACHE, or CHECKPOINT");
     }
     if (Peek().type != TokenType::kEnd) {
       return Error("trailing input after statement");

@@ -11,6 +11,7 @@
 //   SHOW QUERIES                                 active-query registry
 //   KILL id                                      cancel a running query
 //   CACHE CLEAR                                  drop all cache entries
+//   CHECKPOINT                                   WAL checkpoint (durability)
 //
 // INSERT values are literals: numbers, 'strings', "linguistic terms"
 // (resolved against the catalog at execution time), TRAP(a,b,c,d),
@@ -63,7 +64,8 @@ struct Statement {
     kShowMetrics,  // SHOW METRICS [RESET]
     kShowQueries,  // SHOW QUERIES
     kKill,         // KILL <query id>
-    kCacheClear    // CACHE CLEAR
+    kCacheClear,   // CACHE CLEAR
+    kCheckpoint    // CHECKPOINT (WAL-attached shells only)
   };
   Kind kind = Kind::kSelect;
   bool analyze = false;  // kExplain only: EXPLAIN ANALYZE executes

@@ -1,0 +1,191 @@
+#include "wal/recovery.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "storage/database.h"
+#include "wal/wal_metrics.h"
+
+namespace fuzzydb {
+namespace wal {
+
+namespace {
+
+Status EnsureDirectory(const std::string& dir) {
+  struct stat st;
+  if (stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IoError("'" + dir + "' exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  if (mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IoError("cannot create WAL directory '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Deletes interrupted-checkpoint debris: *.tmp files anywhere in the
+/// directory and ckpt_* images the manifest does not name. Returns how
+/// many entries were removed.
+uint64_t SweepOrphans(const std::string& dir, const std::string& live_image) {
+  uint64_t swept = 0;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::vector<std::string> tmp_files;
+  std::vector<std::string> dead_images;
+  while (struct dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (HasSuffix(name, ".tmp")) {
+      tmp_files.push_back(name);
+    } else if (HasPrefix(name, "ckpt_") && name != live_image) {
+      dead_images.push_back(name);
+    }
+  }
+  closedir(d);
+  for (const std::string& name : tmp_files) {
+    if (unlink((dir + "/" + name).c_str()) == 0) ++swept;
+  }
+  for (const std::string& name : dead_images) {
+    RemoveCheckpointImage(dir, name);
+    ++swept;
+  }
+  return swept;
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot read WAL segment '" + path + "'");
+  const std::streamsize size = in.tellg();
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()), size)) {
+    return Status::IoError("cannot read WAL segment '" + path + "'");
+  }
+  return data;
+}
+
+}  // namespace
+
+Status ApplyWalRecord(const WalRecord& record, Catalog* catalog) {
+  switch (record.type) {
+    case WalRecordType::kCreateTable:
+      return catalog->AddRelation(Relation(record.table, record.schema));
+    case WalRecordType::kInsert:
+      return catalog->MutateRelation(record.table, [&](Relation* relation) {
+        return relation->Append(record.tuple);
+      });
+    case WalRecordType::kDropTable:
+      if (!catalog->HasRelation(record.table)) {
+        return Status::NotFound("no relation named '" + record.table + "'");
+      }
+      catalog->DropRelation(record.table);
+      return Status::OK();
+    case WalRecordType::kDefineTerm:
+      catalog->DefineTerm(record.term, record.shape);
+      return Status::OK();
+    case WalRecordType::kCheckpoint:
+      return Status::OK();  // informational marker
+  }
+  return Status::Internal("unhandled WAL record type");
+}
+
+Result<RecoveredDatabase> OpenWalDatabase(const std::string& dir,
+                                          const WalOptions& options,
+                                          BufferPool* pool) {
+  FUZZYDB_RETURN_IF_ERROR(EnsureDirectory(dir));
+
+  RecoveredDatabase out;
+  std::string live_image;
+  auto meta = ReadCheckpointMeta(dir);
+  if (meta.ok()) {
+    out.checkpoint_lsn = meta->lsn;
+    live_image = meta->image_dir;
+  } else if (meta.status().code() != StatusCode::kNotFound) {
+    return meta.status();
+  }
+
+  out.orphans_swept = SweepOrphans(dir, live_image);
+
+  if (!live_image.empty()) {
+    auto loaded = LoadDatabase(dir + "/" + live_image, pool);
+    FUZZYDB_RETURN_IF_ERROR(loaded.status());
+    out.catalog = std::move(loaded).value();
+  }
+
+  auto seqs = ListWalSegments(dir);
+  FUZZYDB_RETURN_IF_ERROR(seqs.status());
+
+  uint64_t max_lsn = out.checkpoint_lsn;
+  for (size_t i = 0; i < seqs->size(); ++i) {
+    const bool last_segment = i + 1 == seqs->size();
+    const std::string path = WalSegmentPath(dir, (*seqs)[i]);
+    auto data = ReadWholeFile(path);
+    FUZZYDB_RETURN_IF_ERROR(data.status());
+    size_t pos = 0;
+    while (pos < data->size()) {
+      WalRecord record;
+      size_t consumed = 0;
+      const WalDecodeOutcome outcome = DecodeWalRecord(
+          data->data() + pos, data->size() - pos, &record, &consumed);
+      if (outcome == WalDecodeOutcome::kCorrupt) {
+        if (!last_segment) {
+          // Not a crash artifact: a torn write can only be at the very
+          // end of the log. Refuse to guess at damaged history.
+          return Status::IoError("corrupt WAL record at byte " +
+                                 std::to_string(pos) + " of sealed segment '" +
+                                 path + "'");
+        }
+        // Torn tail: the crash interrupted the last append. Keep the
+        // valid prefix -- every record in it was acknowledged or is an
+        // un-acknowledged complete record, both safe to keep -- and cut
+        // the rest so future appends start from a clean frame boundary.
+        out.torn_tail_bytes += data->size() - pos;
+        if (truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+          return Status::IoError("cannot truncate torn WAL tail of '" + path +
+                                 "': " + std::strerror(errno));
+        }
+        WalMetrics::Instance()->torn_tail_truncations_total->Add(1);
+        break;
+      }
+      if (record.lsn > out.checkpoint_lsn) {
+        FUZZYDB_RETURN_IF_ERROR(ApplyWalRecord(record, &out.catalog));
+        ++out.records_replayed;
+      }
+      max_lsn = std::max(max_lsn, record.lsn);
+      pos += consumed;
+    }
+  }
+
+  auto manager =
+      WalManager::Open(dir, options, max_lsn + 1, out.checkpoint_lsn);
+  FUZZYDB_RETURN_IF_ERROR(manager.status());
+  out.manager = std::move(manager).value();
+
+  WalMetrics* m = WalMetrics::Instance();
+  m->recoveries_total->Add(1);
+  m->replayed_records_total->Add(out.records_replayed);
+  return out;
+}
+
+}  // namespace wal
+}  // namespace fuzzydb

@@ -1,0 +1,63 @@
+// Crash recovery: rebuilding the catalog from a WAL directory.
+//
+// ARIES-lite, redo only: uncommitted state never reaches the checkpoint
+// image or the log (statements are the unit of atomicity and a record is
+// only acknowledged once logged), so recovery is
+//
+//   1. sweep orphans: *.tmp files and ckpt_* images checkpoint.meta
+//      does not name (debris of an interrupted checkpoint);
+//   2. load the checkpoint image (empty catalog when none);
+//   3. replay every segment in order, applying records with
+//      lsn > checkpoint_lsn through ApplyWalRecord -- the same function
+//      the live write path uses, which is what makes the recovered
+//      catalog bit-identical to the uncrashed one;
+//   4. a corrupt record in the LAST segment is a torn tail from the
+//      crash: truncate the segment at the end of its valid prefix and
+//      continue. A corrupt record anywhere else is damage the crash
+//      cannot explain: recovery fails rather than guess;
+//   5. reopen the WAL for appending at LSN = last replayed + 1.
+//
+// docs/durability.md walks through the full contract.
+#ifndef FUZZYDB_WAL_RECOVERY_H_
+#define FUZZYDB_WAL_RECOVERY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "storage/buffer_pool.h"
+#include "wal/wal_manager.h"
+#include "wal/wal_record.h"
+
+namespace fuzzydb {
+namespace wal {
+
+/// The outcome of OpenWalDatabase.
+struct RecoveredDatabase {
+  Catalog catalog;
+  std::unique_ptr<WalManager> manager;
+  uint64_t checkpoint_lsn = 0;    // covered by the loaded image (0: none)
+  uint64_t records_replayed = 0;  // applied from segments past the image
+  uint64_t torn_tail_bytes = 0;   // dropped from the last segment's tail
+  uint64_t orphans_swept = 0;     // tmp files / unnamed images removed
+};
+
+/// Recovers the database in WAL directory `dir` (created if missing;
+/// missing or empty directory yields an empty catalog) and reopens the
+/// log for appending. All heap-file traffic for checkpoint images flows
+/// through `pool`.
+Result<RecoveredDatabase> OpenWalDatabase(const std::string& dir,
+                                          const WalOptions& options,
+                                          BufferPool* pool);
+
+/// Applies one logical redo record to `catalog`. The live write path
+/// calls this after WalManager::Append succeeds; recovery calls it for
+/// every replayed record. One shared apply path is the bit-identity
+/// guarantee. kCheckpoint records are informational no-ops.
+Status ApplyWalRecord(const WalRecord& record, Catalog* catalog);
+
+}  // namespace wal
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_WAL_RECOVERY_H_

@@ -1,0 +1,29 @@
+#include "wal/wal_metrics.h"
+
+namespace fuzzydb {
+namespace wal {
+
+WalMetrics* WalMetrics::Instance() {
+  static WalMetrics* metrics = [] {
+    auto* m = new WalMetrics();
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    m->appends_total = reg.GetCounter("fuzzydb_wal_appends_total");
+    m->append_bytes_total =
+        reg.GetCounter("fuzzydb_wal_append_bytes_total");
+    m->fsyncs_total = reg.GetCounter("fuzzydb_wal_fsyncs_total");
+    m->rotations_total = reg.GetCounter("fuzzydb_wal_rotations_total");
+    m->checkpoints_total = reg.GetCounter("fuzzydb_wal_checkpoints_total");
+    m->replayed_records_total =
+        reg.GetCounter("fuzzydb_wal_replayed_records_total");
+    m->torn_tail_truncations_total =
+        reg.GetCounter("fuzzydb_wal_torn_tail_truncations_total");
+    m->recoveries_total = reg.GetCounter("fuzzydb_wal_recoveries_total");
+    m->segments = reg.GetGauge("fuzzydb_wal_segments");
+    m->last_lsn = reg.GetGauge("fuzzydb_wal_last_lsn");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace wal
+}  // namespace fuzzydb

@@ -1,0 +1,35 @@
+// The WAL's aggregate metric set, resolved once from the global
+// MetricsRegistry (same idiom as server/server_metrics.h). Durability
+// accounting is part of the recovery contract -- an operator comparing
+// fuzzydb_wal_appends_total against replayed_records_total after a crash
+// is measuring the contract directly -- so these record unconditionally,
+// outside the EngineMetrics enable tap. Every series here has a catalog
+// row in docs/operations.md.
+#ifndef FUZZYDB_WAL_WAL_METRICS_H_
+#define FUZZYDB_WAL_WAL_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace fuzzydb {
+namespace wal {
+
+struct WalMetrics {
+  Counter* appends_total;        // fuzzydb_wal_appends_total
+  Counter* append_bytes_total;   // fuzzydb_wal_append_bytes_total
+  Counter* fsyncs_total;         // fuzzydb_wal_fsyncs_total
+  Counter* rotations_total;      // fuzzydb_wal_rotations_total
+  Counter* checkpoints_total;    // fuzzydb_wal_checkpoints_total
+  Counter* replayed_records_total;      // fuzzydb_wal_replayed_records_total
+  Counter* torn_tail_truncations_total; // fuzzydb_wal_torn_tail_truncations_total
+  Counter* recoveries_total;     // fuzzydb_wal_recoveries_total
+  Gauge* segments;               // fuzzydb_wal_segments
+  Gauge* last_lsn;               // fuzzydb_wal_last_lsn
+
+  /// Always non-null; registers the series on first use.
+  static WalMetrics* Instance();
+};
+
+}  // namespace wal
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_WAL_WAL_METRICS_H_

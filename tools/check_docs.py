@@ -11,9 +11,10 @@ docs/*.md:
     ../../actions/... URL, which is resolved by the GitHub website, not
     the working tree) are skipped.
 
- 2. Every metric name registered in src/obs/metrics.cc or
-    src/server/server_metrics.cc appears in docs/operations.md, so the
-    operator-facing catalog cannot silently drift from the code.
+ 2. Every metric name registered in src/obs/metrics.cc,
+    src/server/server_metrics.cc, or src/wal/wal_metrics.cc appears in
+    docs/operations.md, so the operator-facing catalog cannot silently
+    drift from the code.
 
 Exit code 0 = clean, 1 = findings (each printed as file:line message).
 """
@@ -114,6 +115,7 @@ def check_links(path, findings):
 METRIC_SOURCES = (
     os.path.join("src", "obs", "metrics.cc"),
     os.path.join("src", "server", "server_metrics.cc"),
+    os.path.join("src", "wal", "wal_metrics.cc"),
 )
 
 

@@ -17,6 +17,10 @@
 //   fuzzydb_server --query-log-sample=N  journal every Nth query
 //   fuzzydb_server --query-log-keep=N    rotated generations to keep
 //   fuzzydb_server --metrics-json=PATH   dump metrics JSON on exit
+//   fuzzydb_server --wal-dir=DIR         durable shared database: recover
+//                                        DIR on start, log every mutation,
+//                                        all sessions share the catalog
+//   fuzzydb_server --wal-fsync=MODE      always (default) | batch | off
 //
 // Prints "listening on 127.0.0.1:<port>" once ready (stress harnesses
 // parse the port). SIGINT initiates a graceful stop: every in-flight
@@ -93,7 +97,8 @@ int Usage() {
          "    [--batch-size=N] [--threads=N] [--no-cache] [--cache-mb=N]\n"
          "    [--query-log=PATH] [--query-log-sample=N] "
          "[--query-log-keep=N]\n"
-         "    [--metrics-json=PATH]\n";
+         "    [--metrics-json=PATH] [--wal-dir=DIR]\n"
+         "    [--wal-fsync=always|batch|off]\n";
   return 2;
 }
 
@@ -167,6 +172,16 @@ int main(int argc, char** argv) {
       fuzzydb::QueryJournal::Global().set_keep_files(number);
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_json_path = value_of("--metrics-json=");
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      config.wal_dir = value_of("--wal-dir=");
+      if (config.wal_dir.empty()) return Usage();
+    } else if (arg.rfind("--wal-fsync=", 0) == 0) {
+      auto mode = fuzzydb::wal::ParseFsyncMode(value_of("--wal-fsync="));
+      if (!mode.ok()) {
+        std::cerr << mode.status().ToString() << "\n";
+        return 2;
+      }
+      config.wal_options.fsync = *mode;
     } else {
       return Usage();
     }

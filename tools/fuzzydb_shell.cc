@@ -25,6 +25,10 @@
 //   fuzzydb_shell --no-cbo               disable cost-based planning
 //                                        (legacy fixed-rule plans;
 //                                        answers are bit-identical)
+//   fuzzydb_shell --wal-dir=DIR          write-ahead durability: recover
+//                                        the database in DIR, log every
+//                                        mutation (docs/durability.md)
+//   fuzzydb_shell --wal-fsync=MODE       always (default) | batch | off
 //   fuzzydb_shell --explain-json         EXPLAIN ANALYZE also prints the
 //                                        per-operator JSON summary
 //                                        between marker lines
@@ -107,9 +111,13 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string metrics_json_path;
   std::string metrics_prom_path;
+  std::string wal_dir;
+  fuzzydb::wal::WalOptions wal_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string kTraceFlag = "--trace-json=";
+    const std::string kWalDirFlag = "--wal-dir=";
+    const std::string kWalFsyncFlag = "--wal-fsync=";
     const std::string kMetricsJsonFlag = "--metrics-json=";
     const std::string kMetricsPromFlag = "--metrics-prom=";
     const std::string kSlowFlag = "--slow-query-ms=";
@@ -122,6 +130,20 @@ int main(int argc, char** argv) {
     const std::string kQueryLogKeepFlag = "--query-log-keep=";
     if (arg.rfind(kTraceFlag, 0) == 0) {
       shell.set_trace_json_path(arg.substr(kTraceFlag.size()));
+    } else if (arg.rfind(kWalDirFlag, 0) == 0) {
+      wal_dir = arg.substr(kWalDirFlag.size());
+      if (wal_dir.empty()) {
+        std::cerr << "--wal-dir requires a directory\n";
+        return 2;
+      }
+    } else if (arg.rfind(kWalFsyncFlag, 0) == 0) {
+      auto mode =
+          fuzzydb::wal::ParseFsyncMode(arg.substr(kWalFsyncFlag.size()));
+      if (!mode.ok()) {
+        std::cerr << mode.status().ToString() << "\n";
+        return 2;
+      }
+      wal_options.fsync = *mode;
     } else if (arg.rfind(kMetricsJsonFlag, 0) == 0) {
       metrics_json_path = arg.substr(kMetricsJsonFlag.size());
     } else if (arg.rfind(kMetricsPromFlag, 0) == 0) {
@@ -216,11 +238,20 @@ int main(int argc, char** argv) {
                    "    [--timeout-ms=N] [--memory-budget=N[k|m|g]]\n"
                    "    [--cache-mb=N] [--batch-size=N] [--no-cbo]\n"
                    "    [--query-log=PATH] [--query-log-sample=N]\n"
-                   "    [--query-log-keep=N] [--explain-json]\n";
+                   "    [--query-log-keep=N] [--explain-json]\n"
+                   "    [--wal-dir=DIR] [--wal-fsync=always|batch|off]\n";
       return 2;
     }
   }
   shell.set_quiet(quiet);
+  if (!wal_dir.empty()) {
+    const fuzzydb::Status status =
+        shell.EnableWal(wal_dir, wal_options, std::cout);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 2;
+    }
+  }
   std::signal(SIGINT, HandleInterrupt);
 
   if (have_command) {

@@ -18,7 +18,17 @@ Usage:
       --clients 8 --statements 40 [--workers 2] [--queue-depth 4] \
       [--seed 7] [--timeout 120] [--journal /tmp/server.jsonl]
 
-Exits nonzero on any protocol violation, crash, or hang.
+With --wal-dir DIR the harness runs the crash-recovery drill instead
+(CI recovery-stress; contract in docs/durability.md): the server is
+started with a write-ahead log at DIR and --wal-fsync=always, N
+writers insert uniquely tagged rows into a shared durable table while
+the harness records which inserts the server acknowledged, then the
+server is killed with SIGKILL mid-batch. A second server on the same
+DIR must recover every acknowledged row (unacknowledged ones may or
+may not appear -- both are legal), survive a CHECKPOINT, and leave no
+*.tmp manifests and at most one checkpoint image behind.
+
+Exits nonzero on any protocol violation, crash, hang, or lost write.
 """
 import argparse
 import json
@@ -130,6 +140,196 @@ def run_client(cid, port, statements, seed, timeout, failures):
         failures.append("client %d: socket error: %s" % (cid, exc))
 
 
+def spawn_server(path, extra_args, scratch):
+    """Start the server, return (process, announced port or None)."""
+    env = dict(os.environ, TMPDIR=scratch)
+    server = subprocess.Popen([path, "--port=0"] + extra_args,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True,
+                              env=env)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(line)
+        if line.startswith("listening on 127.0.0.1:"):
+            return server, int(line.rsplit(":", 1)[1])
+    server.kill()
+    return server, None
+
+
+def exchange(port, lines, timeout):
+    """One session: send each line, return the list of reply frames."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    sock.settimeout(timeout)
+    reader = sock.makefile("r", encoding="utf-8")
+    frames = []
+    for line in lines:
+        sock.sendall((line + "\n").encode("utf-8"))
+        frames.append(json.loads(reader.readline()))
+    sock.close()
+    return frames
+
+
+def run_recovery_writer(cid, port, statements, timeout, acked, failures):
+    """Insert tagged rows until done or the server dies mid-batch.
+
+    Appends each tag to `acked` only after the server's OK reply --
+    with --wal-fsync=always that reply promises durability, so the
+    restarted server owes us exactly this list. A torn connection is
+    not a failure here: it is the crash under test.
+    """
+    try:
+        sock = socket.create_connection(("127.0.0.1", port),
+                                        timeout=timeout)
+        sock.settimeout(timeout)
+        reader = sock.makefile("r", encoding="utf-8")
+    except OSError:
+        return  # server already gone: nothing was acknowledged
+    for row in range(statements):
+        tag = "c%d_r%d" % (cid, row)
+        line = ("INSERT INTO ledger VALUES ('%s', %d) DEGREE 0.5;"
+                % (tag, row))
+        for _ in range(200):  # retry shedding until admitted
+            try:
+                sock.sendall((line + "\n").encode("utf-8"))
+                reply = reader.readline()
+                status = json.loads(reply).get("status") if reply else None
+            except (OSError, ValueError):
+                return  # the SIGKILL tore the connection or the frame
+            if status is None:
+                return  # connection closed: the crash happened
+            if status == "OK":
+                acked.append(tag)  # list.append is atomic under the GIL
+                break
+            if status != "RESOURCE_EXHAUSTED":
+                failures.append("writer %d: status %r for %r"
+                                % (cid, status, line[:60]))
+                return
+            time.sleep(0.02)
+        else:
+            failures.append("writer %d: row %d never admitted"
+                            % (cid, row))
+            return
+
+
+def run_recovery(args):
+    """The crash-recovery drill (see the module docstring)."""
+    scratch = tempfile.mkdtemp(prefix="fuzzydb_recovery_")
+    server_args = ["--wal-dir=%s" % args.wal_dir, "--wal-fsync=always",
+                   "--workers=%d" % args.workers,
+                   "--queue-depth=%d" % args.queue_depth]
+    failures = []
+
+    server, port = spawn_server(args.server, server_args, scratch)
+    if port is None:
+        print("server never announced its port", file=sys.stderr)
+        return 1
+    try:
+        frames = exchange(port, ["CREATE TABLE ledger "
+                                 "(tag STRING, x FUZZY);"], args.timeout)
+        if frames[0].get("status") != "OK":
+            print("CREATE TABLE refused: %r" % frames[0], file=sys.stderr)
+            server.kill()
+            return 1
+    except (OSError, ValueError) as exc:
+        print("DDL session failed: %s" % exc, file=sys.stderr)
+        server.kill()
+        return 1
+
+    acked = []
+    writers = [threading.Thread(target=run_recovery_writer,
+                                args=(cid, port, args.statements,
+                                      args.timeout, acked, failures))
+               for cid in range(args.clients)]
+    for thread in writers:
+        thread.start()
+    # SIGKILL once roughly half the planned rows are acknowledged: the
+    # crash lands mid-batch, with in-flight inserts at every stage of
+    # the append/fsync/reply pipeline.
+    planned = args.clients * args.statements
+    deadline = time.time() + args.timeout
+    while (len(acked) < max(1, planned // 2) and time.time() < deadline
+           and any(thread.is_alive() for thread in writers)):
+        time.sleep(0.01)
+    server.kill()  # SIGKILL: no shutdown hook runs, only the log survives
+    server.wait()
+    for thread in writers:
+        thread.join(args.timeout + 30)
+        if thread.is_alive():
+            failures.append("a writer thread is stuck")
+    print("killed server with %d/%d inserts acknowledged"
+          % (len(acked), planned))
+    if not acked:
+        failures.append("no insert was ever acknowledged before the kill")
+
+    # Restart on the same directory: recovery must replay every
+    # acknowledged row, then survive a checkpoint and a clean stop.
+    server, port = spawn_server(args.server, server_args, scratch)
+    if port is None:
+        print("restarted server never announced its port",
+              file=sys.stderr)
+        return 1
+    try:
+        frames = exchange(port,
+                          ["SELECT tag FROM ledger WITH D >= 0.0;",
+                           "CHECKPOINT;"], args.timeout)
+    except (OSError, ValueError) as exc:
+        failures.append("post-recovery session failed: %s" % exc)
+        frames = []
+    if frames:
+        select, checkpoint = frames
+        if select.get("status") != "OK":
+            failures.append("post-recovery SELECT: %r" % select)
+        recovered = {row[0].strip("'") for row in select.get("rows", [])}
+        lost = sorted(tag for tag in acked if tag not in recovered)
+        if lost:
+            failures.append("lost %d acknowledged row(s), e.g. %s"
+                            % (len(lost), ", ".join(lost[:5])))
+        legal = {"c%d_r%d" % (cid, row) for cid in range(args.clients)
+                 for row in range(args.statements)}
+        phantoms = sorted(recovered - legal)
+        if phantoms:
+            failures.append("recovered rows nobody sent: %s"
+                            % ", ".join(phantoms[:5]))
+        print("recovered %d rows (%d acknowledged, %d in flight at "
+              "the kill)" % (len(recovered), len(acked),
+                             len(recovered) - len(acked)))
+        if checkpoint.get("status") != "OK":
+            failures.append("post-recovery CHECKPOINT: %r" % checkpoint)
+
+    server.send_signal(signal.SIGINT)
+    try:
+        server.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        failures.append("recovered server did not exit within 60s")
+        server.kill()
+    else:
+        if server.returncode != 0:
+            failures.append("recovered server exited %d"
+                            % server.returncode)
+
+    # Sweep check: the crash plus checkpoint left no debris -- no temp
+    # manifests and at most the one live checkpoint image.
+    entries = os.listdir(args.wal_dir)
+    tmps = [e for e in entries if e.endswith(".tmp")]
+    if tmps:
+        failures.append("temp manifests left behind: %s" % ", ".join(tmps))
+    images = [e for e in entries if e.startswith("ckpt_")]
+    if len(images) > 1:
+        failures.append("more than one checkpoint image: %s"
+                        % ", ".join(images))
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("recovery OK: %d writers, %d acknowledged rows survived "
+          "SIGKILL" % (args.clients, len(acked)))
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--server", required=True,
@@ -142,31 +342,22 @@ def main():
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--journal", default="",
                         help="journal path; also runs journal_check.py")
+    parser.add_argument("--wal-dir", default="",
+                        help="run the crash-recovery drill against a "
+                             "write-ahead log at this directory")
     args = parser.parse_args()
 
+    if args.wal_dir:
+        return run_recovery(args)
+
     scratch = tempfile.mkdtemp(prefix="fuzzydb_stress_")
-    cmd = [args.server, "--port=0",
-           "--workers=%d" % args.workers,
-           "--queue-depth=%d" % args.queue_depth]
+    extra = ["--workers=%d" % args.workers,
+             "--queue-depth=%d" % args.queue_depth]
     if args.journal:
-        cmd.append("--query-log=%s" % args.journal)
-    env = dict(os.environ, TMPDIR=scratch)
-    server = subprocess.Popen(cmd, stdout=subprocess.PIPE,
-                              stderr=subprocess.STDOUT, text=True,
-                              env=env)
-    port = None
-    deadline = time.time() + 30
-    while time.time() < deadline:
-        line = server.stdout.readline()
-        if not line:
-            break
-        sys.stdout.write(line)
-        if line.startswith("listening on 127.0.0.1:"):
-            port = int(line.rsplit(":", 1)[1])
-            break
+        extra.append("--query-log=%s" % args.journal)
+    server, port = spawn_server(args.server, extra, scratch)
     if port is None:
         print("server never announced its port", file=sys.stderr)
-        server.kill()
         return 1
 
     failures = []
